@@ -1,0 +1,42 @@
+//===- BenchSupport.h - Shared benchmark helpers ----------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment benchmarks (see DESIGN.md Section 4
+/// for the experiment index E1..E12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_BENCH_BENCHSUPPORT_H
+#define ALPHONSE_BENCH_BENCHSUPPORT_H
+
+#include "trees/HeightTree.h"
+
+#include <vector>
+
+namespace alphonse::bench {
+
+/// Builds a perfect binary tree with \p Count nodes (Count = 2^k - 1) and
+/// returns all nodes in level order (root first).
+inline std::vector<trees::HeightTree::Node *>
+buildPerfectTree(trees::HeightTree &Tree, size_t Count) {
+  std::vector<trees::HeightTree::Node *> Nodes;
+  Nodes.reserve(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Nodes.push_back(Tree.makeNode());
+  for (size_t I = 0; I < Count; ++I) {
+    if (2 * I + 1 < Count)
+      Tree.setLeft(Nodes[I], Nodes[2 * I + 1]);
+    if (2 * I + 2 < Count)
+      Tree.setRight(Nodes[I], Nodes[2 * I + 2]);
+  }
+  return Nodes;
+}
+
+} // namespace alphonse::bench
+
+#endif // ALPHONSE_BENCH_BENCHSUPPORT_H

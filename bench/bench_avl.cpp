@@ -1,0 +1,120 @@
+//===- bench_avl.cpp - Experiment E6 --------------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 7.3 / Section 9: the Alphonse AVL tree (simple exhaustive
+// specification + incremental runtime) against the hand-written textbook
+// AVL tree. Alphonse is "not designed to compete with programmers willing
+// to embed detailed caching strategies"; the claim is the same asymptotic
+// shape at a bookkeeping constant, plus a batching advantage in off-line
+// use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trees/AvlTree.h"
+#include "trees/ClassicAvl.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <random>
+
+using namespace alphonse;
+using trees::AvlTree;
+using trees::ClassicAvl;
+
+// E6a: on-line use — N random inserts, rebalancing after each.
+static void BM_E6_AlphonseOnline(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    Runtime RT;
+    AvlTree T(RT);
+    std::mt19937 Rng(42);
+    auto Start = std::chrono::steady_clock::now();
+    for (int I = 0; I < N; ++I) {
+      T.insert(static_cast<int>(Rng() % (N * 8)));
+      T.rebalance();
+    }
+    benchmark::DoNotOptimize(T.height());
+    auto End = std::chrono::steady_clock::now();
+    State.SetIterationTime(
+        std::chrono::duration<double>(End - Start).count());
+  }
+  State.counters["n"] = static_cast<double>(N);
+}
+BENCHMARK(BM_E6_AlphonseOnline)->Arg(256)->Arg(1024)->Arg(4096)->UseManualTime();
+
+// E6b: on-line baseline — the hand-written AVL tree.
+static void BM_E6_ClassicOnline(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    ClassicAvl T;
+    std::mt19937 Rng(42);
+    for (int I = 0; I < N; ++I)
+      T.insert(static_cast<int>(Rng() % (N * 8)));
+    benchmark::DoNotOptimize(T.height());
+  }
+  State.counters["n"] = static_cast<double>(N);
+}
+BENCHMARK(BM_E6_ClassicOnline)->Arg(256)->Arg(1024)->Arg(4096);
+
+// E6c: off-line use — insert everything, then one batched rebalance (the
+// mode the hand-written eager tree cannot express without rewriting).
+static void BM_E6_AlphonseOffline(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    Runtime RT;
+    AvlTree T(RT);
+    std::mt19937 Rng(42);
+    auto Start = std::chrono::steady_clock::now();
+    for (int I = 0; I < N; ++I)
+      T.insert(static_cast<int>(Rng() % (N * 8)));
+    T.rebalance();
+    benchmark::DoNotOptimize(T.height());
+    auto End = std::chrono::steady_clock::now();
+    State.SetIterationTime(
+        std::chrono::duration<double>(End - Start).count());
+  }
+  State.counters["n"] = static_cast<double>(N);
+}
+BENCHMARK(BM_E6_AlphonseOffline)->Arg(256)->Arg(1024)->Arg(4096)->UseManualTime();
+
+// E6d: steady-state single insert + rebalance into a warm tree of N keys
+// — the per-operation incremental cost (compare against E6e).
+static void BM_E6_AlphonseSteadyInsert(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  Runtime RT;
+  AvlTree T(RT);
+  std::mt19937 Rng(7);
+  for (int I = 0; I < N; ++I)
+    T.insert(static_cast<int>(Rng() % 1000000));
+  T.rebalance();
+  RT.resetStats();
+  for (auto _ : State) {
+    T.insert(static_cast<int>(Rng() % 1000000));
+    T.rebalance();
+  }
+  State.counters["execs/op"] = benchmark::Counter(
+      static_cast<double>(RT.stats().ProcExecutions) /
+      static_cast<double>(State.iterations()));
+  State.counters["n"] = static_cast<double>(N);
+}
+BENCHMARK(BM_E6_AlphonseSteadyInsert)->Arg(1024)->Arg(8192)->Arg(32768);
+
+// E6e: steady-state single insert into the hand-written tree.
+static void BM_E6_ClassicSteadyInsert(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  ClassicAvl T;
+  std::mt19937 Rng(7);
+  for (int I = 0; I < N; ++I)
+    T.insert(static_cast<int>(Rng() % 1000000));
+  for (auto _ : State)
+    T.insert(static_cast<int>(Rng() % 1000000));
+  State.counters["n"] = static_cast<double>(N);
+}
+BENCHMARK(BM_E6_ClassicSteadyInsert)->Arg(1024)->Arg(8192)->Arg(32768);
+
+BENCHMARK_MAIN();

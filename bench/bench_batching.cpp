@@ -1,0 +1,158 @@
+//===- bench_batching.cpp - Experiment E3 ---------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 3.4: "Changes to many pointers in the tree are batched by the
+// evaluation algorithm and result in O(|AFFECTED|) computations" — the
+// evaluator runs once at the next demand instead of once per change.
+//
+//  E3a: K leaf extensions per batch, one demand: Alphonse cost tracks
+//       |AFFECTED| (the K new subtrees plus changed ancestors), not
+//       K x path-length.
+//  E3b: K cancelling change pairs (attach + detach) per batch: the batch
+//       is a net no-op, so Alphonse does O(1) work at the demand, while
+//       the hand-coded eager repair tree pays the path on every change —
+//       it cannot batch.
+//  E3c: the eager hand-coded baseline for E3a's workload.
+//
+// All scenarios run in steady state: each batch is undone by the next
+// half-batch, so no per-iteration tree rebuilding is needed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "trees/ManualHeightTree.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace alphonse;
+using namespace alphonse::bench;
+using trees::HeightTree;
+using trees::ManualHeightTree;
+
+namespace {
+constexpr size_t TreeNodes = 8191; // 13 levels, 4096 leaves.
+constexpr size_t FirstLeaf = TreeNodes / 2;
+} // namespace
+
+// E3a: K growth changes, one demand; next iteration undoes them. The
+// execs/batch counter is |AFFECTED| for the half-batches, averaged.
+static void BM_E3_BatchedChanges(benchmark::State &State) {
+  size_t K = static_cast<size_t>(State.range(0));
+  Runtime RT;
+  HeightTree Tree(RT);
+  auto Nodes = buildPerfectTree(Tree, TreeNodes);
+  Tree.height(Nodes[0]);
+  std::vector<HeightTree::Node *> Fresh;
+  for (size_t I = 0; I < K; ++I)
+    Fresh.push_back(Tree.makeNode());
+  bool Attached = false;
+  RT.resetStats();
+  for (auto _ : State) {
+    for (size_t I = 0; I < K; ++I)
+      Tree.setLeft(Nodes[FirstLeaf + I],
+                   Attached ? Tree.nil() : Fresh[I]);
+    Attached = !Attached;
+    benchmark::DoNotOptimize(Tree.height(Nodes[0]));
+  }
+  State.counters["execs/batch"] = benchmark::Counter(
+      static_cast<double>(RT.stats().ProcExecutions) /
+      static_cast<double>(State.iterations()));
+  State.counters["k"] = static_cast<double>(K);
+}
+BENCHMARK(BM_E3_BatchedChanges)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// E3b: K attach+detach pairs per batch — a net no-op the evaluator
+// recognizes wholesale (variable-level quiescence at each touched cell).
+static void BM_E3_CancellingChanges(benchmark::State &State) {
+  size_t K = static_cast<size_t>(State.range(0));
+  Runtime RT;
+  HeightTree Tree(RT);
+  auto Nodes = buildPerfectTree(Tree, TreeNodes);
+  Tree.height(Nodes[0]);
+  std::vector<HeightTree::Node *> Fresh;
+  for (size_t I = 0; I < K; ++I)
+    Fresh.push_back(Tree.makeNode());
+  RT.resetStats();
+  for (auto _ : State) {
+    for (size_t I = 0; I < K; ++I) {
+      Tree.setLeft(Nodes[FirstLeaf + I], Fresh[I]);
+      Tree.setLeft(Nodes[FirstLeaf + I], Tree.nil());
+    }
+    benchmark::DoNotOptimize(Tree.height(Nodes[0]));
+  }
+  State.counters["execs/batch"] = benchmark::Counter(
+      static_cast<double>(RT.stats().ProcExecutions) /
+      static_cast<double>(State.iterations()));
+  State.counters["k"] = static_cast<double>(K);
+}
+BENCHMARK(BM_E3_CancellingChanges)->Arg(1)->Arg(16)->Arg(256);
+
+// E3c: the eager hand-coded repair on E3a's workload: it updates heights
+// on every single change (no batching is expressible).
+static void BM_E3_ManualPerChange(benchmark::State &State) {
+  size_t K = static_cast<size_t>(State.range(0));
+  ManualHeightTree Tree;
+  std::vector<ManualHeightTree::Node *> Nodes;
+  for (size_t I = 0; I < TreeNodes; ++I)
+    Nodes.push_back(Tree.makeNode());
+  for (size_t I = 0; I < TreeNodes; ++I) {
+    if (2 * I + 1 < TreeNodes)
+      Tree.setLeft(Nodes[I], Nodes[2 * I + 1]);
+    if (2 * I + 2 < TreeNodes)
+      Tree.setRight(Nodes[I], Nodes[2 * I + 2]);
+  }
+  std::vector<ManualHeightTree::Node *> Fresh;
+  for (size_t I = 0; I < K; ++I)
+    Fresh.push_back(Tree.makeNode());
+  bool Attached = false;
+  uint64_t Before = Tree.updateCount();
+  for (auto _ : State) {
+    for (size_t I = 0; I < K; ++I)
+      Tree.setLeft(Nodes[FirstLeaf + I], Attached ? nullptr : Fresh[I]);
+    Attached = !Attached;
+    benchmark::DoNotOptimize(ManualHeightTree::height(Nodes[0]));
+  }
+  State.counters["updates/batch"] = benchmark::Counter(
+      static_cast<double>(Tree.updateCount() - Before) /
+      static_cast<double>(State.iterations()));
+  State.counters["k"] = static_cast<double>(K);
+}
+BENCHMARK(BM_E3_ManualPerChange)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// E3d: the eager hand-coded repair on E3b's cancelling workload: 2K path
+// repairs for zero net change.
+static void BM_E3_ManualCancelling(benchmark::State &State) {
+  size_t K = static_cast<size_t>(State.range(0));
+  ManualHeightTree Tree;
+  std::vector<ManualHeightTree::Node *> Nodes;
+  for (size_t I = 0; I < TreeNodes; ++I)
+    Nodes.push_back(Tree.makeNode());
+  for (size_t I = 0; I < TreeNodes; ++I) {
+    if (2 * I + 1 < TreeNodes)
+      Tree.setLeft(Nodes[I], Nodes[2 * I + 1]);
+    if (2 * I + 2 < TreeNodes)
+      Tree.setRight(Nodes[I], Nodes[2 * I + 2]);
+  }
+  std::vector<ManualHeightTree::Node *> Fresh;
+  for (size_t I = 0; I < K; ++I)
+    Fresh.push_back(Tree.makeNode());
+  uint64_t Before = Tree.updateCount();
+  for (auto _ : State) {
+    for (size_t I = 0; I < K; ++I) {
+      Tree.setLeft(Nodes[FirstLeaf + I], Fresh[I]);
+      Tree.setLeft(Nodes[FirstLeaf + I], nullptr);
+    }
+    benchmark::DoNotOptimize(ManualHeightTree::height(Nodes[0]));
+  }
+  State.counters["updates/batch"] = benchmark::Counter(
+      static_cast<double>(Tree.updateCount() - Before) /
+      static_cast<double>(State.iterations()));
+  State.counters["k"] = static_cast<double>(K);
+}
+BENCHMARK(BM_E3_ManualCancelling)->Arg(1)->Arg(16)->Arg(256);
+
+BENCHMARK_MAIN();

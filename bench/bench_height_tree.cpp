@@ -1,0 +1,165 @@
+//===- bench_height_tree.cpp - Experiments E1 and E2 ----------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 3.4 cost claims for the maintained-height tree (Algorithm 1):
+//
+//  E1: the first height() demand costs O(|subtree|); subsequent demands
+//      cost O(1).
+//  E2: a child-pointer change costs O(height) to update the cached values
+//      on the path to the root.
+//
+// Baselines: exhaustive recomputation (the conventional execution of the
+// same specification) and the hand-coded parent-pointer update tree
+// ("the ambitious programmer", Section 9).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "trees/ManualHeightTree.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+using namespace alphonse;
+using namespace alphonse::bench;
+using trees::HeightTree;
+using trees::ManualHeightTree;
+
+// E1a: first demand over a fresh tree of N nodes — expected O(N).
+// Manual timing: the per-iteration tree construction must not pollute
+// the measurement.
+static void BM_E1_FirstDemand(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  uint64_t Execs = 0;
+  for (auto _ : State) {
+    Runtime RT;
+    HeightTree Tree(RT);
+    auto Nodes = buildPerfectTree(Tree, N);
+    auto Start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(Tree.height(Nodes[0]));
+    auto End = std::chrono::steady_clock::now();
+    State.SetIterationTime(
+        std::chrono::duration<double>(End - Start).count());
+    Execs += RT.stats().ProcExecutions;
+  }
+  State.counters["execs/op"] =
+      benchmark::Counter(static_cast<double>(Execs) /
+                         static_cast<double>(State.iterations()));
+  State.counters["nodes"] = static_cast<double>(N);
+}
+BENCHMARK(BM_E1_FirstDemand)
+    ->Arg(255)
+    ->Arg(1023)
+    ->Arg(4095)
+    ->Arg(16383)
+    ->UseManualTime();
+
+// E1b: repeated demand — expected O(1), independent of N.
+static void BM_E1_RepeatDemand(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Runtime RT;
+  HeightTree Tree(RT);
+  auto Nodes = buildPerfectTree(Tree, N);
+  Tree.height(Nodes[0]);
+  RT.resetStats();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Tree.height(Nodes[0]));
+  State.counters["execs/op"] = benchmark::Counter(
+      static_cast<double>(RT.stats().ProcExecutions) /
+      static_cast<double>(State.iterations()));
+}
+BENCHMARK(BM_E1_RepeatDemand)->Arg(255)->Arg(4095)->Arg(65535);
+
+// E1 baseline: the conventional exhaustive recursion — O(N) every demand.
+static void BM_E1_ExhaustiveDemand(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Runtime RT;
+  HeightTree Tree(RT);
+  auto Nodes = buildPerfectTree(Tree, N);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        HeightTree::exhaustiveHeight(Nodes[0], Tree.nil()));
+}
+BENCHMARK(BM_E1_ExhaustiveDemand)->Arg(255)->Arg(4095)->Arg(65535);
+
+// E2: one pointer change then a re-demand — expected O(height) = O(log N).
+// Each iteration alternately attaches/detaches a spare node below the
+// leftmost leaf, so the height genuinely flips between log(N) and
+// log(N) + 1 and the full root path updates every time.
+static void BM_E2_PointerChangeUpdate(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Runtime RT;
+  HeightTree Tree(RT);
+  auto Nodes = buildPerfectTree(Tree, N);
+  Tree.height(Nodes[0]);
+  HeightTree::Node *Leaf = Nodes[N / 2]; // First leaf in level order.
+  HeightTree::Node *Spare = Tree.makeNode();
+  bool Attached = false;
+  RT.resetStats();
+  for (auto _ : State) {
+    Tree.setLeft(Leaf, Attached ? Tree.nil() : Spare);
+    Attached = !Attached;
+    benchmark::DoNotOptimize(Tree.height(Nodes[0]));
+  }
+  State.counters["execs/op"] = benchmark::Counter(
+      static_cast<double>(RT.stats().ProcExecutions) /
+      static_cast<double>(State.iterations()));
+  State.counters["depth"] =
+      static_cast<double>(HeightTree::exhaustiveHeight(Nodes[0], Tree.nil()));
+}
+BENCHMARK(BM_E2_PointerChangeUpdate)
+    ->Arg(255)
+    ->Arg(1023)
+    ->Arg(4095)
+    ->Arg(16383)
+    ->Arg(65535);
+
+// E2 baseline: the hand-coded parent-pointer repair ("ambitious
+// programmer") doing the same alternating change.
+static void BM_E2_ManualUpdate(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  ManualHeightTree Tree;
+  std::vector<ManualHeightTree::Node *> Nodes;
+  for (size_t I = 0; I < N; ++I)
+    Nodes.push_back(Tree.makeNode());
+  for (size_t I = 0; I < N; ++I) {
+    if (2 * I + 1 < N)
+      Tree.setLeft(Nodes[I], Nodes[2 * I + 1]);
+    if (2 * I + 2 < N)
+      Tree.setRight(Nodes[I], Nodes[2 * I + 2]);
+  }
+  ManualHeightTree::Node *Leaf = Nodes[N / 2];
+  ManualHeightTree::Node *Spare = Tree.makeNode();
+  bool Attached = false;
+  for (auto _ : State) {
+    Tree.setLeft(Leaf, Attached ? nullptr : Spare);
+    Attached = !Attached;
+    benchmark::DoNotOptimize(ManualHeightTree::height(Nodes[0]));
+  }
+}
+BENCHMARK(BM_E2_ManualUpdate)->Arg(255)->Arg(4095)->Arg(65535);
+
+// E2 contrast: the same change answered by full exhaustive recomputation.
+static void BM_E2_ExhaustiveUpdate(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Runtime RT;
+  HeightTree Tree(RT);
+  auto Nodes = buildPerfectTree(Tree, N);
+  HeightTree::Node *Leaf = Nodes[N / 2];
+  HeightTree::Node *Spare = Tree.makeNode();
+  bool Attached = false;
+  for (auto _ : State) {
+    Tree.setLeft(Leaf, Attached ? Tree.nil() : Spare);
+    Attached = !Attached;
+    benchmark::DoNotOptimize(
+        HeightTree::exhaustiveHeight(Nodes[0], Tree.nil()));
+  }
+}
+BENCHMARK(BM_E2_ExhaustiveUpdate)->Arg(255)->Arg(4095)->Arg(65535);
+
+BENCHMARK_MAIN();

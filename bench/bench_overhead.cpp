@@ -1,0 +1,129 @@
+//===- bench_overhead.cpp - Experiment E7 ---------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 9.2: "dynamic dependence analysis can be performed in O(T)" —
+// the transformed program costs only a constant factor over conventional
+// execution, and the Section 6.1 static check elimination keeps
+// Alphonse-independent code from paying it. We run a compute-heavy
+// program with no incremental procedures through the interpreter under
+// (a) conventional execution, (b) Alphonse execution of the optimized
+// transformation, and (c) Alphonse execution of the naive (conservative)
+// transformation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "transform/Transform.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace alphonse;
+using namespace alphonse::lang;
+using namespace alphonse::interp;
+
+namespace {
+
+// Pure computation over locals plus a little heap traffic: the mutator
+// workload whose instrumentation overhead we are measuring.
+const char *WorkProgram = R"(
+TYPE Node = OBJECT v : INTEGER; next : Node; END;
+VAR head : Node; total : INTEGER;
+
+PROCEDURE BuildList(n : INTEGER) =
+VAR p : Node; i : INTEGER;
+BEGIN
+  head := NIL;
+  FOR i := 1 TO n DO
+    p := NEW(Node);
+    p.v := i;
+    p.next := head;
+    head := p;
+  END;
+END BuildList;
+
+PROCEDURE SumList() : INTEGER =
+VAR p : Node; s : INTEGER;
+BEGIN
+  s := 0;
+  p := head;
+  WHILE p # NIL DO
+    s := s + p.v;
+    p := p.next;
+  END;
+  RETURN s;
+END SumList;
+
+PROCEDURE Work(rounds : INTEGER) : INTEGER =
+VAR i : INTEGER;
+BEGIN
+  total := 0;
+  FOR i := 1 TO rounds DO
+    total := total + SumList() MOD 1000;
+  END;
+  RETURN total;
+END Work;
+)";
+
+struct Compiled {
+  Module M;
+  SemaInfo Info;
+  DiagnosticEngine Diags;
+};
+
+std::unique_ptr<Compiled> compileWork(bool DoTransform, bool Conservative) {
+  auto C = std::make_unique<Compiled>();
+  C->M = parseModule(WorkProgram, C->Diags);
+  C->Info = analyze(C->M, C->Diags);
+  assert(!C->Diags.hasErrors());
+  if (DoTransform) {
+    transform::TransformOptions Opts;
+    Opts.OptimizeLocalAccesses = !Conservative;
+    Opts.OptimizeCallChecks = !Conservative;
+    transform::transform(C->M, C->Info, Opts);
+  }
+  return C;
+}
+
+void runWork(benchmark::State &State, const Compiled &C, ExecMode Mode) {
+  int N = static_cast<int>(State.range(0));
+  Interp I(C.M, C.Info, Mode);
+  I.call("BuildList", {Value::integer(N)});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(I.call("Work", {Value::integer(10)}));
+  assert(!I.failed());
+  State.counters["n"] = static_cast<double>(N);
+}
+
+} // namespace
+
+// E7a: conventional execution (the T of "O(T)").
+static void BM_E7_Conventional(benchmark::State &State) {
+  auto C = compileWork(/*DoTransform=*/false, /*Conservative=*/false);
+  runWork(State, *C, ExecMode::Conventional);
+}
+BENCHMARK(BM_E7_Conventional)->Arg(100)->Arg(1000)->Arg(10000);
+
+// E7b: optimized transformation, Alphonse execution. No incremental
+// procedures exist, so all cost is instrumentation overhead.
+static void BM_E7_AlphonseOptimized(benchmark::State &State) {
+  auto C = compileWork(/*DoTransform=*/true, /*Conservative=*/false);
+  runWork(State, *C, ExecMode::Alphonse);
+}
+BENCHMARK(BM_E7_AlphonseOptimized)->Arg(100)->Arg(1000)->Arg(10000);
+
+// E7c: conservative transformation (every read/write/call checked): the
+// overhead the Section 6.1 optimization exists to remove.
+static void BM_E7_AlphonseConservative(benchmark::State &State) {
+  auto C = compileWork(/*DoTransform=*/true, /*Conservative=*/true);
+  runWork(State, *C, ExecMode::Alphonse);
+}
+BENCHMARK(BM_E7_AlphonseConservative)->Arg(100)->Arg(1000)->Arg(10000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+//===- bench_partition.cpp - Experiment E9 --------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 6.3: with partitioned inconsistent sets, demanding a value in
+// one dependency-graph component does not force evaluation of pending
+// changes in unrelated components — "this will decrease the likelihood
+// that eager evaluation will be forced due to irrelevant changes and thus
+// will allow more inconsistencies to be batched". We build two
+// independent eager computation chains, keep mutating chain A, and demand
+// from chain B; the partitioning ablation drains A's work on every
+// B-demand.
+//
+// Section 9.2's union-find cost claim (O(alpha) per edge) is exercised by
+// the edge-heavy E1/E7 benches; here the counters report scoped vs global
+// evaluation work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Alphonse.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+using namespace alphonse;
+
+namespace {
+
+/// An eager chain: stage[i] = stage[i-1] + 1 over a base cell.
+struct Chain {
+  explicit Chain(Runtime &RT, int Len, const std::string &Name)
+      : Base(std::make_unique<Cell<int>>(RT, 0, Name + ".base")) {
+    for (int I = 0; I < Len; ++I) {
+      Cell<int> *B = Base.get();
+      Maintained<int()> *Prev =
+          Stages.empty() ? nullptr : Stages.back().get();
+      Stages.push_back(std::make_unique<Maintained<int()>>(
+          RT,
+          [B, Prev] { return (Prev ? (*Prev)() : B->get()) + 1; },
+          EvalStrategy::Eager, Name + ".stage"));
+    }
+  }
+  int demand() { return (*Stages.back())(); }
+
+  std::unique_ptr<Cell<int>> Base;
+  std::vector<std::unique_ptr<Maintained<int()>>> Stages;
+};
+
+void runScenario(benchmark::State &State, bool Partitioning) {
+  int Len = static_cast<int>(State.range(0));
+  DepGraph::Config Cfg;
+  Cfg.Partitioning = Partitioning;
+  Runtime RT(Cfg);
+  Chain A(RT, Len, "a");
+  Chain B(RT, Len, "b");
+  A.demand();
+  B.demand();
+  int Tick = 0;
+  RT.resetStats();
+  for (auto _ : State) {
+    // Mutate A (pending work accumulates in A's partition) ...
+    A.Base->set(++Tick);
+    // ... then demand B. With partitioning this is a pure cache hit;
+    // without it, the call boundary drains A's eager chain first.
+    benchmark::DoNotOptimize(B.demand());
+  }
+  State.counters["evalsteps/op"] = benchmark::Counter(
+      static_cast<double>(RT.stats().EvalSteps) /
+      static_cast<double>(State.iterations()));
+  State.counters["reexecs/op"] = benchmark::Counter(
+      static_cast<double>(RT.stats().ProcExecutions) /
+      static_cast<double>(State.iterations()));
+  State.counters["scoped_evals"] =
+      static_cast<double>(RT.stats().PartitionScopedEvals);
+  State.counters["len"] = static_cast<double>(Len);
+  // Drain the backlog so the next benchmark starts clean.
+  RT.pump();
+}
+
+} // namespace
+
+// E9a: partitioning on (the paper's design).
+static void BM_E9_Partitioned(benchmark::State &State) {
+  runScenario(State, /*Partitioning=*/true);
+}
+BENCHMARK(BM_E9_Partitioned)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// E9b: ablation — one global inconsistent set.
+static void BM_E9_Unpartitioned(benchmark::State &State) {
+  runScenario(State, /*Partitioning=*/false);
+}
+BENCHMARK(BM_E9_Unpartitioned)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+BENCHMARK_MAIN();

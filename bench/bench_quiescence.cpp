@@ -1,0 +1,119 @@
+//===- bench_quiescence.cpp - Experiment E11 ------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 2 / Algorithm 4: propagation becomes quiescent when recomputed
+// values match cached ones. Three layers of cutoff are measured over an
+// eager chain sign(x) -> s1 -> ... -> sD:
+//
+//  - writing the same value back before evaluation (modify's comparison);
+//  - writing a different value that refreshes to the old one (x->y->x);
+//  - writing a different value whose derived head value is unchanged
+//    (the sign() collapse), which stops the chain at depth 1.
+//
+// The VariableCutoff ablation shows what happens without Algorithm 4's
+// value comparison: every write floods the chain.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Alphonse.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+using namespace alphonse;
+
+namespace {
+
+struct SignChain {
+  SignChain(Runtime &RT, int Depth)
+      : X(std::make_unique<Cell<int>>(RT, 1, "x")) {
+    Cell<int> *Base = X.get();
+    Stages.push_back(std::make_unique<Maintained<int()>>(
+        RT, [Base] { return Base->get() > 0 ? 1 : -1; },
+        EvalStrategy::Eager, "sign"));
+    for (int I = 1; I < Depth; ++I) {
+      Maintained<int()> *Prev = Stages.back().get();
+      Stages.push_back(std::make_unique<Maintained<int()>>(
+          RT, [Prev] { return (*Prev)() + 1; }, EvalStrategy::Eager,
+          "stage"));
+    }
+  }
+  int demand() { return (*Stages.back())(); }
+
+  std::unique_ptr<Cell<int>> X;
+  std::vector<std::unique_ptr<Maintained<int()>>> Stages;
+};
+
+void writePattern(benchmark::State &State, int Pattern, bool Cutoff) {
+  int Depth = static_cast<int>(State.range(0));
+  DepGraph::Config Cfg;
+  Cfg.VariableCutoff = Cutoff;
+  Runtime RT(Cfg);
+  SignChain Chain(RT, Depth);
+  Chain.demand();
+  RT.pump();
+  RT.resetStats();
+  int Tick = 1;
+  for (auto _ : State) {
+    switch (Pattern) {
+    case 0: // Same value.
+      Chain.X->set(1);
+      break;
+    case 1: // Away and back before evaluation.
+      Chain.X->set(2);
+      Chain.X->set(1);
+      break;
+    case 2: // A real change, always positive: sign() re-runs each round
+            // but its value never changes, shielding the chain.
+      Chain.X->set(++Tick);
+      break;
+    }
+    RT.pump();
+    benchmark::DoNotOptimize(Chain.demand());
+  }
+  State.counters["reexecs/op"] = benchmark::Counter(
+      static_cast<double>(RT.stats().ProcExecutions) /
+      static_cast<double>(State.iterations()));
+  State.counters["cutoffs/op"] = benchmark::Counter(
+      static_cast<double>(RT.stats().QuiescenceCutoffs) /
+      static_cast<double>(State.iterations()));
+  State.counters["depth"] = static_cast<double>(Depth);
+}
+
+} // namespace
+
+// E11a: x := x — suppressed at the write itself (0 re-executions).
+static void BM_E11_SameValueWrite(benchmark::State &State) {
+  writePattern(State, 0, /*Cutoff=*/true);
+}
+BENCHMARK(BM_E11_SameValueWrite)->Arg(64)->Arg(512);
+
+// E11b: x -> y -> x before evaluation — caught at refresh (0 re-runs).
+static void BM_E11_WriteBack(benchmark::State &State) {
+  writePattern(State, 1, /*Cutoff=*/true);
+}
+BENCHMARK(BM_E11_WriteBack)->Arg(64)->Arg(512);
+
+// E11c: a real change that collapses at sign(): exactly one re-run
+// regardless of chain depth.
+static void BM_E11_CollapsedChange(benchmark::State &State) {
+  writePattern(State, 2, /*Cutoff=*/true);
+}
+BENCHMARK(BM_E11_CollapsedChange)->Arg(64)->Arg(512);
+
+// E11d: ablation — without the variable-level comparison, an x -> y -> x
+// write pair reaches the first procedure and re-runs it spuriously every
+// time (the eager value cutoff then shields the rest of the chain);
+// with the comparison (E11b) nothing re-runs at all.
+static void BM_E11_WriteBackNoCutoff(benchmark::State &State) {
+  writePattern(State, 1, /*Cutoff=*/false);
+}
+BENCHMARK(BM_E11_WriteBackNoCutoff)->Arg(64)->Arg(512);
+
+BENCHMARK_MAIN();

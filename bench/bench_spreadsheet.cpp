@@ -1,0 +1,132 @@
+//===- bench_spreadsheet.cpp - Experiment E4 ------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 7.2 / Section 1: in a dynamic, interactive setting, running the
+// exhaustive algorithm after every small edit is unnecessarily
+// inefficient. An M x M sheet where column j sums columns to its left;
+// after one literal edit we re-read the whole sheet either incrementally
+// (Alphonse) or by full recomputation (the conventional baseline). The
+// incremental advantage grows with M.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spreadsheet/Spreadsheet.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace alphonse;
+using spreadsheet::Spreadsheet;
+
+namespace {
+
+/// Column 0 holds literals; cell (r, c) = cell(r, c-1) + cell(r-1, c)
+/// (a Pascal-triangle-like dependence fabric touching every cell).
+void fillSheet(Spreadsheet &S, int M) {
+  for (int R = 0; R < M; ++R)
+    S.setLiteral(R, 0, R + 1);
+  for (int C = 1; C < M; ++C) {
+    S.setFormula(0, C, "cell(0," + std::to_string(C - 1) + ")");
+    for (int R = 1; R < M; ++R)
+      S.setFormula(R, C,
+                   "cell(" + std::to_string(R) + "," + std::to_string(C - 1) +
+                       ") + cell(" + std::to_string(R - 1) + "," +
+                       std::to_string(C) + ")");
+  }
+}
+
+long long readAll(Spreadsheet &S, int M) {
+  long long Sum = 0;
+  for (int R = 0; R < M; ++R)
+    for (int C = 0; C < M; ++C)
+      Sum += S.value(R, C);
+  return Sum;
+}
+
+} // namespace
+
+// E4a: one literal edit, then read the grand total (bottom-right cell):
+// the interactive scenario the paper's introduction motivates. The
+// incremental cost is the affected slice that feeds the total (~M cells),
+// not the M^2 sheet.
+static void BM_E4_IncrementalEditReadTotal(benchmark::State &State) {
+  int M = static_cast<int>(State.range(0));
+  Runtime RT;
+  Spreadsheet S(RT, M, M);
+  fillSheet(S, M);
+  readAll(S, M);
+  int Tick = 0;
+  RT.resetStats();
+  for (auto _ : State) {
+    // Edit the last literal: only the last row's chain depends on it.
+    S.setLiteral(M - 1, 0, ++Tick);
+    benchmark::DoNotOptimize(S.value(M - 1, M - 1));
+  }
+  State.counters["execs/op"] = benchmark::Counter(
+      static_cast<double>(RT.stats().ProcExecutions) /
+      static_cast<double>(State.iterations()));
+  State.counters["cells"] = static_cast<double>(M) * M;
+}
+BENCHMARK(BM_E4_IncrementalEditReadTotal)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// E4b: the conventional engine answers the same edit with a full
+// recalculation of every cell (each computed once).
+static void BM_E4_ExhaustiveEditRecalc(benchmark::State &State) {
+  int M = static_cast<int>(State.range(0));
+  Runtime RT;
+  Spreadsheet S(RT, M, M);
+  fillSheet(S, M);
+  int Tick = 0;
+  for (auto _ : State) {
+    S.setLiteral(M - 1, 0, ++Tick);
+    benchmark::DoNotOptimize(S.recomputeAllExhaustive());
+  }
+  State.counters["cells"] = static_cast<double>(M) * M;
+}
+BENCHMARK(BM_E4_ExhaustiveEditRecalc)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// E4c: a "dashboard refresh": after the edit, every cell is re-read
+// through the incremental engine. Cache hits are not free, so this shows
+// the bookkeeping constant — the boundary Section 9.1 warns about (when
+// everything is demanded, the incremental advantage shrinks to the
+// affected/total ratio discounted by per-access overhead).
+static void BM_E4_IncrementalEditReadAll(benchmark::State &State) {
+  int M = static_cast<int>(State.range(0));
+  Runtime RT;
+  Spreadsheet S(RT, M, M);
+  fillSheet(S, M);
+  readAll(S, M);
+  int Tick = 0;
+  for (auto _ : State) {
+    S.setLiteral(M - 1, 0, ++Tick);
+    benchmark::DoNotOptimize(readAll(S, M));
+  }
+  State.counters["cells"] = static_cast<double>(M) * M;
+}
+BENCHMARK(BM_E4_IncrementalEditReadAll)->Arg(8)->Arg(16)->Arg(32);
+
+// E4d: worst-case edit — the top-left literal feeds every cell, so the
+// entire sheet legitimately recomputes; incremental cost degenerates to
+// the exhaustive pass times the bookkeeping constant (zero speedup, as
+// Section 9.1 predicts for dense dependence).
+static void BM_E4_WorstCaseEdit(benchmark::State &State) {
+  int M = static_cast<int>(State.range(0));
+  Runtime RT;
+  Spreadsheet S(RT, M, M);
+  fillSheet(S, M);
+  readAll(S, M);
+  int Tick = 0;
+  for (auto _ : State) {
+    S.setLiteral(0, 0, 1000 + ++Tick); // Everything depends on (0,0).
+    benchmark::DoNotOptimize(S.value(M - 1, M - 1));
+  }
+  State.counters["cells"] = static_cast<double>(M) * M;
+}
+BENCHMARK(BM_E4_WorstCaseEdit)->Arg(8)->Arg(16)->Arg(32);
+
+BENCHMARK_MAIN();

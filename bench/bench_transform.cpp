@@ -1,0 +1,186 @@
+//===- bench_transform.cpp - Experiment E12 -------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 6.1: "The uniform application of these tests would result in a
+// substantial performance decrease. We use dataflow analysis to identify
+// the many variables and procedures where the results of these tests are
+// statically known." We compile the Algorithm 11 AVL program with and
+// without the optimization and report (a) the fraction of operations left
+// instrumented and (b) interpreter throughput on an insert/contains
+// workload under both transformations (plus the front-end costs
+// themselves).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "transform/Transform.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <random>
+
+using namespace alphonse;
+using namespace alphonse::lang;
+using namespace alphonse::interp;
+
+// The Algorithm 11 program, identical to the test corpus copy.
+static const char *AvlSource = R"(
+TYPE Tree = OBJECT
+  left, right : Tree;
+  key : INTEGER;
+METHODS
+  (*MAINTAINED*) height() : INTEGER := Height;
+  (*MAINTAINED*) balance() : Tree := Balance;
+END;
+TYPE TreeNil = Tree OBJECT
+OVERRIDES
+  (*MAINTAINED*) height := HeightNil;
+  (*MAINTAINED*) balance := BalanceNil;
+END;
+VAR nil : Tree; root : Tree;
+PROCEDURE Height(t : Tree) : INTEGER =
+BEGIN RETURN max(t.left.height(), t.right.height()) + 1; END Height;
+PROCEDURE HeightNil(t : Tree) : INTEGER = BEGIN RETURN 0; END HeightNil;
+PROCEDURE Diff(t : Tree) : INTEGER =
+BEGIN RETURN t.left.height() - t.right.height(); END Diff;
+PROCEDURE RotateRight(t : Tree) : Tree =
+VAR s, b : Tree;
+BEGIN s := t.left; b := s.right; s.right := t; t.left := b; RETURN s;
+END RotateRight;
+PROCEDURE RotateLeft(t : Tree) : Tree =
+VAR s, b : Tree;
+BEGIN s := t.right; b := s.left; s.left := t; t.right := b; RETURN s;
+END RotateLeft;
+PROCEDURE Balance(t : Tree) : Tree =
+VAR u : Tree;
+BEGIN
+  t.left := t.left.balance();
+  t.right := t.right.balance();
+  u := t;
+  IF Diff(u) > 1 THEN
+    IF Diff(u.left) < 0 THEN u.left := RotateLeft(u.left); END;
+    u := RotateRight(u);
+    RETURN u.balance();
+  ELSIF Diff(u) < -1 THEN
+    IF Diff(u.right) > 0 THEN u.right := RotateRight(u.right); END;
+    u := RotateLeft(u);
+    RETURN u.balance();
+  END;
+  RETURN u;
+END Balance;
+PROCEDURE BalanceNil(t : Tree) : Tree = BEGIN RETURN t; END BalanceNil;
+PROCEDURE InitTree() = BEGIN nil := NEW(TreeNil); root := nil; END InitTree;
+PROCEDURE Insert(k : INTEGER) =
+VAR t, p : Tree;
+BEGIN
+  p := NEW(Tree);
+  p.key := k;
+  p.left := nil;
+  p.right := nil;
+  IF root = nil THEN root := p; RETURN; END;
+  t := root;
+  WHILE TRUE DO
+    IF k = t.key THEN RETURN; END;
+    IF k < t.key THEN
+      IF t.left = nil THEN t.left := p; RETURN; END;
+      t := t.left;
+    ELSE
+      IF t.right = nil THEN t.right := p; RETURN; END;
+      t := t.right;
+    END;
+  END;
+END Insert;
+PROCEDURE Contains(k : INTEGER) : BOOLEAN =
+VAR t : Tree;
+BEGIN
+  root := root.balance();
+  t := root;
+  WHILE t # nil DO
+    IF k = t.key THEN RETURN TRUE; END;
+    IF k < t.key THEN t := t.left; ELSE t := t.right; END;
+  END;
+  RETURN FALSE;
+END Contains;
+)";
+
+namespace {
+
+struct Compiled {
+  Module M;
+  SemaInfo Info;
+  DiagnosticEngine Diags;
+  transform::TransformStats Stats;
+};
+
+std::unique_ptr<Compiled> compileAvl(bool Optimized) {
+  auto C = std::make_unique<Compiled>();
+  C->M = parseModule(AvlSource, C->Diags);
+  C->Info = analyze(C->M, C->Diags);
+  assert(!C->Diags.hasErrors());
+  transform::TransformOptions Opts;
+  Opts.OptimizeLocalAccesses = Optimized;
+  Opts.OptimizeCallChecks = Optimized;
+  C->Stats = transform::transform(C->M, C->Info, Opts);
+  return C;
+}
+
+void avlWorkload(benchmark::State &State, bool Optimized) {
+  int N = static_cast<int>(State.range(0));
+  auto C = compileAvl(Optimized);
+  for (auto _ : State) {
+    Interp I(C->M, C->Info, ExecMode::Alphonse);
+    std::mt19937 Rng(9);
+    I.call("InitTree");
+    auto Start = std::chrono::steady_clock::now();
+    long Hits = 0;
+    for (int K = 0; K < N; ++K) {
+      I.call("Insert", {Value::integer(static_cast<long>(Rng() % 10000))});
+      if (K % 4 == 0)
+        Hits += I.call("Contains",
+                       {Value::integer(static_cast<long>(Rng() % 10000))})
+                    .Bool;
+    }
+    benchmark::DoNotOptimize(Hits);
+    auto End = std::chrono::steady_clock::now();
+    State.SetIterationTime(
+        std::chrono::duration<double>(End - Start).count());
+    assert(!I.failed());
+  }
+  State.counters["reads_wrapped_pct"] =
+      100.0 * static_cast<double>(C->Stats.ReadsWrapped) /
+      static_cast<double>(C->Stats.ReadsTotal);
+  State.counters["calls_checked_pct"] =
+      100.0 * static_cast<double>(C->Stats.CallsChecked) /
+      static_cast<double>(C->Stats.CallsTotal);
+  State.counters["n"] = static_cast<double>(N);
+}
+
+} // namespace
+
+// E12a: the front end itself (lex+parse+sema+transform throughput).
+static void BM_E12_CompileAvlProgram(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(compileAvl(/*Optimized=*/true));
+}
+BENCHMARK(BM_E12_CompileAvlProgram);
+
+// E12b: optimized transformation (Section 6.1 analysis applied).
+static void BM_E12_OptimizedWorkload(benchmark::State &State) {
+  avlWorkload(State, /*Optimized=*/true);
+}
+BENCHMARK(BM_E12_OptimizedWorkload)->Arg(200)->Arg(800)->UseManualTime();
+
+// E12c: conservative transformation (every operation instrumented).
+static void BM_E12_ConservativeWorkload(benchmark::State &State) {
+  avlWorkload(State, /*Optimized=*/false);
+}
+BENCHMARK(BM_E12_ConservativeWorkload)->Arg(200)->Arg(800)->UseManualTime();
+
+BENCHMARK_MAIN();

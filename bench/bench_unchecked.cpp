@@ -1,0 +1,75 @@
+//===- bench_unchecked.cpp - Experiment E10 -------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 6.4: "consider a lookup procedure in a balanced search tree,
+// where the programmer can often show that the lookup is dependent upon
+// the found item, but not dependent upon the log(n) access operations
+// needed to locate it." With (*UNCHECKED*) descent, each lookup records
+// O(1) dependencies instead of O(log n), and unrelated structural churn
+// does not invalidate cached lookups.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trees/AvlTree.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace alphonse;
+using trees::AvlTree;
+
+namespace {
+
+void lookupChurnScenario(benchmark::State &State, bool Unchecked) {
+  int N = static_cast<int>(State.range(0));
+  Runtime RT;
+  AvlTree T(RT, Unchecked);
+  for (int K = 0; K < N; ++K)
+    T.insert(K * 2); // Even keys.
+  T.rebalance();
+  // Warm a working set of cached lookups.
+  constexpr int WorkingSet = 64;
+  for (int K = 0; K < WorkingSet; ++K)
+    T.lookup(K * 2);
+  // Descending inserts keep rotating the left spine — including, every
+  // few steps, the root itself. A tracked lookup depends on the root and
+  // descent pointers and is invalidated by those rotations even though
+  // its found node never moves; the unchecked lookup is not.
+  int Falling = -1;
+  RT.resetStats();
+  for (auto _ : State) {
+    T.insert(Falling);
+    Falling -= 2;
+    // ... then re-demand the whole lookup working set.
+    long Hits = 0;
+    for (int K = 0; K < WorkingSet; ++K)
+      Hits += T.lookup(K * 2) ? 1 : 0;
+    benchmark::DoNotOptimize(Hits);
+  }
+  State.counters["execs/op"] = benchmark::Counter(
+      static_cast<double>(RT.stats().ProcExecutions) /
+      static_cast<double>(State.iterations()));
+  State.counters["deps_of_lookup0"] =
+      static_cast<double>(T.lookupDependencyCount(0));
+  State.counters["n"] = static_cast<double>(N);
+}
+
+} // namespace
+
+// E10a: tracked lookups — each insert's rebalancing can touch descent
+// paths, invalidating cached lookups.
+static void BM_E10_TrackedLookups(benchmark::State &State) {
+  lookupChurnScenario(State, /*Unchecked=*/false);
+}
+BENCHMARK(BM_E10_TrackedLookups)->Arg(512)->Arg(2048)->Arg(8192);
+
+// E10b: unchecked lookups — dependent on the found item only.
+static void BM_E10_UncheckedLookups(benchmark::State &State) {
+  lookupChurnScenario(State, /*Unchecked=*/true);
+}
+BENCHMARK(BM_E10_UncheckedLookups)->Arg(512)->Arg(2048)->Arg(8192);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+//===- Env.h - Immutable environments for attribute grammars ----*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The environment abstraction the paper's attribute-grammar example
+/// assumes (Section 7.1: "EmptyEnv, UpdateEnv and LookupEnv operations...
+/// a keyed set of (identifier, value) pairs"). Implemented as an immutable
+/// shared-structure list so that environment attribute values are cheap to
+/// copy and to compare — equality is what the quiescence machinery cuts
+/// off on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_ATTRGRAM_ENV_H
+#define ALPHONSE_ATTRGRAM_ENV_H
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace alphonse::attrgram {
+
+/// An immutable environment mapping identifiers to integer values.
+///
+/// update() shadows earlier bindings; lookup() returns the innermost one.
+/// Equality is structural (with a shared-spine fast path), so two
+/// environments built the same way compare equal even if allocated
+/// separately.
+class Env {
+public:
+  /// The empty environment (EmptyEnv()).
+  Env() = default;
+
+  /// UpdateEnv(this, Name, Value): a new environment with one more binding.
+  Env update(std::string Name, int Value) const {
+    return Env(std::make_shared<const Binding>(
+        Binding{std::move(Name), Value, Head}));
+  }
+
+  /// LookupEnv(this, Name): the innermost binding, or nullopt if unbound.
+  std::optional<int> lookup(const std::string &Name) const {
+    for (const Binding *B = Head.get(); B; B = B->Next.get())
+      if (B->Name == Name)
+        return B->Value;
+    return std::nullopt;
+  }
+
+  /// Number of bindings (shadowed ones included).
+  size_t size() const {
+    size_t N = 0;
+    for (const Binding *B = Head.get(); B; B = B->Next.get())
+      ++N;
+    return N;
+  }
+
+  bool empty() const { return Head == nullptr; }
+
+  /// Structural equality with a shared-tail shortcut.
+  friend bool operator==(const Env &A, const Env &B) {
+    const Binding *X = A.Head.get();
+    const Binding *Y = B.Head.get();
+    while (X != Y) { // Pointer equality covers shared tails and both-null.
+      if (!X || !Y)
+        return false;
+      if (X->Name != Y->Name || X->Value != Y->Value)
+        return false;
+      X = X->Next.get();
+      Y = Y->Next.get();
+    }
+    return true;
+  }
+
+private:
+  struct Binding {
+    std::string Name;
+    int Value;
+    std::shared_ptr<const Binding> Next;
+  };
+
+  explicit Env(std::shared_ptr<const Binding> Head) : Head(std::move(Head)) {}
+
+  std::shared_ptr<const Binding> Head;
+};
+
+} // namespace alphonse::attrgram
+
+#endif // ALPHONSE_ATTRGRAM_ENV_H

@@ -1,0 +1,196 @@
+//===- ExprTree.cpp - Attribute grammars as Alphonse objects --------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Method implementations mirroring Algorithm 9 of the paper (ExpVal,
+/// NullEnv, SumVal, PassEnv, Exp2Val, LetEnv, IdVal, IntVal).
+///
+//===----------------------------------------------------------------------===//
+
+#include "attrgram/ExprTree.h"
+
+namespace alphonse::attrgram {
+
+Exp::~Exp() = default;
+
+Env Exp::computeEnv(ExprTree &, Exp *) {
+  assert(false && "env() requested from a production without nonterminal "
+                  "children");
+  return Env();
+}
+
+//===----------------------------------------------------------------------===//
+// RootExp: ROOT ::= EXP
+//===----------------------------------------------------------------------===//
+
+// ExpVal: o.exp.value().
+int RootExp::computeValue(ExprTree &Tree) { return Tree.value(Child.get()); }
+
+// NullEnv: EmptyEnv().
+Env RootExp::computeEnv(ExprTree &, Exp *) { return Env(); }
+
+int RootExp::oracleValue(const Env &E) const {
+  return Child.peek()->oracleValue(E);
+}
+
+//===----------------------------------------------------------------------===//
+// PlusExp: EXP0 ::= EXP1 + EXP2
+//===----------------------------------------------------------------------===//
+
+// SumVal: o.expl.value() + o.exp2.value().
+int PlusExp::computeValue(ExprTree &Tree) {
+  return Tree.value(Lhs.get()) + Tree.value(Rhs.get());
+}
+
+// PassEnv: o.parent.env(o).
+Env PlusExp::computeEnv(ExprTree &Tree, Exp *) { return Tree.envOf(this); }
+
+int PlusExp::oracleValue(const Env &E) const {
+  return Lhs.peek()->oracleValue(E) + Rhs.peek()->oracleValue(E);
+}
+
+//===----------------------------------------------------------------------===//
+// MulExp: EXP0 ::= EXP1 * EXP2 (extension)
+//===----------------------------------------------------------------------===//
+
+int MulExp::computeValue(ExprTree &Tree) {
+  return Tree.value(Lhs.get()) * Tree.value(Rhs.get());
+}
+
+Env MulExp::computeEnv(ExprTree &Tree, Exp *) { return Tree.envOf(this); }
+
+int MulExp::oracleValue(const Env &E) const {
+  return Lhs.peek()->oracleValue(E) * Rhs.peek()->oracleValue(E);
+}
+
+//===----------------------------------------------------------------------===//
+// LetExp: EXP0 ::= let ID = EXP1 in EXP2 ni
+//===----------------------------------------------------------------------===//
+
+// Exp2Val: o.exp2.value().
+int LetExp::computeValue(ExprTree &Tree) { return Tree.value(Body.get()); }
+
+// LetEnv: the nonterminal-context case analysis of Algorithm 9 — the
+// binding expression inherits the outer environment, the body inherits the
+// outer environment extended with the new binding.
+Env LetExp::computeEnv(ExprTree &Tree, Exp *Child) {
+  if (Child == Bind.get())
+    return Tree.envOf(this);
+  return Tree.envOf(this).update(Id.get(), Tree.value(Bind.get()));
+}
+
+int LetExp::oracleValue(const Env &E) const {
+  Env Inner = E.update(Id.peek(), Bind.peek()->oracleValue(E));
+  return Body.peek()->oracleValue(Inner);
+}
+
+//===----------------------------------------------------------------------===//
+// IdExp: EXP ::= ID
+//===----------------------------------------------------------------------===//
+
+// IdVal: LookupEnv(o.parent.env(o), id). Unbound names evaluate to 0.
+int IdExp::computeValue(ExprTree &Tree) {
+  return Tree.envOf(this).lookup(Id.get()).value_or(0);
+}
+
+int IdExp::oracleValue(const Env &E) const {
+  return E.lookup(Id.peek()).value_or(0);
+}
+
+//===----------------------------------------------------------------------===//
+// IntExp: EXP ::= INT
+//===----------------------------------------------------------------------===//
+
+// IntVal: o.int.
+int IntExp::computeValue(ExprTree &) { return Lit.get(); }
+
+int IntExp::oracleValue(const Env &) const { return Lit.peek(); }
+
+//===----------------------------------------------------------------------===//
+// ExprTree
+//===----------------------------------------------------------------------===//
+
+ExprTree::ExprTree(Runtime &RT)
+    : RT(RT),
+      Value(
+          RT, [this](Exp *N) { return N->computeValue(*this); },
+          EvalStrategy::Demand, "Exp.value"),
+      EnvAttr(
+          RT, [this](Exp *P, Exp *C) { return P->computeEnv(*this, C); },
+          EvalStrategy::Demand, "Exp.env") {}
+
+ExprTree::~ExprTree() = default;
+
+Exp *ExprTree::adopt(std::unique_ptr<Exp> Node) {
+  Exp *Raw = Node.get();
+  Pool.push_back(std::move(Node));
+  return Raw;
+}
+
+RootExp *ExprTree::makeRoot(Exp *Child) {
+  auto *N = new RootExp(RT, Child);
+  Pool.emplace_back(N);
+  if (Child)
+    Child->Parent.set(N);
+  return N;
+}
+
+PlusExp *ExprTree::makePlus(Exp *L, Exp *R) {
+  auto *N = new PlusExp(RT, L, R);
+  Pool.emplace_back(N);
+  L->Parent.set(N);
+  R->Parent.set(N);
+  return N;
+}
+
+MulExp *ExprTree::makeMul(Exp *L, Exp *R) {
+  auto *N = new MulExp(RT, L, R);
+  Pool.emplace_back(N);
+  L->Parent.set(N);
+  R->Parent.set(N);
+  return N;
+}
+
+LetExp *ExprTree::makeLet(std::string Id, Exp *Bind, Exp *Body) {
+  auto *N = new LetExp(RT, std::move(Id), Bind, Body);
+  Pool.emplace_back(N);
+  Bind->Parent.set(N);
+  Body->Parent.set(N);
+  return N;
+}
+
+IdExp *ExprTree::makeId(std::string Id) {
+  auto *N = new IdExp(RT, std::move(Id));
+  Pool.emplace_back(N);
+  return N;
+}
+
+IntExp *ExprTree::makeInt(int Value) {
+  auto *N = new IntExp(RT, Value);
+  Pool.emplace_back(N);
+  return N;
+}
+
+Env ExprTree::envOf(Exp *N) {
+  Exp *P = N->Parent.get();
+  if (!P)
+    return Env(); // Parentless productions live in the empty environment.
+  return env(P, N);
+}
+
+void ExprTree::replaceChild(Cell<Exp *> &Slot, Exp *Parent, Exp *NewChild) {
+  Exp *Old = Slot.peek();
+  if (Old == NewChild)
+    return;
+  Slot.set(NewChild);
+  if (NewChild)
+    NewChild->Parent.set(Parent);
+  if (Old)
+    Old->Parent.set(nullptr);
+}
+
+} // namespace alphonse::attrgram

@@ -1,0 +1,229 @@
+//===- FormulaParser.cpp - Text front end for expression trees ------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "attrgram/FormulaParser.h"
+
+#include <cctype>
+
+namespace alphonse::attrgram {
+
+namespace {
+
+/// Character-level recursive-descent parser over one formula string.
+class Parser {
+public:
+  Parser(ExprTree &Tree, const std::string &Source, DiagnosticEngine &Diags,
+         CellRefFactory MakeCellRef)
+      : Tree(Tree), Source(Source), Diags(Diags),
+        MakeCellRef(std::move(MakeCellRef)) {}
+
+  Exp *run() {
+    Exp *E = parseExpr();
+    if (!E)
+      return nullptr;
+    skipSpace();
+    if (Pos != Source.size()) {
+      error("unexpected trailing input");
+      return nullptr;
+    }
+    return E;
+  }
+
+private:
+  SourceLocation here() const {
+    return SourceLocation(1, static_cast<uint32_t>(Pos + 1));
+  }
+
+  void error(const std::string &Message) {
+    if (!Failed)
+      Diags.error(here(), Message);
+    Failed = true;
+  }
+
+  void skipSpace() {
+    while (Pos < Source.size() && std::isspace(
+                                      static_cast<unsigned char>(Source[Pos])))
+      ++Pos;
+  }
+
+  bool peekChar(char C) {
+    skipSpace();
+    return Pos < Source.size() && Source[Pos] == C;
+  }
+
+  bool eatChar(char C) {
+    if (!peekChar(C))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  /// Reads an identifier or keyword; empty if none present.
+  std::string readWord() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Source.size() &&
+           (std::isalnum(static_cast<unsigned char>(Source[Pos])) ||
+            Source[Pos] == '_')) {
+      if (Pos == Start && std::isdigit(static_cast<unsigned char>(Source[Pos])))
+        break; // Identifiers cannot start with a digit.
+      ++Pos;
+    }
+    return Source.substr(Start, Pos - Start);
+  }
+
+  /// Peeks the next word without consuming it.
+  std::string peekWord() {
+    size_t Save = Pos;
+    std::string W = readWord();
+    Pos = Save;
+    return W;
+  }
+
+  bool parseInt(int &Out) {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Source.size() && Source[Pos] == '-')
+      ++Pos;
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(Source[Pos])))
+      ++Pos;
+    if (Pos == Start || (Source[Start] == '-' && Pos == Start + 1)) {
+      Pos = Start;
+      return false;
+    }
+    Out = std::stoi(Source.substr(Start, Pos - Start));
+    return true;
+  }
+
+  Exp *parseExpr() {
+    Exp *L = parseTerm();
+    if (!L)
+      return nullptr;
+    while (eatChar('+')) {
+      Exp *R = parseTerm();
+      if (!R)
+        return nullptr;
+      L = Tree.makePlus(L, R);
+    }
+    return L;
+  }
+
+  Exp *parseTerm() {
+    Exp *L = parseFactor();
+    if (!L)
+      return nullptr;
+    while (eatChar('*')) {
+      Exp *R = parseFactor();
+      if (!R)
+        return nullptr;
+      L = Tree.makeMul(L, R);
+    }
+    return L;
+  }
+
+  Exp *parseFactor() {
+    skipSpace();
+    if (Pos >= Source.size()) {
+      error("expected an expression");
+      return nullptr;
+    }
+    if (eatChar('(')) {
+      Exp *E = parseExpr();
+      if (!E)
+        return nullptr;
+      if (!eatChar(')')) {
+        error("expected ')'");
+        return nullptr;
+      }
+      return E;
+    }
+    int Lit = 0;
+    char C = Source[Pos];
+    if (std::isdigit(static_cast<unsigned char>(C)) || C == '-') {
+      if (!parseInt(Lit)) {
+        error("malformed integer literal");
+        return nullptr;
+      }
+      return Tree.makeInt(Lit);
+    }
+    std::string Word = peekWord();
+    if (Word == "let")
+      return parseLet();
+    if (Word == "cell")
+      return parseCellRef();
+    if (!Word.empty()) {
+      readWord();
+      return Tree.makeId(Word);
+    }
+    error("expected an expression");
+    return nullptr;
+  }
+
+  Exp *parseLet() {
+    readWord(); // 'let'
+    std::string Id = readWord();
+    if (Id.empty()) {
+      error("expected identifier after 'let'");
+      return nullptr;
+    }
+    if (!eatChar('=')) {
+      error("expected '=' in let binding");
+      return nullptr;
+    }
+    Exp *Bind = parseExpr();
+    if (!Bind)
+      return nullptr;
+    if (readWord() != "in") {
+      error("expected 'in' after let binding");
+      return nullptr;
+    }
+    Exp *Body = parseExpr();
+    if (!Body)
+      return nullptr;
+    if (readWord() != "ni") {
+      error("expected 'ni' to close let expression");
+      return nullptr;
+    }
+    return Tree.makeLet(std::move(Id), Bind, Body);
+  }
+
+  Exp *parseCellRef() {
+    readWord(); // 'cell'
+    if (!MakeCellRef) {
+      error("cell references are not available in this context");
+      return nullptr;
+    }
+    int Row = 0, Col = 0;
+    if (!eatChar('(') || !parseInt(Row) || !eatChar(',') || !parseInt(Col) ||
+        !eatChar(')')) {
+      error("expected cell(row, col)");
+      return nullptr;
+    }
+    Exp *Ref = MakeCellRef(Row, Col);
+    if (!Ref)
+      error("cell reference out of range");
+    return Ref;
+  }
+
+  ExprTree &Tree;
+  const std::string &Source;
+  DiagnosticEngine &Diags;
+  CellRefFactory MakeCellRef;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+Exp *parseFormula(ExprTree &Tree, const std::string &Source,
+                  DiagnosticEngine &Diags, CellRefFactory MakeCellRef) {
+  Parser P(Tree, Source, Diags, std::move(MakeCellRef));
+  return P.run();
+}
+
+} // namespace alphonse::attrgram

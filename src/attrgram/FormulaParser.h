@@ -1,0 +1,48 @@
+//===- FormulaParser.h - Text front end for expression trees ----*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny recursive-descent parser producing attrgram production objects
+/// from text, so examples and the spreadsheet can write formulas as
+/// strings. Grammar (paper's Algorithm 6 plus '*', parentheses, and cell
+/// references):
+///
+///   expr    := term ('+' term)*
+///   term    := factor ('*' factor)*
+///   factor  := INT | ID | '(' expr ')'
+///            | 'let' ID '=' expr 'in' expr 'ni'
+///            | 'cell' '(' INT ',' INT ')'        (with a CellRefFactory)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_ATTRGRAM_FORMULAPARSER_H
+#define ALPHONSE_ATTRGRAM_FORMULAPARSER_H
+
+#include "attrgram/ExprTree.h"
+#include "support/Diagnostics.h"
+
+#include <functional>
+#include <string>
+
+namespace alphonse::attrgram {
+
+/// Builds an Exp node standing for a reference to spreadsheet cell
+/// (Row, Col); supplied by the spreadsheet layer.
+using CellRefFactory = std::function<Exp *(int Row, int Col)>;
+
+/// Parses \p Source into production objects owned by \p Tree.
+///
+/// \returns the expression root (not wrapped in a RootExp), or nullptr on
+/// error; diagnostics describe what went wrong. Without \p MakeCellRef,
+/// `cell(r,c)` is a parse error.
+Exp *parseFormula(ExprTree &Tree, const std::string &Source,
+                  DiagnosticEngine &Diags,
+                  CellRefFactory MakeCellRef = nullptr);
+
+} // namespace alphonse::attrgram
+
+#endif // ALPHONSE_ATTRGRAM_FORMULAPARSER_H

@@ -1,0 +1,22 @@
+//===- Alphonse.h - Umbrella header for the Alphonse runtime ----*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience header pulling in the whole public incremental-computation
+/// API: Runtime, Cell<T>, Maintained<Sig>, Cached<Sig>, UncheckedScope,
+/// and EvalStrategy. See README.md for a quickstart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_CORE_ALPHONSE_H
+#define ALPHONSE_CORE_ALPHONSE_H
+
+#include "core/Cell.h"
+#include "core/Maintained.h"
+#include "core/Runtime.h"
+
+#endif // ALPHONSE_CORE_ALPHONSE_H

@@ -1,0 +1,238 @@
+//===- Maintained.h - Maintained and cached procedures ----------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maintained<R(Args...)> is the C++ embedding of the paper's
+/// (*MAINTAINED*) and (*CACHED*) pragmas: an incremental procedure whose
+/// calls go through the call(p, a1..ak) transformation of Algorithm 5.
+///
+/// Each distinct argument vector gets one dependency-graph node, stored in
+/// the per-procedure argument table of Section 4.2 and indexed by the
+/// argument tuple. Function caching is thereby integrated with quiescence
+/// propagation, which lifts the classical combinator restriction: the body
+/// may read global state (other Cells, other incremental procedures), and
+/// the referenced-argument set R(p) is recorded dynamically as edges.
+///
+/// Restrictions on the body (paper Section 3.5, proved by the programmer):
+///  - DET: deterministic given its arguments and referenced storage;
+///  - TOP: reads/writes only tracked (Cell) or argument data, no hidden
+///    static state;
+///  - OBS (eager bodies only): side effects unobservable under spurious
+///    re-execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_CORE_MAINTAINED_H
+#define ALPHONSE_CORE_MAINTAINED_H
+
+#include "core/Runtime.h"
+#include "support/HashCombine.h"
+
+#include <cassert>
+#include <functional>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+namespace alphonse {
+
+template <typename Signature> class Maintained;
+
+/// An incremental procedure with result type R and parameters Args....
+///
+/// R and each argument type must be copyable, equality-comparable, and
+/// (for arguments) hashable via std::hash.
+template <typename R, typename... Args> class Maintained<R(Args...)> {
+  static_assert(!std::is_void_v<R>,
+                "incremental procedures must return a comparable value");
+
+public:
+  using Body = std::function<R(Args...)>;
+  using Key = std::tuple<std::decay_t<Args>...>;
+
+  /// Wraps \p Fn as an incremental procedure. \p Strategy selects the
+  /// DEMAND / EAGER pragma argument of Section 3.3.
+  Maintained(Runtime &RT, Body Fn,
+             EvalStrategy Strategy = EvalStrategy::Demand,
+             std::string Name = "")
+      : RT(&RT), Fn(std::move(Fn)), Strategy(Strategy),
+        Name(std::move(Name)) {}
+
+  Maintained(const Maintained &) = delete;
+  Maintained &operator=(const Maintained &) = delete;
+
+  /// The call transformation (Algorithm 5): find-or-create the instance
+  /// node, force pending evaluation, record the caller's dependence, then
+  /// either answer from the cache or (re-)execute.
+  R operator()(Args... A) {
+    Key K(A...);
+    InstanceNode *N = nullptr;
+    auto It = Table.find(K);
+    if (It == Table.end()) {
+      auto Owned = std::make_unique<InstanceNode>(RT->graph(), *this, K,
+                                                  Strategy);
+      N = Owned.get();
+      N->setName(Name.empty() ? "proc" : Name);
+      Table.emplace(std::move(K), std::move(Owned));
+      touchLRU(*N);
+      enforceCapacity();
+    } else {
+      N = It->second.get();
+      touchLRU(*N);
+      // Algorithm 5 forces evaluation before reusing an existing node, so
+      // that batched changes which affect this value are applied first.
+      RT->ensureEvaluatedFor(*N);
+    }
+    if (RT->inIncrementalCall())
+      RT->recordAccess(*N);
+    if (N->isExecuting()) {
+      // Re-entrant call: the instance is already running further down the
+      // stack (Algorithm 11's balance() does this after a rotation). Run
+      // the body conventionally, attributing its reads to the in-flight
+      // instance *without* retracting the edges recorded so far — a sound
+      // over-approximation of R(p). The in-flight execution caches its own
+      // final result when it completes.
+      RT->pushCall(N);
+      R Ret = std::apply(Fn, N->K);
+      RT->popCall();
+      return Ret;
+    }
+    if (N->isConsistent()) {
+      assert(N->Cached && "consistent instance with no cached value");
+      ++RT->stats().CacheHits;
+      return *N->Cached;
+    }
+    return execute(*N);
+  }
+
+  /// The dependency-graph node for these arguments, or nullptr if the
+  /// procedure was never called with them (test/bench introspection).
+  DepNode *instanceNode(Args... A) const {
+    auto It = Table.find(Key(A...));
+    return It == Table.end() ? nullptr : It->second.get();
+  }
+
+  /// Number of live (argument vector -> node) instances.
+  size_t numInstances() const { return Table.size(); }
+
+  /// True if a consistent cached value exists for these arguments (test
+  /// introspection; records no dependency).
+  bool hasCachedValue(Args... A) const {
+    auto It = Table.find(Key(A...));
+    return It != Table.end() && It->second->isConsistent();
+  }
+
+  /// Drops the instance for these arguments, if any. The instance must not
+  /// be depended upon or executing. Use when an argument (say, a destroyed
+  /// object) will never be passed again.
+  void erase(Args... A) {
+    auto It = Table.find(Key(A...));
+    if (It == Table.end())
+      return;
+    assert(!It->second->isExecuting() && "erasing an executing instance");
+    if (It->second->InLRU)
+      LRU.erase(It->second->LRUSlot);
+    Table.erase(It);
+  }
+
+  /// Bounds the argument table (the pragma's cache-size argument); the
+  /// least recently used instances that nothing depends on are evicted.
+  /// 0 means unbounded.
+  void setCapacity(size_t N) {
+    Capacity = N;
+    enforceCapacity();
+  }
+
+  EvalStrategy strategy() const { return Strategy; }
+  Runtime &runtime() const { return *RT; }
+
+private:
+  struct InstanceNode final : DepNode {
+    InstanceNode(DepGraph &G, Maintained &Parent, Key K, EvalStrategy S)
+        : DepNode(G, NodeKind::Procedure, S), Parent(&Parent),
+          K(std::move(K)) {}
+
+    /// Evaluator hook for eager instances: re-run the body and report
+    /// whether the cached value changed.
+    bool reexecute() override {
+      std::optional<R> Old = Cached;
+      R New = Parent->execute(*this);
+      return !Old || !(*Old == New);
+    }
+
+    Maintained *Parent;
+    Key K;
+    std::optional<R> Cached;
+    typename std::list<InstanceNode *>::iterator LRUSlot;
+    bool InLRU = false;
+  };
+
+  /// The execution half of Algorithm 5: retract the old referenced-argument
+  /// set, push this instance on the call stack, run the body with the
+  /// stored arguments, cache and return the result.
+  R execute(InstanceNode &N) {
+    DepGraph &G = RT->graph();
+    G.removePredEdges(N);
+    G.beginExecution(N);
+    RT->pushCall(&N);
+    R Ret = std::apply(Fn, N.K);
+    RT->popCall();
+    G.endExecution(N);
+    N.Cached = Ret;
+    return Ret;
+  }
+
+  void touchLRU(InstanceNode &N) {
+    if (N.InLRU)
+      LRU.erase(N.LRUSlot);
+    LRU.push_front(&N);
+    N.LRUSlot = LRU.begin();
+    N.InLRU = true;
+  }
+
+  void enforceCapacity() {
+    if (Capacity == 0 || Table.size() <= Capacity)
+      return;
+    // Scan from the cold end; skip instances that are pinned (depended
+    // upon or executing).
+    auto It = LRU.end();
+    while (Table.size() > Capacity && It != LRU.begin()) {
+      --It;
+      InstanceNode *N = *It;
+      if (N == LRU.front())
+        break; // Never evict the most recently used (the current call).
+      if (N->isExecuting() || N->numSuccessors() != 0)
+        continue;
+      It = LRU.erase(It);
+      Key Dead = N->K; // Copy: erasing the table entry destroys N.
+      Table.erase(Dead);
+    }
+  }
+
+  Runtime *RT;
+  Body Fn;
+  EvalStrategy Strategy;
+  std::string Name;
+  std::unordered_map<Key, std::unique_ptr<InstanceNode>,
+                     TupleHash<std::decay_t<Args>...>>
+      Table;
+  std::list<InstanceNode *> LRU;
+  size_t Capacity = 0;
+};
+
+/// The (*CACHED*) pragma: identical machinery (Section 4.2 integrates
+/// function caching with quiescence propagation), kept as a distinct name
+/// so client code mirrors the paper's vocabulary.
+template <typename Signature> using Cached = Maintained<Signature>;
+
+} // namespace alphonse
+
+#endif // ALPHONSE_CORE_MAINTAINED_H

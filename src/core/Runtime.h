@@ -1,0 +1,108 @@
+//===- Runtime.h - Incremental runtime context ------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime context for Alphonse programs: the dependency graph, the
+/// statistics block, and the CallStack of currently executing incremental
+/// procedure instances (Section 4.3). One Runtime corresponds to one
+/// transformed program; everything it manages is single-threaded.
+///
+/// The Runtime must outlive every Cell / Maintained / Cached registered
+/// with it (declare it first).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_CORE_RUNTIME_H
+#define ALPHONSE_CORE_RUNTIME_H
+
+#include "graph/DepGraph.h"
+#include "support/Statistics.h"
+
+#include <vector>
+
+namespace alphonse {
+
+/// Owns the dependency graph and the incremental call stack.
+class Runtime {
+public:
+  explicit Runtime(DepGraph::Config Cfg = DepGraph::Config())
+      : Graph(Stats, Cfg) {}
+
+  DepGraph &graph() { return Graph; }
+  Statistics &stats() { return Stats; }
+
+  /// Resets the statistics counters (the graph itself is untouched).
+  void resetStats() { Stats.reset(); }
+
+  /// The dependency-graph node of the most recently called incremental
+  /// procedure still executing, or nullptr outside incremental execution
+  /// and inside UncheckedScope frames (paper: top(CallStack)).
+  DepNode *currentProcedure() const {
+    return CallStack.empty() ? nullptr : CallStack.back();
+  }
+
+  /// True when storage accesses should record dependencies right now.
+  bool inIncrementalCall() const { return currentProcedure() != nullptr; }
+
+  /// Pushes an execution frame. \p Proc may be nullptr to open an
+  /// unchecked region (Section 6.4) in which accesses record nothing.
+  void pushCall(DepNode *Proc) { CallStack.push_back(Proc); }
+
+  /// Pops the innermost execution frame.
+  void popCall() {
+    assert(!CallStack.empty() && "call stack underflow");
+    CallStack.pop_back();
+  }
+
+  /// Depth of the incremental call stack (frames, including unchecked).
+  size_t callDepth() const { return CallStack.size(); }
+
+  /// The node half of the access(v) transformation (Algorithm 3): records
+  /// that the currently executing procedure depends on \p Source.
+  void recordAccess(DepNode &Source) {
+    if (DepNode *Top = currentProcedure())
+      Graph.addDependency(*Top, Source);
+  }
+
+  /// Forces evaluation of pending changes that could affect \p N
+  /// (Algorithm 5's "IF SetSize(Inconsistent) > 0 THEN Evaluate").
+  void ensureEvaluatedFor(DepNode &N) {
+    if (Graph.hasPendingFor(N))
+      Graph.evaluateFor(N);
+  }
+
+  /// Runs the evaluator over every partition. The mutator calls this when
+  /// computation cycles are available (the paper's eager-evaluation hook:
+  /// "the evaluation routine should be called whenever cycles are
+  /// available").
+  void pump() { Graph.evaluateAll(); }
+
+private:
+  Statistics Stats;
+  DepGraph Graph;
+  std::vector<DepNode *> CallStack;
+};
+
+/// RAII form of the (*UNCHECKED*) pragma (Section 6.4): inside the scope,
+/// storage reads and procedure calls made by the enclosing incremental
+/// procedure record no dependencies. Procedures *called* inside the scope
+/// still track their own internal dependencies normally.
+class UncheckedScope {
+public:
+  explicit UncheckedScope(Runtime &RT) : RT(RT) { RT.pushCall(nullptr); }
+  ~UncheckedScope() { RT.popCall(); }
+
+  UncheckedScope(const UncheckedScope &) = delete;
+  UncheckedScope &operator=(const UncheckedScope &) = delete;
+
+private:
+  Runtime &RT;
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_CORE_RUNTIME_H

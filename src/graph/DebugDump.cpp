@@ -1,0 +1,73 @@
+//===- DebugDump.cpp - Dependency provenance dumps ------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DebugDump.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace alphonse {
+
+std::string describeNode(const DepNode &N) {
+  std::string Out = N.name().empty() ? "<anon>" : N.name();
+  Out += N.isStorage() ? " [storage" : " [proc";
+  if (N.isProcedure()) {
+    Out += N.strategy() == EvalStrategy::Eager ? " eager" : " demand";
+    Out += N.isConsistent() ? " consistent" : " INCONSISTENT";
+    if (N.isExecuting())
+      Out += " executing";
+  }
+  Out += " L" + std::to_string(N.level()) + "]";
+  return Out;
+}
+
+namespace {
+
+void dumpRec(std::ostream &OS, const DepNode &N, int Depth,
+             const DumpOptions &Options,
+             std::unordered_set<const DepNode *> &Seen) {
+  for (int I = 0; I < Depth; ++I)
+    OS << "  ";
+  OS << describeNode(N);
+  if (!Seen.insert(&N).second) {
+    OS << " (shown above)\n";
+    return;
+  }
+  OS << '\n';
+  if (Depth >= Options.MaxDepth) {
+    if (N.numPredecessors() != 0) {
+      for (int I = 0; I <= Depth; ++I)
+        OS << "  ";
+      OS << "...\n";
+    }
+    return;
+  }
+  // Collect first so elision is stable.
+  std::vector<const DepNode *> Preds;
+  N.forEachPredecessor([&Preds](const DepNode &P) { Preds.push_back(&P); });
+  int Shown = 0;
+  for (const DepNode *P : Preds) {
+    if (Shown++ >= Options.MaxFanIn) {
+      for (int I = 0; I <= Depth; ++I)
+        OS << "  ";
+      OS << "... (" << (Preds.size() - Options.MaxFanIn)
+         << " more dependencies)\n";
+      break;
+    }
+    dumpRec(OS, *P, Depth + 1, Options, Seen);
+  }
+}
+
+} // namespace
+
+void dumpDependencies(std::ostream &OS, const DepNode &Root,
+                      DumpOptions Options) {
+  std::unordered_set<const DepNode *> Seen;
+  dumpRec(OS, Root, 0, Options, Seen);
+}
+
+} // namespace alphonse

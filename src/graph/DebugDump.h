@@ -1,0 +1,54 @@
+//===- DebugDump.h - Dependency provenance dumps ----------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 10 of the paper: "the dynamic dependence information gathered
+/// by Alphonse can also be used for additional advantage, such as in
+/// debugging". This module renders the recorded dependency graph as a
+/// provenance tree: *why* does a cached value hold — which storage and
+/// which other incremental instances fed its last execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_GRAPH_DEBUGDUMP_H
+#define ALPHONSE_GRAPH_DEBUGDUMP_H
+
+#include "graph/DepNode.h"
+
+#include <ostream>
+#include <string>
+
+namespace alphonse {
+
+/// Options for dependency dumps.
+struct DumpOptions {
+  /// Maximum recursion depth into the predecessor (input) tree.
+  int MaxDepth = 4;
+  /// Maximum children rendered per node before eliding with "...".
+  int MaxFanIn = 16;
+};
+
+/// Writes the provenance tree of \p Root to \p OS: the node itself, then
+/// (indented) every dependency recorded by its most recent execution,
+/// recursively. Shared nodes encountered twice are rendered once and then
+/// referenced; cycles are cut. Each line shows the node's debug name,
+/// kind, strategy, consistency, and level, e.g.:
+///
+///   Avl.balance [proc demand consistent L7]
+///     avl.left [storage L0]
+///     Avl.height [proc demand consistent L3]
+///       ...
+void dumpDependencies(std::ostream &OS, const DepNode &Root,
+                      DumpOptions Options = DumpOptions());
+
+/// One-line description of a node (used by dumpDependencies and handy in
+/// test failure messages).
+std::string describeNode(const DepNode &N);
+
+} // namespace alphonse
+
+#endif // ALPHONSE_GRAPH_DEBUGDUMP_H

@@ -1,0 +1,382 @@
+//===- DepGraph.cpp - Dynamic dependency graph ----------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements dependency recording (Section 4.3), change tracking
+/// (Section 4.4), the evaluation routine (Section 4.5), and dynamic graph
+/// partitioning (Section 6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/DepGraph.h"
+
+#include <algorithm>
+
+namespace alphonse {
+
+//===----------------------------------------------------------------------===//
+// DepNode
+//===----------------------------------------------------------------------===//
+
+DepNode::DepNode(DepGraph &Graph, NodeKind Kind, EvalStrategy Strategy)
+    : Kind(Kind), Strategy(Strategy), Graph(&Graph) {
+  // Storage nodes are created at the first tracked access, when the cached
+  // snapshot equals the live value; procedure nodes are created at the first
+  // call, before the procedure has ever run (Algorithm 5 marks them
+  // inconsistent).
+  Consistent = (Kind == NodeKind::Storage);
+  Graph.registerNode(*this);
+}
+
+DepNode::~DepNode() {
+  if (Graph)
+    Graph->unregisterNode(*this);
+}
+
+size_t DepNode::numPredecessors() const {
+  size_t N = 0;
+  for (Edge *E = FirstPred; E; E = E->NextPred)
+    ++N;
+  return N;
+}
+
+size_t DepNode::numSuccessors() const {
+  size_t N = 0;
+  for (Edge *E = FirstSucc; E; E = E->NextSucc)
+    ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// DepGraph: construction and node registry
+//===----------------------------------------------------------------------===//
+
+DepGraph::DepGraph(Statistics &Stats) : Stats(Stats) {}
+
+DepGraph::DepGraph(Statistics &Stats, Config Cfg) : Stats(Stats), Cfg(Cfg) {}
+
+DepGraph::~DepGraph() {
+  assert(NumLiveNodes == 0 &&
+         "dependency-graph nodes must be destroyed before their graph; "
+         "declare the Runtime before any Cell or Maintained");
+}
+
+void DepGraph::registerNode(DepNode &N) {
+  N.Partition = Partitions.makeSet();
+  ++NumLiveNodes;
+  ++Stats.NodesCreated;
+}
+
+void DepGraph::unregisterNode(DepNode &N) {
+  // Drop any pending entry for the dying node.
+  if (N.InQueue) {
+    setFor(N).erase(&N);
+    if (!N.InQueue) {
+      --TotalPending;
+    } else {
+      // The entry can sit in a stale set if partitions merged after it was
+      // queued; fall back to scanning every set.
+      for (auto &KV : SetMap) {
+        KV.second.erase(&N);
+        if (!N.InQueue)
+          break;
+      }
+      if (!N.InQueue)
+        --TotalPending;
+      GlobalSet.erase(&N);
+      assert(!N.InQueue && "queued node not found in any inconsistent set");
+    }
+  }
+
+  removePredEdges(N);
+
+  // Anything that depended on this node just lost a dependency; that is a
+  // change and must propagate (the paper relies on garbage collection here;
+  // see the substitution table in DESIGN.md).
+  Edge *E = N.FirstSucc;
+  while (E) {
+    Edge *Next = E->NextSucc;
+    DepNode *Sink = E->Sink;
+    unlinkEdge(E);
+    freeEdge(E);
+    ++Stats.EdgesRemoved;
+    --NumLiveEdges;
+    markInconsistent(*Sink);
+    E = Next;
+  }
+
+  --NumLiveNodes;
+  ++Stats.NodesDestroyed;
+  N.Graph = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Edges
+//===----------------------------------------------------------------------===//
+
+Edge *DepGraph::allocateEdge() {
+  if (Edge *E = FreeEdges) {
+    FreeEdges = E->NextSucc;
+    *E = Edge();
+    return E;
+  }
+  EdgePool.emplace_back();
+  return &EdgePool.back();
+}
+
+void DepGraph::freeEdge(Edge *E) {
+  E->NextSucc = FreeEdges;
+  FreeEdges = E;
+}
+
+void DepGraph::unlinkEdge(Edge *E) {
+  // Successor list of the source.
+  if (E->PrevSucc)
+    E->PrevSucc->NextSucc = E->NextSucc;
+  else
+    E->Source->FirstSucc = E->NextSucc;
+  if (E->NextSucc)
+    E->NextSucc->PrevSucc = E->PrevSucc;
+  // Predecessor list of the sink.
+  if (E->PrevPred)
+    E->PrevPred->NextPred = E->NextPred;
+  else
+    E->Sink->FirstPred = E->NextPred;
+  if (E->NextPred)
+    E->NextPred->PrevPred = E->PrevPred;
+}
+
+void DepGraph::addDependency(DepNode &Sink, DepNode &Source) {
+  assert(Sink.Graph == this && Source.Graph == this &&
+         "edge endpoints belong to another graph");
+  assert(Sink.isProcedure() && "only procedure instances have dependencies");
+
+  // Level update happens even for deduplicated edges (it is idempotent).
+  if (Sink.Level <= Source.Level)
+    Sink.Level = Source.Level + 1;
+
+  if (Cfg.DedupEdges && Sink.ExecStamp != 0 && Source.DedupSink == &Sink &&
+      Source.DedupStamp == Sink.ExecStamp) {
+    ++Stats.EdgesDeduped;
+    return;
+  }
+  Source.DedupSink = &Sink;
+  Source.DedupStamp = Sink.ExecStamp;
+
+  Edge *E = allocateEdge();
+  E->Source = &Source;
+  E->Sink = &Sink;
+  // Push onto the source's successor list.
+  E->NextSucc = Source.FirstSucc;
+  if (Source.FirstSucc)
+    Source.FirstSucc->PrevSucc = E;
+  Source.FirstSucc = E;
+  // Push onto the sink's predecessor list.
+  E->NextPred = Sink.FirstPred;
+  if (Sink.FirstPred)
+    Sink.FirstPred->PrevPred = E;
+  Sink.FirstPred = E;
+
+  ++Stats.EdgesCreated;
+  ++NumLiveEdges;
+
+  if (!Cfg.Partitioning)
+    return;
+
+  // Dynamic partition refinement (Section 6.3): connected nodes share one
+  // instance of quiescence propagation.
+  UnionFind::Id RootA = Partitions.find(Sink.Partition);
+  UnionFind::Id RootB = Partitions.find(Source.Partition);
+  if (RootA == RootB)
+    return;
+  UnionFind::Id Root = Partitions.unite(RootA, RootB);
+  ++Stats.PartitionUnions;
+  UnionFind::Id Other = (Root == RootA) ? RootB : RootA;
+  auto It = SetMap.find(Other);
+  if (It == SetMap.end())
+    return;
+  InconsistentSet Orphan = std::move(It->second);
+  SetMap.erase(It);
+  if (!Orphan.empty()) {
+    SetMap[Root].mergeFrom(Orphan);
+    DirtyRoots.push_back(Root);
+  }
+}
+
+void DepGraph::removePredEdges(DepNode &Sink) {
+  Edge *E = Sink.FirstPred;
+  while (E) {
+    Edge *Next = E->NextPred;
+    unlinkEdge(E);
+    freeEdge(E);
+    ++Stats.EdgesRemoved;
+    --NumLiveEdges;
+    E = Next;
+  }
+  assert(!Sink.FirstPred && "predecessor list not emptied");
+}
+
+//===----------------------------------------------------------------------===//
+// Execution protocol hooks
+//===----------------------------------------------------------------------===//
+
+void DepGraph::beginExecution(DepNode &Proc) {
+  assert(Proc.isProcedure() && "only procedures execute");
+  assert(!Proc.Executing && "recursive execution of one procedure instance; "
+                            "a DET incremental procedure cannot call itself "
+                            "with identical arguments");
+  // Algorithm 5 sets consistent(n) := TRUE before running the body so that
+  // invalidation during the run (e.g. a self-write) is observable afterward.
+  Proc.Consistent = true;
+  Proc.Executing = true;
+  Proc.Level = 0;
+  Proc.ExecStamp = ++StampCounter;
+  ++Stats.ProcExecutions;
+}
+
+void DepGraph::endExecution(DepNode &Proc) {
+  assert(Proc.Executing && "endExecution without beginExecution");
+  Proc.Executing = false;
+  // Invalidated mid-run: demand nodes recompute at their next call; eager
+  // nodes must be queued again so the pump re-runs them.
+  if (!Proc.Consistent && Proc.Strategy == EvalStrategy::Eager)
+    markInconsistent(Proc);
+}
+
+//===----------------------------------------------------------------------===//
+// Change tracking and evaluation (Sections 4.4, 4.5)
+//===----------------------------------------------------------------------===//
+
+InconsistentSet &DepGraph::setFor(DepNode &N) {
+  if (!Cfg.Partitioning)
+    return GlobalSet;
+  return SetMap[Partitions.find(N.Partition)];
+}
+
+void DepGraph::markInconsistent(DepNode &N) {
+  // A demand procedure that is already inconsistent has already notified its
+  // dependents; queueing it again would be a no-op at processing time.
+  if (N.isProcedure() && N.Strategy == EvalStrategy::Demand && !N.Consistent &&
+      !N.Executing)
+    return;
+  if (!setFor(N).push(&N))
+    return;
+  ++TotalPending;
+  if (Cfg.Partitioning)
+    DirtyRoots.push_back(Partitions.find(N.Partition));
+}
+
+bool DepGraph::hasPendingFor(DepNode &N) {
+  if (!Cfg.Partitioning)
+    return TotalPending != 0;
+  auto It = SetMap.find(Partitions.find(N.Partition));
+  return It != SetMap.end() && !It->second.empty();
+}
+
+bool DepGraph::samePartition(DepNode &A, DepNode &B) {
+  return Partitions.find(A.Partition) == Partitions.find(B.Partition);
+}
+
+void DepGraph::enqueueSuccessors(DepNode &N) {
+  for (Edge *E = N.FirstSucc; E; E = E->NextSucc)
+    markInconsistent(*E->Sink);
+}
+
+void DepGraph::processNode(DepNode &N) {
+  ++Stats.EvalSteps;
+  ++EvalSteps;
+  assert((Cfg.EvalStepLimit == 0 || EvalSteps <= Cfg.EvalStepLimit) &&
+         "change propagation did not converge; an incremental procedure "
+         "likely violates the DET restriction (Section 3.5)");
+
+  if (N.isStorage()) {
+    bool Changed = N.refreshStorage();
+    if (!Cfg.VariableCutoff)
+      Changed = true;
+    if (Changed) {
+      enqueueSuccessors(N);
+    } else {
+      ++Stats.QuiescenceCutoffs;
+    }
+    return;
+  }
+
+  // Procedures currently on the call stack are only flag-invalidated here;
+  // eager ones re-queue themselves at endExecution.
+  if (N.Strategy == EvalStrategy::Demand || N.Executing) {
+    if (N.Consistent) {
+      N.Consistent = false;
+      enqueueSuccessors(N);
+    }
+    return;
+  }
+
+  // Idle eager procedure: re-execute through the call protocol; propagate
+  // only if the cached value changed (quiescence propagation, Section 2).
+  if (N.reexecute()) {
+    enqueueSuccessors(N);
+  } else {
+    ++Stats.QuiescenceCutoffs;
+  }
+}
+
+void DepGraph::evaluateFor(DepNode &N) {
+  if (!Cfg.Partitioning) {
+    evaluateAll();
+    return;
+  }
+  ++Stats.PartitionScopedEvals;
+  ++EvalDepth;
+  if (EvalDepth == 1)
+    EvalSteps = 0;
+  // Re-resolve the set each round: processing can merge partitions.
+  while (true) {
+    auto It = SetMap.find(Partitions.find(N.Partition));
+    if (It == SetMap.end() || It->second.empty())
+      break;
+    DepNode *U = It->second.pop();
+    --TotalPending;
+    processNode(*U);
+  }
+  --EvalDepth;
+}
+
+void DepGraph::evaluateAll() {
+  ++EvalDepth;
+  if (EvalDepth == 1)
+    EvalSteps = 0;
+  if (!Cfg.Partitioning) {
+    while (!GlobalSet.empty()) {
+      DepNode *U = GlobalSet.pop();
+      --TotalPending;
+      processNode(*U);
+    }
+    --EvalDepth;
+    return;
+  }
+  while (TotalPending > 0) {
+    if (DirtyRoots.empty()) {
+      // Rebuild from the live sets (roots can go stale across merges).
+      for (auto &KV : SetMap)
+        if (!KV.second.empty())
+          DirtyRoots.push_back(KV.first);
+      assert(!DirtyRoots.empty() && "pending count desynchronized");
+    }
+    UnionFind::Id Raw = DirtyRoots.back();
+    DirtyRoots.pop_back();
+    auto It = SetMap.find(Partitions.find(Raw));
+    if (It == SetMap.end() || It->second.empty())
+      continue;
+    DepNode *U = It->second.pop();
+    --TotalPending;
+    processNode(*U);
+    DirtyRoots.push_back(It->first);
+  }
+  --EvalDepth;
+}
+
+} // namespace alphonse

@@ -1,0 +1,156 @@
+//===- DepGraph.h - Dynamic dependency graph --------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic dependency graph and change-propagation evaluator of
+/// Sections 4 and 6.3 of the paper. DepGraph owns edges (pooled), the
+/// union-find partition manager with one inconsistent set per partition,
+/// and the evaluation routine of Section 4.5. Nodes are owned by the typed
+/// layer (Cell / Maintained / interpreter objects) and register themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_GRAPH_DEPGRAPH_H
+#define ALPHONSE_GRAPH_DEPGRAPH_H
+
+#include "graph/DepNode.h"
+#include "graph/InconsistentSet.h"
+#include "support/Statistics.h"
+#include "support/UnionFind.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace alphonse {
+
+/// The dependency graph plus its evaluator.
+///
+/// All mutation goes through the graph so that bookkeeping (statistics,
+/// partitions, pending sets) stays coherent. Single-threaded, matching the
+/// paper's execution model (parallel evaluation is listed there as future
+/// work).
+class DepGraph {
+public:
+  /// Tunables; the defaults match the paper, the flags exist for the
+  /// ablation experiments in DESIGN.md Section 5.
+  struct Config {
+    /// Keep one inconsistent set per union-find partition (Section 6.3) so
+    /// that changes in unrelated structures do not force evaluation.
+    bool Partitioning = true;
+    /// Suppress propagation from storage whose live value equals the cached
+    /// snapshot (Algorithm 4's value comparison; experiment E11).
+    bool VariableCutoff = true;
+    /// Skip duplicate edges created by one execution reading one location
+    /// repeatedly.
+    bool DedupEdges = true;
+    /// Abort evaluation after this many steps (0 = unlimited). A generous
+    /// non-zero value guards against DET-violating user procedures that
+    /// never converge.
+    uint64_t EvalStepLimit = 0;
+  };
+
+  explicit DepGraph(Statistics &Stats);
+  DepGraph(Statistics &Stats, Config Cfg);
+  ~DepGraph();
+
+  DepGraph(const DepGraph &) = delete;
+  DepGraph &operator=(const DepGraph &) = delete;
+
+  const Config &config() const { return Cfg; }
+  Statistics &stats() { return Stats; }
+
+  /// Number of nodes currently registered.
+  size_t numLiveNodes() const { return NumLiveNodes; }
+  /// Number of edges currently linked.
+  size_t numLiveEdges() const { return NumLiveEdges; }
+  /// Number of nodes pending in inconsistent sets.
+  size_t numPending() const { return TotalPending; }
+  /// True if the evaluator is currently draining inconsistent sets.
+  bool isEvaluating() const { return EvalDepth != 0; }
+
+  /// Records that \p Sink depends on \p Source and unites their partitions.
+  /// Duplicate edges within Sink's current execution are skipped when
+  /// Config::DedupEdges is set. Also raises Sink's level above Source's.
+  void addDependency(DepNode &Sink, DepNode &Source);
+
+  /// Detaches every predecessor edge of \p Sink (Algorithm 5's
+  /// RemovePredEdges, run before re-executing a procedure so the new
+  /// execution records a fresh referenced-argument set R(p)).
+  void removePredEdges(DepNode &Sink);
+
+  /// Marks the start of an execution of procedure node \p Proc: sets
+  /// consistent(Proc) (Algorithm 5), clears its level, stamps it for edge
+  /// dedup, and flags it as executing.
+  void beginExecution(DepNode &Proc);
+
+  /// Marks the end of the current execution of \p Proc. If the node was
+  /// invalidated while it ran (e.g. it wrote storage it also reads), it
+  /// stays inconsistent and is left queued for a later round.
+  void endExecution(DepNode &Proc);
+
+  /// Adds \p N to its partition's inconsistent set (Section 4.4). Used for
+  /// changed storage and for explicit invalidation.
+  void markInconsistent(DepNode &N);
+
+  /// True if the partition containing \p N has pending work (or, with
+  /// partitioning disabled, if anything is pending).
+  bool hasPendingFor(DepNode &N);
+
+  /// Drains the inconsistent set of \p N's partition, processing each node
+  /// per Section 4.5. Reentrant: procedure executions triggered from inside
+  /// may call back into the evaluator.
+  void evaluateFor(DepNode &N);
+
+  /// Drains every partition's inconsistent set.
+  void evaluateAll();
+
+  /// True when the given nodes are currently in the same partition.
+  bool samePartition(DepNode &A, DepNode &B);
+
+private:
+  friend class DepNode;
+
+  void registerNode(DepNode &N);
+  void unregisterNode(DepNode &N);
+
+  Edge *allocateEdge();
+  void freeEdge(Edge *E);
+  void unlinkEdge(Edge *E);
+
+  /// Processes one popped node per the Section 4.5 case analysis.
+  void processNode(DepNode &N);
+  void enqueueSuccessors(DepNode &N);
+
+  InconsistentSet &setFor(DepNode &N);
+  void drainSetOf(DepNode &N);
+
+  Statistics &Stats;
+  Config Cfg;
+
+  UnionFind Partitions;
+  /// Pending sets keyed by current union-find root. With partitioning
+  /// disabled, GlobalSet is used instead.
+  std::unordered_map<UnionFind::Id, InconsistentSet> SetMap;
+  InconsistentSet GlobalSet;
+  /// Roots that may have pending work (may contain stale ids).
+  std::vector<UnionFind::Id> DirtyRoots;
+
+  std::deque<Edge> EdgePool;
+  Edge *FreeEdges = nullptr;
+
+  size_t NumLiveNodes = 0;
+  size_t NumLiveEdges = 0;
+  size_t TotalPending = 0;
+  uint64_t StampCounter = 0;
+  uint64_t EvalSteps = 0;
+  int EvalDepth = 0;
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_GRAPH_DEPGRAPH_H

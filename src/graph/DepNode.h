@@ -1,0 +1,173 @@
+//===- DepNode.h - Dependency graph nodes -----------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nodes and edges of the dynamic dependency graph of Section 4.1 of the
+/// paper. Nodes represent incremental procedure instances (maintained
+/// method calls / cached procedure calls) and the storage locations they
+/// access; an edge (u -> v) records that v depends on u. Both the cached
+/// value `value(u)` and the status bit `consistent(u)` of the paper live in
+/// (subclasses of) DepNode.
+///
+/// DepNode itself is value-agnostic: the typed layers (alphonse::Cell,
+/// alphonse::Maintained) and the Alphonse-L interpreter subclass it and
+/// implement the two virtual hooks the evaluator needs (refreshStorage and
+/// reexecute), so one evaluator serves both the C++ embedding and the toy
+/// language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_GRAPH_DEPNODE_H
+#define ALPHONSE_GRAPH_DEPNODE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace alphonse {
+
+class DepGraph;
+class DepNode;
+
+/// One dependency: Sink depends on Source.
+///
+/// Edges are intrusively doubly linked into both the source's successor
+/// list and the sink's predecessor list, so a single edge unlinks in O(1).
+/// Section 9.2 of the paper requires exactly this ("a doubly linked list of
+/// bidirectional edges") so that edge removal at procedure re-execution can
+/// be charged to edge creation.
+struct Edge {
+  DepNode *Source = nullptr;
+  DepNode *Sink = nullptr;
+  Edge *PrevSucc = nullptr; ///< Links in Source's successor list.
+  Edge *NextSucc = nullptr;
+  Edge *PrevPred = nullptr; ///< Links in Sink's predecessor list.
+  Edge *NextPred = nullptr;
+};
+
+/// What a dependency-graph node stands for.
+enum class NodeKind : uint8_t {
+  /// A storage location (top-level variable, object field, array element).
+  Storage,
+  /// An incremental procedure instance: one (procedure, argument vector)
+  /// pair of a maintained method or cached procedure.
+  Procedure,
+};
+
+/// The paper's per-procedure evaluation strategies (Section 3.3).
+enum class EvalStrategy : uint8_t {
+  /// Update lazily, upon calls to the procedure.
+  Demand,
+  /// Update during change propagation, before subsequent call requests.
+  Eager,
+};
+
+/// Base class for all dependency-graph nodes.
+///
+/// A node is registered with its DepGraph at construction and unregistered
+/// (edges detached, dependents invalidated) at destruction. Nodes must not
+/// outlive their graph.
+class DepNode {
+public:
+  DepNode(DepGraph &Graph, NodeKind Kind,
+          EvalStrategy Strategy = EvalStrategy::Demand);
+  virtual ~DepNode();
+
+  DepNode(const DepNode &) = delete;
+  DepNode &operator=(const DepNode &) = delete;
+
+  NodeKind kind() const { return Kind; }
+  bool isStorage() const { return Kind == NodeKind::Storage; }
+  bool isProcedure() const { return Kind == NodeKind::Procedure; }
+  EvalStrategy strategy() const { return Strategy; }
+
+  /// The paper's consistent(u) bit: true when value(u) reflects the current
+  /// program state. Procedures start inconsistent (never executed); storage
+  /// nodes start consistent (snapshot taken at creation).
+  bool isConsistent() const { return Consistent; }
+
+  /// True while this procedure instance is on the incremental call stack.
+  bool isExecuting() const { return Executing; }
+
+  /// Approximate topological height: 0 for storage, 1 + max source level
+  /// for procedures, recorded during the last execution. Used only to order
+  /// the evaluator's work; correctness never depends on it.
+  uint32_t level() const { return Level; }
+
+  DepGraph &graph() const {
+    assert(Graph && "node not attached to a graph");
+    return *Graph;
+  }
+
+  /// Number of predecessor edges (nodes this one depends on). O(preds).
+  size_t numPredecessors() const;
+  /// Number of successor edges (nodes depending on this one). O(succs).
+  size_t numSuccessors() const;
+
+  /// Invokes \p F on every dependency source recorded by the most recent
+  /// execution (most recently recorded first).
+  template <typename Fn> void forEachPredecessor(Fn F) const {
+    for (const Edge *E = FirstPred; E; E = E->NextPred)
+      F(*E->Source);
+  }
+  /// Invokes \p F on every dependent node.
+  template <typename Fn> void forEachSuccessor(Fn F) const {
+    for (const Edge *E = FirstSucc; E; E = E->NextSucc)
+      F(*E->Sink);
+  }
+
+  /// Debug label used in dumps and diagnostics.
+  const std::string &name() const { return DebugName; }
+  void setName(std::string Name) { DebugName = std::move(Name); }
+
+  /// Evaluator hook for Storage nodes: reconcile the cached snapshot with
+  /// the live storage value. \returns true if they differed (the change is
+  /// real and must propagate), false for quiescence (the mutator wrote the
+  /// old value back, Algorithm 4 / experiment E11).
+  virtual bool refreshStorage() {
+    assert(false && "refreshStorage() on a non-storage node");
+    return true;
+  }
+
+  /// Evaluator hook for Eager procedure nodes: re-execute the procedure
+  /// through the full incremental call protocol. \returns true if the
+  /// cached value changed (dependents must be notified).
+  virtual bool reexecute() {
+    assert(false && "reexecute() on a non-eager-procedure node");
+    return true;
+  }
+
+private:
+  friend class DepGraph;
+  friend class InconsistentSet;
+
+  NodeKind Kind;
+  EvalStrategy Strategy;
+  bool Consistent = false;
+  bool InQueue = false;
+  bool Executing = false;
+  uint32_t Level = 0;
+  /// Heap position within the owning inconsistent set (valid iff InQueue).
+  uint32_t QueuePos = 0;
+  /// Union-find element id in the partition manager (Section 6.3).
+  uint32_t Partition = 0;
+  /// Stamp of this node's current/most recent execution (as a dependent).
+  uint64_t ExecStamp = 0;
+  /// As a dependency source: the sink/stamp of the most recent edge created
+  /// from this node, used to skip duplicate edges when one execution reads
+  /// the same location repeatedly.
+  uint64_t DedupStamp = 0;
+  DepNode *DedupSink = nullptr;
+  Edge *FirstPred = nullptr;
+  Edge *FirstSucc = nullptr;
+  DepGraph *Graph = nullptr;
+  std::string DebugName;
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_GRAPH_DEPNODE_H

@@ -1,0 +1,66 @@
+//===- InconsistentSet.h - Pending-change worklist --------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "global inconsistent set" (Section 4.4), one instance per
+/// dependency-graph partition (Section 6.3). Implemented as a binary
+/// min-heap on node level, approximating the topological processing order
+/// that minimizes recomputation (Section 2; the paper defers the exact
+/// ordering algorithm to [Hud86, Hoo86, Hoo87, AHR+90] — see DESIGN.md for
+/// the substitution note). Each queued node remembers its heap position,
+/// so removal of a dying node is O(log n).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_GRAPH_INCONSISTENTSET_H
+#define ALPHONSE_GRAPH_INCONSISTENTSET_H
+
+#include "graph/DepNode.h"
+
+#include <vector>
+
+namespace alphonse {
+
+/// Min-heap of inconsistent nodes ordered by approximate topological level.
+///
+/// Membership is tracked with the node's InQueue flag, so a node appears at
+/// most once across all sets. Levels are sampled at push time; later level
+/// changes do not re-sort the heap (ordering is a heuristic only).
+class InconsistentSet {
+public:
+  bool empty() const { return Heap.empty(); }
+  size_t size() const { return Heap.size(); }
+
+  /// Adds \p N unless it is already queued. \returns true if added.
+  bool push(DepNode *N);
+
+  /// Removes and returns the queued node with the smallest level.
+  DepNode *pop();
+
+  /// Removes \p N if present (used when a queued node is destroyed).
+  void erase(DepNode *N);
+
+  /// Moves every entry of \p Other into this set, leaving \p Other empty.
+  void mergeFrom(InconsistentSet &Other);
+
+private:
+  struct Entry {
+    DepNode *Node;
+    uint32_t Level;
+  };
+
+  void place(size_t Index);
+  void siftUp(size_t Index);
+  void siftDown(size_t Index);
+  void removeAt(size_t Index);
+
+  std::vector<Entry> Heap;
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_GRAPH_INCONSISTENTSET_H

@@ -1,0 +1,692 @@
+//===- Interp.cpp - Alphonse-L interpreter ----------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "lang/Types.h"
+
+using namespace alphonse::lang;
+
+namespace alphonse::interp {
+
+//===----------------------------------------------------------------------===//
+// Storage slots (the interpreter's Cell<T>)
+//===----------------------------------------------------------------------===//
+
+class SlotNode;
+
+/// One storage location: a live value plus a lazily created dependency
+/// node (Algorithm 3 creates nodes at the first access under a non-empty
+/// call stack).
+class StorageSlot {
+public:
+  StorageSlot() = default;
+  ~StorageSlot();
+  StorageSlot(const StorageSlot &) = delete;
+  StorageSlot &operator=(const StorageSlot &) = delete;
+
+  Value Live;
+  std::unique_ptr<SlotNode> Node;
+};
+
+/// The dependency-graph node of a storage slot; Snapshot is the value
+/// dependents last observed (compared by Algorithm 4 and at refresh).
+class SlotNode final : public DepNode {
+public:
+  SlotNode(DepGraph &G, StorageSlot &Owner)
+      : DepNode(G, NodeKind::Storage), Owner(&Owner), Snapshot(Owner.Live) {}
+
+  bool refreshStorage() override {
+    bool Changed = !(Owner->Live == Snapshot);
+    Snapshot = Owner->Live;
+    return Changed;
+  }
+
+  StorageSlot *Owner;
+  Value Snapshot;
+};
+
+StorageSlot::~StorageSlot() = default;
+
+//===----------------------------------------------------------------------===//
+// Procedure instance nodes (the interpreter's argument-table entries)
+//===----------------------------------------------------------------------===//
+
+/// One (procedure, argument vector) incremental instance.
+class InterpProcNode final : public DepNode {
+public:
+  InterpProcNode(DepGraph &G, Interp &Owner, const ProcDecl *Proc,
+                 EvalStrategy Strategy)
+      : DepNode(G, NodeKind::Procedure, Strategy), Owner(&Owner),
+        Proc(Proc) {}
+
+  bool reexecute() override { return Owner->reexecuteInstance(*this); }
+
+  Interp *Owner;
+  const ProcDecl *Proc;
+  std::vector<Value> Key;
+  std::optional<Value> Cached;
+};
+
+//===----------------------------------------------------------------------===//
+// Heap objects
+//===----------------------------------------------------------------------===//
+
+HeapObject::HeapObject(const ObjectTypeInfo *Ty, size_t NumFields) : Ty(Ty) {
+  Slots.reserve(NumFields);
+  for (size_t I = 0; I < NumFields; ++I)
+    Slots.push_back(std::make_unique<StorageSlot>());
+}
+
+HeapObject::~HeapObject() = default;
+
+StorageSlot &HeapObject::slot(size_t I) {
+  assert(I < Slots.size() && "field index out of range");
+  return *Slots[I];
+}
+
+std::string Value::render() const {
+  switch (K) {
+  case Kind::Nil:
+    return "NIL";
+  case Kind::Int:
+    return std::to_string(Int);
+  case Kind::Bool:
+    return Bool ? "TRUE" : "FALSE";
+  case Kind::Text:
+    return Text;
+  case Kind::Object:
+    return "<" + Obj->type()->Name + ">";
+  }
+  return "<?>";
+}
+
+//===----------------------------------------------------------------------===//
+// Interp: construction
+//===----------------------------------------------------------------------===//
+
+struct Interp::Frame {
+  std::vector<Value> Slots;
+  bool Returning = false;
+  Value RetVal;
+};
+
+Interp::Interp(const Module &M, const SemaInfo &Info, ExecMode Mode,
+               DepGraph::Config Cfg)
+    : M(M), Info(Info), Mode(Mode), RT(Cfg) {
+  for (const Type &Ty : Info.GlobalTypes) {
+    auto Slot = std::make_unique<StorageSlot>();
+    Slot->Live = defaultValue(Ty);
+    Globals.push_back(std::move(Slot));
+  }
+  for (const GlobalDecl &G : M.Globals)
+    if (G.Index >= 0)
+      GlobalIndex[G.Name] = G.Index;
+  // Run initializers in declaration order. They execute as mutator code
+  // (empty call stack), so no dependencies are recorded.
+  Frame F;
+  for (const GlobalDecl &G : M.Globals) {
+    if (!G.Init || G.Index < 0)
+      continue;
+    Value V = evalExpr(G.Init.get(), F);
+    if (Failed)
+      break;
+    Globals[static_cast<size_t>(G.Index)]->Live = std::move(V);
+  }
+}
+
+Interp::~Interp() = default;
+
+Value Interp::defaultValue(const Type &Ty) const {
+  switch (Ty.Kind) {
+  case TypeKind::Integer:
+    return Value::integer(0);
+  case TypeKind::Boolean:
+    return Value::boolean(false);
+  case TypeKind::Text:
+    return Value::text("");
+  default:
+    return Value::nil();
+  }
+}
+
+HeapObject *Interp::allocate(const ObjectTypeInfo *Ty) {
+  auto Obj = std::make_unique<HeapObject>(Ty, Ty->Fields.size());
+  for (const FieldInfo &FI : Ty->Fields)
+    Obj->slot(static_cast<size_t>(FI.Index)).Live = defaultValue(FI.Ty);
+  Heap.push_back(std::move(Obj));
+  return Heap.back().get();
+}
+
+void Interp::fail(SourceLocation Loc, const std::string &Message) {
+  if (Failed)
+    return;
+  Failed = true;
+  ErrorMessage = Loc.str() + ": " + Message;
+}
+
+std::string Interp::renderForPrint(const Value &V) const { return V.render(); }
+
+//===----------------------------------------------------------------------===//
+// Storage protocol
+//===----------------------------------------------------------------------===//
+
+Value Interp::trackedRead(StorageSlot &S, bool Tracked) {
+  if (Mode != ExecMode::Alphonse || !Tracked || !RT.inIncrementalCall())
+    return S.Live;
+  if (!S.Node)
+    S.Node = std::make_unique<SlotNode>(RT.graph(), S);
+  RT.recordAccess(*S.Node);
+  return S.Live;
+}
+
+void Interp::trackedWrite(StorageSlot &S, Value V, bool Tracked) {
+  if (Mode != ExecMode::Alphonse || !Tracked || !S.Node) {
+    S.Live = std::move(V);
+    return;
+  }
+  Statistics &Stats = RT.stats();
+  ++Stats.TrackedWrites;
+  // Algorithm 4 begins with access(l): the writer depends on the location.
+  if (RT.inIncrementalCall())
+    RT.recordAccess(*S.Node);
+  bool Quiescent = (V == S.Node->Snapshot);
+  S.Live = std::move(V);
+  if (Quiescent && RT.graph().config().VariableCutoff) {
+    ++Stats.QuiescentWrites;
+    return;
+  }
+  RT.graph().markInconsistent(*S.Node);
+}
+
+//===----------------------------------------------------------------------===//
+// Call protocol
+//===----------------------------------------------------------------------===//
+
+Value Interp::dispatch(const ProcDecl *P, const PragmaInfo &Pragma,
+                       bool Checked, std::vector<Value> Args) {
+  // The call(p, ...) operation: with no table pointer (conventional mode,
+  // unchecked site, or non-incremental callee) execute directly; reads
+  // inside then attribute to the calling incremental instance, which is
+  // exactly the transitive R(p) of Section 3.3.
+  if (Mode == ExecMode::Alphonse && Checked && Pragma.isIncremental())
+    return incrementalCall(P, Pragma, std::move(Args));
+  return runBody(P, Args);
+}
+
+Value Interp::incrementalCall(const ProcDecl *P, const PragmaInfo &Pragma,
+                              std::vector<Value> Args) {
+  ArgTable &Table = Tables[P];
+  InterpProcNode *N;
+  auto It = Table.find(Args);
+  if (It == Table.end()) {
+    auto Owned = std::make_unique<InterpProcNode>(RT.graph(), *this, P,
+                                                  Pragma.Strategy);
+    N = Owned.get();
+    N->setName(P->Name);
+    N->Key = Args;
+    Table.emplace(std::move(Args), std::move(Owned));
+  } else {
+    N = It->second.get();
+    // Algorithm 5: before reusing an existing instance, apply any batched
+    // changes that could affect it.
+    RT.ensureEvaluatedFor(*N);
+  }
+  if (RT.inIncrementalCall())
+    RT.recordAccess(*N);
+  if (N->isExecuting()) {
+    // Re-entrant call to an in-flight instance: run conventionally,
+    // attributing reads to the instance (sound over-approximation).
+    RT.pushCall(N);
+    Value V = runBody(P, N->Key);
+    RT.popCall();
+    return V;
+  }
+  if (N->isConsistent()) {
+    assert(N->Cached && "consistent instance with no cached value");
+    ++RT.stats().CacheHits;
+    return *N->Cached;
+  }
+  return executeInstance(*N);
+}
+
+Value Interp::executeInstance(InterpProcNode &N) {
+  DepGraph &G = RT.graph();
+  G.removePredEdges(N);
+  G.beginExecution(N);
+  RT.pushCall(&N);
+  Value Ret = runBody(N.Proc, N.Key);
+  RT.popCall();
+  G.endExecution(N);
+  N.Cached = Ret;
+  return Ret;
+}
+
+bool Interp::reexecuteInstance(InterpProcNode &N) {
+  std::optional<Value> Old = N.Cached;
+  Value New = executeInstance(N);
+  return !Old || !(*Old == New);
+}
+
+//===----------------------------------------------------------------------===//
+// Public driver API
+//===----------------------------------------------------------------------===//
+
+Value Interp::call(const std::string &ProcName, std::vector<Value> Args) {
+  const ProcDecl *P = M.findProc(ProcName);
+  if (!P) {
+    fail(SourceLocation(), "unknown procedure '" + ProcName + "'");
+    return Value();
+  }
+  return dispatch(P, P->Pragma, /*Checked=*/true, std::move(Args));
+}
+
+Value Interp::callMethod(Value Receiver, const std::string &Method,
+                         std::vector<Value> Args) {
+  if (Receiver.K != Value::Kind::Object) {
+    fail(SourceLocation(), "method call on a non-object value");
+    return Value();
+  }
+  const ObjectTypeInfo *Ty = Receiver.Obj->type();
+  const MethodSig *Sig = Ty->findMethod(Method);
+  if (!Sig) {
+    fail(SourceLocation(),
+         "type '" + Ty->Name + "' has no method '" + Method + "'");
+    return Value();
+  }
+  const MethodImpl &MI = Ty->VTable[static_cast<size_t>(Sig->Slot)];
+  if (!MI.Impl) {
+    fail(SourceLocation(), "method '" + Method + "' has no implementation");
+    return Value();
+  }
+  std::vector<Value> Full;
+  Full.reserve(Args.size() + 1);
+  Full.push_back(Receiver);
+  for (Value &A : Args)
+    Full.push_back(std::move(A));
+  return dispatch(MI.Impl, MI.Pragma, /*Checked=*/true, std::move(Full));
+}
+
+Value Interp::makeObject(const std::string &TypeName) {
+  const ObjectTypeInfo *Ty = Info.lookupType(TypeName);
+  if (!Ty) {
+    fail(SourceLocation(), "unknown type '" + TypeName + "'");
+    return Value();
+  }
+  return Value::object(allocate(Ty));
+}
+
+Value Interp::global(const std::string &Name) {
+  auto It = GlobalIndex.find(Name);
+  if (It == GlobalIndex.end()) {
+    fail(SourceLocation(), "unknown top-level variable '" + Name + "'");
+    return Value();
+  }
+  return Globals[static_cast<size_t>(It->second)]->Live;
+}
+
+void Interp::setGlobal(const std::string &Name, Value V) {
+  auto It = GlobalIndex.find(Name);
+  if (It == GlobalIndex.end()) {
+    fail(SourceLocation(), "unknown top-level variable '" + Name + "'");
+    return;
+  }
+  trackedWrite(*Globals[static_cast<size_t>(It->second)], std::move(V),
+               /*Tracked=*/true);
+}
+
+Value Interp::field(Value Receiver, const std::string &Field) {
+  if (Receiver.K != Value::Kind::Object) {
+    fail(SourceLocation(), "field access on a non-object value");
+    return Value();
+  }
+  const FieldInfo *FI = Receiver.Obj->type()->findField(Field);
+  if (!FI) {
+    fail(SourceLocation(), "no field '" + Field + "'");
+    return Value();
+  }
+  return Receiver.Obj->slot(static_cast<size_t>(FI->Index)).Live;
+}
+
+void Interp::setField(Value Receiver, const std::string &Field, Value V) {
+  if (Receiver.K != Value::Kind::Object) {
+    fail(SourceLocation(), "field write on a non-object value");
+    return;
+  }
+  const FieldInfo *FI = Receiver.Obj->type()->findField(Field);
+  if (!FI) {
+    fail(SourceLocation(), "no field '" + Field + "'");
+    return;
+  }
+  trackedWrite(Receiver.Obj->slot(static_cast<size_t>(FI->Index)),
+               std::move(V), /*Tracked=*/true);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution engine
+//===----------------------------------------------------------------------===//
+
+Value Interp::runBody(const ProcDecl *P, const std::vector<Value> &Args) {
+  if (Failed)
+    return Value();
+  if (++CallDepth > MaxCallDepth) {
+    fail(P->Loc, "call depth exceeded in '" + P->Name +
+                     "' (runaway recursion?)");
+    --CallDepth;
+    return Value();
+  }
+  const ProcInfo *PI = Info.procInfo(P);
+  assert(PI && "procedure was not analyzed");
+  Frame F;
+  F.Slots.resize(static_cast<size_t>(PI->FrameSize));
+  assert(Args.size() == PI->ParamTypes.size() && "arity mismatch");
+  for (size_t I = 0; I < Args.size(); ++I)
+    F.Slots[I] = Args[I];
+  // Default-initialize locals by type, then run their initializers.
+  for (size_t I = 0; I < PI->LocalTypes.size(); ++I)
+    F.Slots[Args.size() + I] = defaultValue(PI->LocalTypes[I]);
+  for (size_t I = 0; I < P->Locals.size(); ++I) {
+    if (!P->Locals[I].Init)
+      continue;
+    Value V = evalExpr(P->Locals[I].Init.get(), F);
+    if (Failed)
+      break;
+    F.Slots[Args.size() + I] = std::move(V);
+  }
+  execStmts(P->Body, F);
+  --CallDepth;
+  if (F.Returning)
+    return F.RetVal;
+  return defaultValue(PI->RetType);
+}
+
+void Interp::execStmts(const std::vector<StmtPtr> &Stmts, Frame &F) {
+  for (const StmtPtr &S : Stmts) {
+    if (Failed || F.Returning)
+      return;
+    execStmt(S.get(), F);
+  }
+}
+
+void Interp::execStmt(const Stmt *S, Frame &F) {
+  switch (S->Kind) {
+  case StmtKind::Assign: {
+    const auto *A = static_cast<const AssignStmt *>(S);
+    Value V = evalExpr(A->Value.get(), F);
+    if (Failed)
+      return;
+    if (A->Target->Kind == ExprKind::NameRef) {
+      const auto *N = static_cast<const NameRefExpr *>(A->Target.get());
+      if (N->Binding == NameBinding::Global) {
+        trackedWrite(*Globals[static_cast<size_t>(N->Index)], std::move(V),
+                     A->TrackedModify);
+      } else {
+        F.Slots[static_cast<size_t>(N->Index)] = std::move(V);
+      }
+      return;
+    }
+    const auto *FA = static_cast<const FieldAccessExpr *>(A->Target.get());
+    Value Base = evalExpr(FA->Base.get(), F);
+    if (Failed)
+      return;
+    if (Base.K != Value::Kind::Object) {
+      fail(FA->Loc, "NIL dereference writing field '" + FA->Field + "'");
+      return;
+    }
+    trackedWrite(Base.Obj->slot(static_cast<size_t>(FA->FieldIndex)),
+                 std::move(V), A->TrackedModify);
+    return;
+  }
+  case StmtKind::If: {
+    const auto *I = static_cast<const IfStmt *>(S);
+    for (const IfStmt::Arm &Arm : I->Arms) {
+      Value C = evalExpr(Arm.Cond.get(), F);
+      if (Failed)
+        return;
+      if (C.Bool) {
+        execStmts(Arm.Body, F);
+        return;
+      }
+    }
+    execStmts(I->ElseBody, F);
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = static_cast<const WhileStmt *>(S);
+    while (!Failed && !F.Returning) {
+      Value C = evalExpr(W->Cond.get(), F);
+      if (Failed || !C.Bool)
+        return;
+      execStmts(W->Body, F);
+    }
+    return;
+  }
+  case StmtKind::For: {
+    const auto *For = static_cast<const ForStmt *>(S);
+    Value From = evalExpr(For->From.get(), F);
+    Value To = evalExpr(For->To.get(), F);
+    if (Failed)
+      return;
+    for (long I = From.Int; I <= To.Int && !Failed && !F.Returning; ++I) {
+      F.Slots[static_cast<size_t>(For->VarIndex)] = Value::integer(I);
+      execStmts(For->Body, F);
+    }
+    return;
+  }
+  case StmtKind::Return: {
+    const auto *R = static_cast<const ReturnStmt *>(S);
+    if (R->Value) {
+      F.RetVal = evalExpr(R->Value.get(), F);
+      if (Failed)
+        return;
+    }
+    F.Returning = true;
+    return;
+  }
+  case StmtKind::Expr:
+    evalExpr(static_cast<const ExprStmt *>(S)->E.get(), F);
+    return;
+  }
+}
+
+Value Interp::evalExpr(const Expr *E, Frame &F) {
+  if (Failed)
+    return Value();
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return Value::integer(static_cast<const IntLitExpr *>(E)->Value);
+  case ExprKind::BoolLit:
+    return Value::boolean(static_cast<const BoolLitExpr *>(E)->Value);
+  case ExprKind::TextLit:
+    return Value::text(static_cast<const TextLitExpr *>(E)->Value);
+  case ExprKind::NilLit:
+    return Value::nil();
+  case ExprKind::NameRef: {
+    const auto *N = static_cast<const NameRefExpr *>(E);
+    if (N->Binding == NameBinding::Global)
+      return trackedRead(*Globals[static_cast<size_t>(N->Index)],
+                         N->TrackedAccess);
+    assert(N->Index >= 0 && "unresolved name survived Sema");
+    return F.Slots[static_cast<size_t>(N->Index)];
+  }
+  case ExprKind::FieldAccess: {
+    const auto *FA = static_cast<const FieldAccessExpr *>(E);
+    Value Base = evalExpr(FA->Base.get(), F);
+    if (Failed)
+      return Value();
+    if (Base.K != Value::Kind::Object) {
+      fail(FA->Loc, "NIL dereference reading field '" + FA->Field + "'");
+      return Value();
+    }
+    return trackedRead(Base.Obj->slot(static_cast<size_t>(FA->FieldIndex)),
+                       FA->TrackedAccess);
+  }
+  case ExprKind::Call:
+    return evalCall(static_cast<const CallExpr *>(E), F);
+  case ExprKind::MethodCall:
+    return evalMethodCall(static_cast<const MethodCallExpr *>(E), F);
+  case ExprKind::New: {
+    const auto *N = static_cast<const NewExpr *>(E);
+    assert(N->Resolved && "unresolved NEW survived Sema");
+    return Value::object(allocate(N->Resolved));
+  }
+  case ExprKind::Binary:
+    return evalBinary(static_cast<const BinaryExpr *>(E), F);
+  case ExprKind::Unary: {
+    const auto *U = static_cast<const UnaryExpr *>(E);
+    Value V = evalExpr(U->Sub.get(), F);
+    if (Failed)
+      return Value();
+    if (U->Op == UnaryOp::Neg)
+      return Value::integer(-V.Int);
+    return Value::boolean(!V.Bool);
+  }
+  case ExprKind::Unchecked: {
+    const auto *U = static_cast<const UncheckedExpr *>(E);
+    if (Mode != ExecMode::Alphonse)
+      return evalExpr(U->Sub.get(), F);
+    RT.pushCall(nullptr); // Null frame: accesses record nothing.
+    Value V = evalExpr(U->Sub.get(), F);
+    RT.popCall();
+    return V;
+  }
+  }
+  return Value();
+}
+
+Value Interp::evalCall(const CallExpr *C, Frame &F) {
+  if (C->BuiltinIndex >= 0) {
+    switch (static_cast<Builtin>(C->BuiltinIndex)) {
+    case Builtin::Print: {
+      Value V = evalExpr(C->Args[0].get(), F);
+      if (!Failed)
+        Output += renderForPrint(V) + "\n";
+      return Value();
+    }
+    case Builtin::Fmt: {
+      Value V = evalExpr(C->Args[0].get(), F);
+      return Value::text(renderForPrint(V));
+    }
+    case Builtin::Max:
+    case Builtin::Min: {
+      Value A = evalExpr(C->Args[0].get(), F);
+      Value B = evalExpr(C->Args[1].get(), F);
+      if (Failed)
+        return Value();
+      bool IsMax = C->BuiltinIndex == static_cast<int>(Builtin::Max);
+      return Value::integer(IsMax ? std::max(A.Int, B.Int)
+                                  : std::min(A.Int, B.Int));
+    }
+    case Builtin::Abs: {
+      Value A = evalExpr(C->Args[0].get(), F);
+      return Value::integer(A.Int < 0 ? -A.Int : A.Int);
+    }
+    case Builtin::NumBuiltins:
+      break;
+    }
+    fail(C->Loc, "bad builtin index");
+    return Value();
+  }
+  assert(C->Resolved && "unresolved call survived Sema");
+  std::vector<Value> Args;
+  Args.reserve(C->Args.size());
+  for (const ExprPtr &A : C->Args) {
+    Args.push_back(evalExpr(A.get(), F));
+    if (Failed)
+      return Value();
+  }
+  return dispatch(C->Resolved, C->Resolved->Pragma, C->CheckedCall,
+                  std::move(Args));
+}
+
+Value Interp::evalMethodCall(const MethodCallExpr *C, Frame &F) {
+  Value Base = evalExpr(C->Base.get(), F);
+  if (Failed)
+    return Value();
+  if (Base.K != Value::Kind::Object) {
+    fail(C->Loc, "NIL dereference calling method '" + C->Method + "'");
+    return Value();
+  }
+  const auto &VTable = Base.Obj->type()->VTable;
+  assert(C->MethodSlot >= 0 &&
+         static_cast<size_t>(C->MethodSlot) < VTable.size() &&
+         "bad method slot");
+  const MethodImpl &MI = VTable[static_cast<size_t>(C->MethodSlot)];
+  if (!MI.Impl) {
+    fail(C->Loc, "method '" + C->Method + "' has no implementation");
+    return Value();
+  }
+  std::vector<Value> Args;
+  Args.reserve(C->Args.size() + 1);
+  Args.push_back(Base);
+  for (const ExprPtr &A : C->Args) {
+    Args.push_back(evalExpr(A.get(), F));
+    if (Failed)
+      return Value();
+  }
+  return dispatch(MI.Impl, MI.Pragma, C->CheckedCall, std::move(Args));
+}
+
+Value Interp::evalBinary(const BinaryExpr *B, Frame &F) {
+  // AND / OR are short-circuit, like Modula-3.
+  if (B->Op == BinaryOp::And || B->Op == BinaryOp::Or) {
+    Value L = evalExpr(B->Lhs.get(), F);
+    if (Failed)
+      return Value();
+    if (B->Op == BinaryOp::And && !L.Bool)
+      return Value::boolean(false);
+    if (B->Op == BinaryOp::Or && L.Bool)
+      return Value::boolean(true);
+    Value R = evalExpr(B->Rhs.get(), F);
+    return Value::boolean(R.Bool);
+  }
+  Value L = evalExpr(B->Lhs.get(), F);
+  Value R = evalExpr(B->Rhs.get(), F);
+  if (Failed)
+    return Value();
+  switch (B->Op) {
+  case BinaryOp::Add:
+    return Value::integer(L.Int + R.Int);
+  case BinaryOp::Sub:
+    return Value::integer(L.Int - R.Int);
+  case BinaryOp::Mul:
+    return Value::integer(L.Int * R.Int);
+  case BinaryOp::Div:
+    if (R.Int == 0) {
+      fail(B->Loc, "division by zero");
+      return Value();
+    }
+    return Value::integer(L.Int / R.Int);
+  case BinaryOp::Mod:
+    if (R.Int == 0) {
+      fail(B->Loc, "modulo by zero");
+      return Value();
+    }
+    return Value::integer(L.Int % R.Int);
+  case BinaryOp::Concat:
+    return Value::text(L.Text + R.Text);
+  case BinaryOp::Eq:
+    return Value::boolean(L == R);
+  case BinaryOp::Ne:
+    return Value::boolean(!(L == R));
+  case BinaryOp::Lt:
+    return Value::boolean(L.Int < R.Int);
+  case BinaryOp::Le:
+    return Value::boolean(L.Int <= R.Int);
+  case BinaryOp::Gt:
+    return Value::boolean(L.Int > R.Int);
+  case BinaryOp::Ge:
+    return Value::boolean(L.Int >= R.Int);
+  case BinaryOp::And:
+  case BinaryOp::Or:
+    break; // Handled above.
+  }
+  fail(B->Loc, "bad binary operator");
+  return Value();
+}
+
+} // namespace alphonse::interp

@@ -1,0 +1,167 @@
+//===- Interp.h - Alphonse-L interpreter ------------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree-walking interpreter for (transformed) Alphonse-L modules, with
+/// two execution modes:
+///
+///  - Conventional: pragmas and transformation flags are ignored; this is
+///    the paper's "conventional execution of P".
+///  - Alphonse: the access/modify/call sites flagged by the Section 5
+///    transformer drive the same dependency graph and evaluator the C++
+///    embedding uses (src/graph, src/core). Maintained methods and cached
+///    procedures get argument tables keyed by Value vectors; object fields
+///    and top-level variables get storage nodes created lazily on first
+///    tracked access.
+///
+/// Theorem 5.1 (Alphonse execution produces the same output as
+/// conventional execution) is directly checkable by running one module
+/// through both modes; the interpreter tests do exactly that.
+///
+/// Divergences from the paper, documented: no garbage collector (objects
+/// live as long as the interpreter), no VAR parameters, and runtime errors
+/// (NIL dereference, division by zero, stack overflow) abort execution
+/// with a message instead of being language-defined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_INTERP_INTERP_H
+#define ALPHONSE_INTERP_INTERP_H
+
+#include "core/Runtime.h"
+#include "interp/Value.h"
+#include "lang/Sema.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace alphonse::interp {
+
+/// How the interpreter treats the incremental annotations.
+enum class ExecMode : uint8_t {
+  Conventional,
+  Alphonse,
+};
+
+/// One tracked storage location: the live value plus its lazily created
+/// dependency-graph node holding the snapshot dependents last saw.
+class StorageSlot;
+
+/// A heap object: its dynamic type plus one slot per field.
+class HeapObject {
+public:
+  HeapObject(const lang::ObjectTypeInfo *Ty, size_t NumFields);
+  ~HeapObject();
+
+  const lang::ObjectTypeInfo *type() const { return Ty; }
+  StorageSlot &slot(size_t I);
+
+private:
+  const lang::ObjectTypeInfo *Ty;
+  std::vector<std::unique_ptr<StorageSlot>> Slots;
+};
+
+/// Interprets one analyzed (and usually transformed) module.
+class Interp {
+public:
+  /// \p M and \p Info must outlive the interpreter. Pass the graph config
+  /// to ablate partitioning / cutoffs in benchmarks.
+  Interp(const lang::Module &M, const lang::SemaInfo &Info, ExecMode Mode,
+         DepGraph::Config Cfg = DepGraph::Config());
+  ~Interp();
+
+  /// Calls a top-level procedure by name (the mutator's entry point).
+  /// Incremental procedures go through the full call protocol.
+  Value call(const std::string &ProcName, std::vector<Value> Args = {});
+
+  /// Calls a method on an object with dynamic dispatch.
+  Value callMethod(Value Receiver, const std::string &Method,
+                   std::vector<Value> Args = {});
+
+  /// Allocates an object of the named type (NEW from the driver side).
+  Value makeObject(const std::string &TypeName);
+
+  /// Reads / writes a top-level variable from the driver (writes go
+  /// through the modify protocol in Alphonse mode).
+  Value global(const std::string &Name);
+  void setGlobal(const std::string &Name, Value V);
+
+  /// Reads / writes an object field from the driver.
+  Value field(Value Receiver, const std::string &Field);
+  void setField(Value Receiver, const std::string &Field, Value V);
+
+  /// Everything print() emitted so far.
+  const std::string &output() const { return Output; }
+  void clearOutput() { Output.clear(); }
+
+  /// Set after a runtime error; execution becomes a no-op until reset.
+  bool failed() const { return Failed; }
+  const std::string &errorMessage() const { return ErrorMessage; }
+
+  /// Runs the eager evaluator ("cycles available").
+  void pump() { RT.pump(); }
+
+  Runtime &runtime() { return RT; }
+  ExecMode mode() const { return Mode; }
+
+private:
+  friend class InterpProcNode;
+  struct Frame;
+
+  // Execution engine.
+  Value runBody(const lang::ProcDecl *P, const std::vector<Value> &Args);
+  void execStmts(const std::vector<lang::StmtPtr> &Stmts, Frame &F);
+  void execStmt(const lang::Stmt *S, Frame &F);
+  Value evalExpr(const lang::Expr *E, Frame &F);
+  Value evalCall(const lang::CallExpr *C, Frame &F);
+  Value evalMethodCall(const lang::MethodCallExpr *C, Frame &F);
+  Value evalBinary(const lang::BinaryExpr *B, Frame &F);
+  Value dispatch(const lang::ProcDecl *P, const lang::PragmaInfo &Pragma,
+                 bool Checked, std::vector<Value> Args);
+  Value incrementalCall(const lang::ProcDecl *P,
+                        const lang::PragmaInfo &Pragma,
+                        std::vector<Value> Args);
+  Value executeInstance(class InterpProcNode &N);
+  bool reexecuteInstance(class InterpProcNode &N);
+
+  // Storage protocol (Algorithms 3 and 4).
+  Value trackedRead(StorageSlot &S, bool Tracked);
+  void trackedWrite(StorageSlot &S, Value V, bool Tracked);
+
+  Value defaultValue(const lang::Type &Ty) const;
+  HeapObject *allocate(const lang::ObjectTypeInfo *Ty);
+  void fail(SourceLocation Loc, const std::string &Message);
+  std::string renderForPrint(const Value &V) const;
+
+  const lang::Module &M;
+  const lang::SemaInfo &Info;
+  ExecMode Mode;
+
+  Runtime RT;
+  std::vector<std::unique_ptr<StorageSlot>> Globals;
+  std::unordered_map<std::string, int> GlobalIndex;
+  std::vector<std::unique_ptr<HeapObject>> Heap;
+
+  /// Argument tables (Section 4.2), one per incremental procedure.
+  using ArgTable =
+      std::unordered_map<std::vector<Value>,
+                         std::unique_ptr<class InterpProcNode>, ValueVecHash>;
+  std::unordered_map<const lang::ProcDecl *, ArgTable> Tables;
+
+  std::string Output;
+  bool Failed = false;
+  std::string ErrorMessage;
+  int CallDepth = 0;
+  static constexpr int MaxCallDepth = 2000;
+};
+
+} // namespace alphonse::interp
+
+#endif // ALPHONSE_INTERP_INTERP_H

@@ -1,0 +1,21 @@
+//===- AST.cpp - Alphonse-L abstract syntax -------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-line virtual destructors anchor the vtables (LLVM coding
+/// standard: provide a virtual method anchor for classes in headers).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/AST.h"
+
+namespace alphonse::lang {
+
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+} // namespace alphonse::lang

@@ -1,0 +1,349 @@
+//===- Lexer.cpp - Alphonse-L lexer ----------------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace alphonse::lang {
+
+const char *tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::End:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::TextLiteral:
+    return "text literal";
+  case TokenKind::Pragma:
+    return "pragma";
+  case TokenKind::KwType:
+    return "'TYPE'";
+  case TokenKind::KwObject:
+    return "'OBJECT'";
+  case TokenKind::KwMethods:
+    return "'METHODS'";
+  case TokenKind::KwOverrides:
+    return "'OVERRIDES'";
+  case TokenKind::KwEnd:
+    return "'END'";
+  case TokenKind::KwVar:
+    return "'VAR'";
+  case TokenKind::KwProcedure:
+    return "'PROCEDURE'";
+  case TokenKind::KwBegin:
+    return "'BEGIN'";
+  case TokenKind::KwReturn:
+    return "'RETURN'";
+  case TokenKind::KwIf:
+    return "'IF'";
+  case TokenKind::KwThen:
+    return "'THEN'";
+  case TokenKind::KwElsif:
+    return "'ELSIF'";
+  case TokenKind::KwElse:
+    return "'ELSE'";
+  case TokenKind::KwWhile:
+    return "'WHILE'";
+  case TokenKind::KwDo:
+    return "'DO'";
+  case TokenKind::KwFor:
+    return "'FOR'";
+  case TokenKind::KwTo:
+    return "'TO'";
+  case TokenKind::KwNew:
+    return "'NEW'";
+  case TokenKind::KwNil:
+    return "'NIL'";
+  case TokenKind::KwTrue:
+    return "'TRUE'";
+  case TokenKind::KwFalse:
+    return "'FALSE'";
+  case TokenKind::KwAnd:
+    return "'AND'";
+  case TokenKind::KwOr:
+    return "'OR'";
+  case TokenKind::KwNot:
+    return "'NOT'";
+  case TokenKind::KwDiv:
+    return "'DIV'";
+  case TokenKind::KwMod:
+    return "'MOD'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::NotEqual:
+    return "'#'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Ampersand:
+    return "'&'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  }
+  return "unknown token";
+}
+
+static const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> Table = {
+      {"TYPE", TokenKind::KwType},           {"OBJECT", TokenKind::KwObject},
+      {"METHODS", TokenKind::KwMethods},     {"OVERRIDES", TokenKind::KwOverrides},
+      {"END", TokenKind::KwEnd},             {"VAR", TokenKind::KwVar},
+      {"PROCEDURE", TokenKind::KwProcedure}, {"BEGIN", TokenKind::KwBegin},
+      {"RETURN", TokenKind::KwReturn},       {"IF", TokenKind::KwIf},
+      {"THEN", TokenKind::KwThen},           {"ELSIF", TokenKind::KwElsif},
+      {"ELSE", TokenKind::KwElse},           {"WHILE", TokenKind::KwWhile},
+      {"DO", TokenKind::KwDo},               {"FOR", TokenKind::KwFor},
+      {"TO", TokenKind::KwTo},               {"NEW", TokenKind::KwNew},
+      {"NIL", TokenKind::KwNil},             {"TRUE", TokenKind::KwTrue},
+      {"FALSE", TokenKind::KwFalse},         {"AND", TokenKind::KwAnd},
+      {"OR", TokenKind::KwOr},               {"NOT", TokenKind::KwNot},
+      {"DIV", TokenKind::KwDiv},             {"MOD", TokenKind::KwMod},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespace() {
+  while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())))
+    advance();
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLocation Loc, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  SourceLocation Loc = here();
+  std::string Word;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Word.push_back(advance());
+  auto It = keywordTable().find(Word);
+  if (It != keywordTable().end())
+    return makeToken(It->second, Loc, Word);
+  return makeToken(TokenKind::Identifier, Loc, Word);
+}
+
+Token Lexer::lexNumber() {
+  SourceLocation Loc = here();
+  std::string Digits;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    Digits.push_back(advance());
+  Token T = makeToken(TokenKind::IntLiteral, Loc, Digits);
+  T.IntValue = std::stol(Digits);
+  return T;
+}
+
+Token Lexer::lexText() {
+  SourceLocation Loc = here();
+  advance(); // Opening quote.
+  std::string Body;
+  while (!atEnd() && peek() != '"') {
+    if (peek() == '\n') {
+      Diags.error(Loc, "unterminated text literal");
+      return makeToken(TokenKind::Error, Loc);
+    }
+    Body.push_back(advance());
+  }
+  if (atEnd()) {
+    Diags.error(Loc, "unterminated text literal");
+    return makeToken(TokenKind::Error, Loc);
+  }
+  advance(); // Closing quote.
+  return makeToken(TokenKind::TextLiteral, Loc, Body);
+}
+
+bool Lexer::lexCommentOrPragma(Token &Out) {
+  SourceLocation Loc = here();
+  advance(); // '('
+  advance(); // '*'
+  std::string Body;
+  int Depth = 1;
+  while (!atEnd() && Depth > 0) {
+    if (peek() == '(' && peek(1) == '*') {
+      ++Depth;
+      Body.push_back(advance());
+      Body.push_back(advance());
+      continue;
+    }
+    if (peek() == '*' && peek(1) == ')') {
+      --Depth;
+      advance();
+      advance();
+      if (Depth > 0) {
+        Body += "*)";
+      }
+      continue;
+    }
+    Body.push_back(advance());
+  }
+  if (Depth > 0) {
+    Diags.error(Loc, "unterminated comment");
+    Out = makeToken(TokenKind::Error, Loc);
+    return true;
+  }
+  // Trim and decide: pragma keywords start the body.
+  size_t Begin = Body.find_first_not_of(" \t\r\n");
+  if (Begin == std::string::npos)
+    return false; // Pure comment.
+  size_t Finish = Body.find_last_not_of(" \t\r\n");
+  std::string Trimmed = Body.substr(Begin, Finish - Begin + 1);
+  std::string FirstWord = Trimmed.substr(0, Trimmed.find_first_of(" \t"));
+  if (FirstWord == "MAINTAINED" || FirstWord == "CACHED" ||
+      FirstWord == "UNCHECKED") {
+    Out = makeToken(TokenKind::Pragma, Loc, Trimmed);
+    return true;
+  }
+  return false; // Ordinary comment: skip.
+}
+
+std::vector<Token> Lexer::run() {
+  std::vector<Token> Tokens;
+  while (true) {
+    skipWhitespace();
+    if (atEnd()) {
+      Tokens.push_back(makeToken(TokenKind::End, here()));
+      return Tokens;
+    }
+    SourceLocation Loc = here();
+    char C = peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      Tokens.push_back(lexIdentifierOrKeyword());
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      Tokens.push_back(lexNumber());
+      continue;
+    }
+    if (C == '"') {
+      Tokens.push_back(lexText());
+      continue;
+    }
+    if (C == '(' && peek(1) == '*') {
+      Token Pragma;
+      if (lexCommentOrPragma(Pragma))
+        Tokens.push_back(Pragma);
+      continue;
+    }
+    advance();
+    switch (C) {
+    case ':':
+      if (peek() == '=') {
+        advance();
+        Tokens.push_back(makeToken(TokenKind::Assign, Loc, ":="));
+      } else {
+        Tokens.push_back(makeToken(TokenKind::Colon, Loc, ":"));
+      }
+      break;
+    case '<':
+      if (peek() == '=') {
+        advance();
+        Tokens.push_back(makeToken(TokenKind::LessEq, Loc, "<="));
+      } else {
+        Tokens.push_back(makeToken(TokenKind::Less, Loc, "<"));
+      }
+      break;
+    case '>':
+      if (peek() == '=') {
+        advance();
+        Tokens.push_back(makeToken(TokenKind::GreaterEq, Loc, ">="));
+      } else {
+        Tokens.push_back(makeToken(TokenKind::Greater, Loc, ">"));
+      }
+      break;
+    case '=':
+      Tokens.push_back(makeToken(TokenKind::Equal, Loc, "="));
+      break;
+    case '#':
+      Tokens.push_back(makeToken(TokenKind::NotEqual, Loc, "#"));
+      break;
+    case '+':
+      Tokens.push_back(makeToken(TokenKind::Plus, Loc, "+"));
+      break;
+    case '-':
+      Tokens.push_back(makeToken(TokenKind::Minus, Loc, "-"));
+      break;
+    case '*':
+      Tokens.push_back(makeToken(TokenKind::Star, Loc, "*"));
+      break;
+    case '&':
+      Tokens.push_back(makeToken(TokenKind::Ampersand, Loc, "&"));
+      break;
+    case '(':
+      Tokens.push_back(makeToken(TokenKind::LParen, Loc, "("));
+      break;
+    case ')':
+      Tokens.push_back(makeToken(TokenKind::RParen, Loc, ")"));
+      break;
+    case ';':
+      Tokens.push_back(makeToken(TokenKind::Semicolon, Loc, ";"));
+      break;
+    case ',':
+      Tokens.push_back(makeToken(TokenKind::Comma, Loc, ","));
+      break;
+    case '.':
+      Tokens.push_back(makeToken(TokenKind::Dot, Loc, "."));
+      break;
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      Tokens.push_back(makeToken(TokenKind::Error, Loc));
+      break;
+    }
+  }
+}
+
+} // namespace alphonse::lang

@@ -1,0 +1,59 @@
+//===- Lexer.h - Alphonse-L lexer -------------------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for Alphonse-L. Nested (* ... *) comments are
+/// skipped (Modula-3 comments nest); comments whose first word is an
+/// upper-case pragma keyword (MAINTAINED, CACHED, UNCHECKED) are emitted
+/// as Pragma tokens instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_LANG_LEXER_H
+#define ALPHONSE_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace alphonse::lang {
+
+/// Lexes one source buffer into a token stream.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the entire buffer; the final token is TokenKind::End.
+  std::vector<Token> run();
+
+private:
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLocation here() const { return SourceLocation(Line, Column); }
+
+  void skipWhitespace();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexText();
+  /// Lexes a (*...*) comment; returns true (and fills \p Out) when it is a
+  /// pragma.
+  bool lexCommentOrPragma(Token &Out);
+  Token makeToken(TokenKind Kind, SourceLocation Loc, std::string Text = "");
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace alphonse::lang
+
+#endif // ALPHONSE_LANG_LEXER_H

@@ -1,0 +1,100 @@
+//===- Token.h - Alphonse-L tokens ------------------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of Alphonse-L, the Modula-3-like base language of the paper
+/// (Section 3; "This is Modula-3 [Nel91]"). Pragmas arrive as tokens of
+/// their own: the paper denotes them (*PRAGMA NAME AND ARGUMENTS*), while
+/// ordinary (* ... *) comments are skipped by the lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_LANG_TOKEN_H
+#define ALPHONSE_LANG_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace alphonse::lang {
+
+/// Token kinds. Keywords follow Modula-3 spelling (upper case).
+enum class TokenKind : uint8_t {
+  End, // End of input.
+  Error,
+
+  Identifier,
+  IntLiteral,
+  TextLiteral,
+  Pragma, // (*MAINTAINED*), (*CACHED EAGER*), (*UNCHECKED*), ...
+
+  // Keywords.
+  KwType,
+  KwObject,
+  KwMethods,
+  KwOverrides,
+  KwEnd,
+  KwVar,
+  KwProcedure,
+  KwBegin,
+  KwReturn,
+  KwIf,
+  KwThen,
+  KwElsif,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwTo,
+  KwNew,
+  KwNil,
+  KwTrue,
+  KwFalse,
+  KwAnd,
+  KwOr,
+  KwNot,
+  KwDiv,
+  KwMod,
+
+  // Punctuation and operators.
+  Assign,    // :=
+  Equal,     // =
+  NotEqual,  // #
+  Less,      // <
+  LessEq,    // <=
+  Greater,   // >
+  GreaterEq, // >=
+  Plus,      // +
+  Minus,     // -
+  Star,      // *
+  Ampersand, // & (TEXT concatenation)
+  LParen,    // (
+  RParen,    // )
+  Semicolon, // ;
+  Colon,     // :
+  Comma,     // ,
+  Dot,       // .
+};
+
+/// Returns a human-readable spelling for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text holds the identifier spelling, literal value, or
+/// pragma body (trimmed, without the (* *) brackets).
+struct Token {
+  TokenKind Kind = TokenKind::End;
+  SourceLocation Loc;
+  std::string Text;
+  long IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace alphonse::lang
+
+#endif // ALPHONSE_LANG_TOKEN_H

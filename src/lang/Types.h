@@ -1,0 +1,139 @@
+//===- Types.h - Alphonse-L semantic types ----------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolved types for Alphonse-L: the scalar types INTEGER / BOOLEAN /
+/// TEXT plus object (record) types with single inheritance, field layout,
+/// and a vtable of method implementations (Section 3.1's record types
+/// with data fields, well-behaved pointer fields, and procedure-valued
+/// fields applied to the containing object).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_LANG_TYPES_H
+#define ALPHONSE_LANG_TYPES_H
+
+#include "lang/AST.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alphonse::lang {
+
+class ObjectTypeInfo;
+
+enum class TypeKind : uint8_t {
+  Void,    ///< No value (procedures without a return type).
+  Integer,
+  Boolean,
+  Text,
+  Object,  ///< Reference to an object of a specific type.
+  Nil,     ///< The type of NIL (assignable to any object type).
+};
+
+/// A resolved type: a kind tag plus the object type when Kind == Object.
+struct Type {
+  TypeKind Kind = TypeKind::Void;
+  const ObjectTypeInfo *Obj = nullptr;
+
+  static Type voidType() { return {TypeKind::Void, nullptr}; }
+  static Type integer() { return {TypeKind::Integer, nullptr}; }
+  static Type boolean() { return {TypeKind::Boolean, nullptr}; }
+  static Type text() { return {TypeKind::Text, nullptr}; }
+  static Type nil() { return {TypeKind::Nil, nullptr}; }
+  static Type object(const ObjectTypeInfo *O) { return {TypeKind::Object, O}; }
+
+  bool isObject() const { return Kind == TypeKind::Object; }
+  bool isNilOrObject() const {
+    return Kind == TypeKind::Object || Kind == TypeKind::Nil;
+  }
+
+  bool operator==(const Type &RHS) const = default;
+
+  /// Human-readable name for diagnostics.
+  std::string str() const;
+};
+
+/// One field in an object layout (inherited fields included, by index).
+struct FieldInfo {
+  std::string Name;
+  Type Ty;
+  int Index = -1;
+};
+
+/// A method signature as introduced by some type; the receiver is
+/// implicit.
+struct MethodSig {
+  std::string Name;
+  std::vector<Type> ParamTypes;
+  Type RetType;
+  int Slot = -1;
+  const ObjectTypeInfo *Introducer = nullptr;
+};
+
+/// A vtable entry: the signature, the implementing procedure, and the
+/// incremental pragma attached at the binding or override site.
+struct MethodImpl {
+  const MethodSig *Sig = nullptr;
+  const ProcDecl *Impl = nullptr;
+  PragmaInfo Pragma;
+};
+
+/// A resolved object type.
+class ObjectTypeInfo {
+public:
+  std::string Name;
+  const ObjectTypeInfo *Super = nullptr;
+  /// Dense id, used by the static partition analysis (Section 6.3).
+  int Id = -1;
+  /// Complete field layout: inherited first, then own.
+  std::vector<FieldInfo> Fields;
+  /// Complete vtable: inherited slots (with overrides applied) then own.
+  std::vector<MethodImpl> VTable;
+  /// Signatures introduced by this type (owned here; vtable entries of
+  /// this and derived types point at them).
+  std::vector<std::unique_ptr<MethodSig>> OwnSigs;
+
+  /// True if this type is \p T or inherits from it.
+  bool derivesFrom(const ObjectTypeInfo *T) const {
+    for (const ObjectTypeInfo *C = this; C; C = C->Super)
+      if (C == T)
+        return true;
+    return false;
+  }
+
+  const FieldInfo *findField(const std::string &Name) const {
+    for (const FieldInfo &F : Fields)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+
+  const MethodSig *findMethod(const std::string &Name) const {
+    for (const MethodImpl &M : VTable)
+      if (M.Sig->Name == Name)
+        return M.Sig;
+    return nullptr;
+  }
+};
+
+/// Assignment compatibility: equal types, NIL into any object type, or a
+/// subtype into a supertype slot.
+inline bool isAssignable(const Type &To, const Type &From) {
+  if (To == From)
+    return true;
+  if (To.isObject() && From.Kind == TypeKind::Nil)
+    return true;
+  if (To.isObject() && From.isObject())
+    return From.Obj->derivesFrom(To.Obj);
+  return false;
+}
+
+} // namespace alphonse::lang
+
+#endif // ALPHONSE_LANG_TYPES_H

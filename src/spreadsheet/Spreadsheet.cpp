@@ -1,0 +1,146 @@
+//===- Spreadsheet.cpp - Incremental spreadsheet --------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "spreadsheet/Spreadsheet.h"
+
+namespace alphonse::spreadsheet {
+
+using attrgram::Env;
+using attrgram::Exp;
+using attrgram::ExprTree;
+using attrgram::IntExp;
+
+/// Algorithm 10's CellExp: a production with two integer terminal fields
+/// selecting another cell whose value() it returns. (Named, not in an
+/// anonymous namespace, so the Spreadsheet friend declaration applies.)
+class CellRefExp final : public Exp {
+public:
+  CellRefExp(Runtime &RT, Spreadsheet &Sheet, int Row, int Col)
+      : Exp(RT), Row(RT, Row, "cellref.x"), Col(RT, Col, "cellref.y"),
+        Sheet(&Sheet) {}
+
+  Cell<int> Row;
+  Cell<int> Col;
+
+protected:
+  // CellVal: cells[o.x, o.y].value().
+  int computeValue(ExprTree &) override {
+    return Sheet->cellValue(Row.get(), Col.get());
+  }
+
+  Env computeEnv(ExprTree &, Exp *) override {
+    assert(false && "cell references have no nonterminal children");
+    return Env();
+  }
+
+  int oracleValue(const Env &) const override {
+    return Sheet->oracleValue(Row.peek(), Col.peek());
+  }
+
+private:
+  Spreadsheet *Sheet;
+};
+
+Spreadsheet::Spreadsheet(Runtime &RT, int Rows, int Cols)
+    : RT(RT), NumRows(Rows), NumCols(Cols), Tree(RT),
+      CellVal(
+          RT, [this](int R, int C) { return computeCellValue(R, C); },
+          EvalStrategy::Demand, "Sheet.value"),
+      InFlight(static_cast<size_t>(Rows) * Cols, 0) {
+  assert(Rows > 0 && Cols > 0 && "spreadsheet must have a positive extent");
+  Grid.reserve(InFlight.size());
+  for (size_t I = 0; I < InFlight.size(); ++I)
+    Grid.push_back(
+        std::make_unique<Cell<Exp *>>(RT, nullptr, "sheet.func"));
+}
+
+Spreadsheet::~Spreadsheet() = default;
+
+size_t Spreadsheet::index(int Row, int Col) const {
+  assert(inRange(Row, Col) && "cell index out of range");
+  return static_cast<size_t>(Row) * NumCols + Col;
+}
+
+Exp *Spreadsheet::makeCellRef(int Row, int Col) {
+  if (!inRange(Row, Col))
+    return nullptr;
+  return Tree.adopt(std::make_unique<CellRefExp>(RT, *this, Row, Col));
+}
+
+bool Spreadsheet::setFormula(int Row, int Col, const std::string &Source) {
+  Exp *Parsed = attrgram::parseFormula(
+      Tree, Source, Diags, [this](int R, int C) { return makeCellRef(R, C); });
+  if (!Parsed)
+    return false;
+  Grid[index(Row, Col)]->set(Parsed);
+  return true;
+}
+
+void Spreadsheet::setLiteral(int Row, int Col, int Value) {
+  Cell<Exp *> &Slot = *Grid[index(Row, Col)];
+  if (Exp *Cur = Slot.peek())
+    if (IntExp *Lit = Cur->asIntExp()) {
+      Lit->Lit.set(Value); // In-place edit: only the literal cell changes.
+      return;
+    }
+  Slot.set(Tree.makeInt(Value));
+}
+
+void Spreadsheet::clearCell(int Row, int Col) {
+  Grid[index(Row, Col)]->set(nullptr);
+}
+
+int Spreadsheet::value(int Row, int Col) { return CellVal(Row, Col); }
+
+int Spreadsheet::computeCellValue(int Row, int Col) {
+  size_t I = index(Row, Col);
+  if (InFlight[I]) {
+    // Reference cycle: evaluate to 0 and raise the flag (documented
+    // divergence from the paper, which leaves cycles undefined).
+    CycleFlag = true;
+    return 0;
+  }
+  InFlight[I] = 1;
+  Exp *Formula = Grid[I]->get();
+  int Result = Formula ? Tree.value(Formula) : 0;
+  InFlight[I] = 0;
+  return Result;
+}
+
+int Spreadsheet::oracleValue(int Row, int Col) const {
+  size_t I = index(Row, Col);
+  if (PassActive && PassDone[I])
+    return PassMemo[I];
+  if (InFlight[I])
+    return 0; // Cycle: mirror the incremental semantics.
+  const Exp *Formula = Grid[I]->peek();
+  int Result = 0;
+  if (Formula) {
+    InFlight[I] = 1;
+    Result = Tree.oracleValue(Formula);
+    InFlight[I] = 0;
+  }
+  if (PassActive) {
+    PassMemo[I] = Result;
+    PassDone[I] = 1;
+  }
+  return Result;
+}
+
+long long Spreadsheet::recomputeAllExhaustive() const {
+  PassActive = true;
+  PassMemo.assign(Grid.size(), 0);
+  PassDone.assign(Grid.size(), 0);
+  long long Sum = 0;
+  for (int R = 0; R < NumRows; ++R)
+    for (int C = 0; C < NumCols; ++C)
+      Sum += oracleValue(R, C);
+  PassActive = false;
+  return Sum;
+}
+
+} // namespace alphonse::spreadsheet

@@ -1,0 +1,123 @@
+//===- Spreadsheet.h - Incremental spreadsheet ------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 7.2 of the paper: the attribute-grammar expression trees of
+/// Section 7.1 extended into a spreadsheet. Each cell holds an expression
+/// tree and a maintained value method; a CellExp production with two
+/// integer terminal fields references another cell's value — "the use of
+/// top-level data references and ... how one Alphonse program can be used
+/// to construct another" (Algorithm 10).
+///
+/// Formulas are written in the FormulaParser language, e.g.
+///   "cell(0,0) + cell(0,1) * 2"
+///   "let x = cell(1,1) in x * x ni".
+///
+/// Divergence from the paper (documented): reference cycles, which the
+/// paper leaves undefined (they would not terminate), are detected with an
+/// in-flight set and evaluate to 0 with a cycle flag raised.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_SPREADSHEET_SPREADSHEET_H
+#define ALPHONSE_SPREADSHEET_SPREADSHEET_H
+
+#include "attrgram/ExprTree.h"
+#include "attrgram/FormulaParser.h"
+#include "core/Alphonse.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alphonse::spreadsheet {
+
+/// A Rows x Cols grid of formula cells with incremental recalculation.
+class Spreadsheet {
+public:
+  Spreadsheet(Runtime &RT, int Rows, int Cols);
+  ~Spreadsheet();
+
+  int rows() const { return NumRows; }
+  int cols() const { return NumCols; }
+
+  /// Parses \p Source and installs it as the formula of (\p Row, \p Col).
+  /// \returns false (and records diagnostics) on a parse error; the cell
+  /// keeps its previous formula in that case.
+  bool setFormula(int Row, int Col, const std::string &Source);
+
+  /// Sets the cell to a literal value. If the current formula is already a
+  /// single literal, edits it in place (the cheapest possible change).
+  void setLiteral(int Row, int Col, int Value);
+
+  /// Removes the formula; empty cells evaluate to 0.
+  void clearCell(int Row, int Col);
+
+  /// The maintained value of a cell (Algorithm 10's Cell.value()).
+  int value(int Row, int Col);
+
+  /// True once any evaluation encountered a reference cycle; cleared by
+  /// clearCycleFlag(). Cells on a cycle evaluate to 0.
+  bool cycleDetected() const { return CycleFlag; }
+  void clearCycleFlag() { CycleFlag = false; }
+
+  /// Parse diagnostics accumulated by setFormula failures.
+  const DiagnosticEngine &diagnostics() const { return Diags; }
+
+  /// Exhaustive baseline for experiment E4: a conventional full
+  /// recalculation evaluating every cell once (cross-cell references are
+  /// memoized for the duration of the pass, as any non-incremental
+  /// spreadsheet engine would), with no incremental machinery. \returns
+  /// the sum of all cell values (a checksum the benchmark compares
+  /// against the incremental path).
+  long long recomputeAllExhaustive() const;
+
+  /// Exhaustive evaluation of one cell (untracked). Outside a
+  /// recomputeAllExhaustive() pass, nothing is memoized: cost is the full
+  /// dependency cone of the cell.
+  int oracleValue(int Row, int Col) const;
+
+  Runtime &runtime() { return RT; }
+
+private:
+  friend class CellRefExp;
+
+  size_t index(int Row, int Col) const;
+  bool inRange(int Row, int Col) const {
+    return Row >= 0 && Row < NumRows && Col >= 0 && Col < NumCols;
+  }
+
+  /// Incremental per-cell evaluation (the maintained method's body).
+  int computeCellValue(int Row, int Col);
+
+  /// Incremental cell read used by CellRefExp (goes through the maintained
+  /// method so the reference depends on one cell-value instance).
+  int cellValue(int Row, int Col) { return CellVal(Row, Col); }
+
+  attrgram::Exp *makeCellRef(int Row, int Col);
+
+  Runtime &RT;
+  int NumRows;
+  int NumCols;
+  DiagnosticEngine Diags;
+  attrgram::ExprTree Tree;
+  Maintained<int(int, int)> CellVal;
+  /// Grid[i] holds the root of cell i's formula tree (nullptr = empty).
+  std::vector<std::unique_ptr<Cell<attrgram::Exp *>>> Grid;
+  /// Cycle detection: cells currently being evaluated (incremental path).
+  mutable std::vector<char> InFlight;
+  /// Per-pass memo for recomputeAllExhaustive().
+  mutable std::vector<int> PassMemo;
+  mutable std::vector<char> PassDone;
+  mutable bool PassActive = false;
+  bool CycleFlag = false;
+};
+
+} // namespace alphonse::spreadsheet
+
+#endif // ALPHONSE_SPREADSHEET_SPREADSHEET_H

@@ -1,0 +1,38 @@
+//===- Diagnostics.cpp - Error reporting for Alphonse-L -------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+namespace alphonse {
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::print(std::ostream &OS) const {
+  for (const Diagnostic &D : Diags)
+    OS << D.Loc.str() << ": " << kindName(D.Kind) << ": " << D.Message
+       << '\n';
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}
+
+} // namespace alphonse

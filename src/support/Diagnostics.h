@@ -1,0 +1,84 @@
+//===- Diagnostics.h - Error reporting for Alphonse-L -----------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine shared by the Alphonse-L lexer, parser,
+/// semantic analyzer, transformer, and interpreter. The library never
+/// throws; callers accumulate diagnostics here and inspect hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_SUPPORT_DIAGNOSTICS_H
+#define ALPHONSE_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alphonse {
+
+/// Severity of one diagnostic.
+enum class DiagKind : uint8_t {
+  Error,
+  Warning,
+  Note,
+};
+
+/// One reported problem: severity, position, and message text.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for one compilation.
+///
+/// Messages follow the LLVM style: start lowercase, no trailing period.
+class DiagnosticEngine {
+public:
+  /// Reports an error at \p Loc.
+  void error(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  /// Reports a warning at \p Loc.
+  void warning(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  /// Attaches an explanatory note to the preceding diagnostic.
+  void note(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  size_t errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Drops all accumulated diagnostics.
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  /// Prints every diagnostic as "<line:col>: <kind>: <message>".
+  void print(std::ostream &OS) const;
+
+  /// Returns the rendered diagnostics as one string (test convenience).
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  size_t NumErrors = 0;
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,45 @@
+//===- HashCombine.h - Hashing utilities ------------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash combining for argument vectors. The paper's argument tables
+/// (Section 4.2) are "indexed by this vector" of call arguments; we key
+/// hash tables on std::tuple of the arguments, which requires a tuple hash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_SUPPORT_HASHCOMBINE_H
+#define ALPHONSE_SUPPORT_HASHCOMBINE_H
+
+#include <cstddef>
+#include <functional>
+#include <tuple>
+
+namespace alphonse {
+
+/// Mixes \p Value into the running hash \p Seed (boost::hash_combine style,
+/// with the 64-bit golden-ratio constant).
+inline void hashCombine(size_t &Seed, size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes every element of a tuple into one value.
+template <typename... Ts> struct TupleHash {
+  size_t operator()(const std::tuple<Ts...> &Tup) const {
+    size_t Seed = 0;
+    std::apply(
+        [&Seed](const Ts &...Elems) {
+          (hashCombine(Seed, std::hash<std::decay_t<Ts>>{}(Elems)), ...);
+        },
+        Tup);
+    return Seed;
+  }
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_SUPPORT_HASHCOMBINE_H

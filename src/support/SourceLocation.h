@@ -1,0 +1,45 @@
+//===- SourceLocation.h - Positions in Alphonse-L source --------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions used by the Alphonse-L lexer, parser, and
+/// diagnostics engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_SUPPORT_SOURCELOCATION_H
+#define ALPHONSE_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace alphonse {
+
+/// A 1-based (line, column) position. Line 0 denotes "no location".
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLocation() = default;
+  constexpr SourceLocation(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLocation &RHS) const = default;
+
+  /// Renders as "line:column", or "<unknown>" when invalid.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_SUPPORT_SOURCELOCATION_H

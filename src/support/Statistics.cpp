@@ -1,0 +1,29 @@
+//===- Statistics.cpp - Runtime counters ----------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+namespace alphonse {
+
+std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
+  OS << "nodes.created        " << S.NodesCreated << '\n'
+     << "nodes.destroyed      " << S.NodesDestroyed << '\n'
+     << "edges.created        " << S.EdgesCreated << '\n'
+     << "edges.removed        " << S.EdgesRemoved << '\n'
+     << "edges.deduped        " << S.EdgesDeduped << '\n'
+     << "proc.executions      " << S.ProcExecutions << '\n'
+     << "proc.cacheHits       " << S.CacheHits << '\n'
+     << "writes.tracked       " << S.TrackedWrites << '\n'
+     << "writes.quiescent     " << S.QuiescentWrites << '\n'
+     << "eval.steps           " << S.EvalSteps << '\n'
+     << "eval.cutoffs         " << S.QuiescenceCutoffs << '\n'
+     << "partition.unions     " << S.PartitionUnions << '\n'
+     << "partition.scopedEval " << S.PartitionScopedEvals << '\n';
+  return OS;
+}
+
+} // namespace alphonse

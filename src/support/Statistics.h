@@ -1,0 +1,73 @@
+//===- Statistics.h - Runtime counters --------------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters for the incremental runtime. The paper's Section 9 analysis is
+/// phrased in terms of nodes, edges, and (re-)executions; tests and
+/// benchmarks read these counters to check the claimed asymptotic shapes
+/// (experiments E7, E8, E11 in DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_SUPPORT_STATISTICS_H
+#define ALPHONSE_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <ostream>
+
+namespace alphonse {
+
+/// Aggregate event counters maintained by one Runtime instance.
+struct Statistics {
+  /// Dependency-graph nodes ever created (storage + procedure instances).
+  uint64_t NodesCreated = 0;
+  /// Dependency-graph nodes destroyed.
+  uint64_t NodesDestroyed = 0;
+  /// Dependency edges created.
+  uint64_t EdgesCreated = 0;
+  /// Dependency edges removed (retraction before re-execution, or node
+  /// destruction).
+  uint64_t EdgesRemoved = 0;
+  /// Edge creations skipped because an identical edge was already recorded
+  /// during the current execution of the dependent procedure.
+  uint64_t EdgesDeduped = 0;
+  /// Executions of incremental procedure instances (first runs and re-runs).
+  uint64_t ProcExecutions = 0;
+  /// Calls answered from the cache without executing the procedure body.
+  uint64_t CacheHits = 0;
+  /// Storage writes that were tracked (the modify() transformation ran on a
+  /// location with a dependency-graph node).
+  uint64_t TrackedWrites = 0;
+  /// Tracked writes suppressed because the new value equaled the cached one
+  /// (variable-level quiescence, Algorithm 4).
+  uint64_t QuiescentWrites = 0;
+  /// Nodes popped from inconsistent sets by the evaluator.
+  uint64_t EvalSteps = 0;
+  /// Propagations that stopped because a recomputed value matched the cached
+  /// value (quiescence cutoff, Section 2).
+  uint64_t QuiescenceCutoffs = 0;
+  /// Union-find unions performed by the partition manager.
+  uint64_t PartitionUnions = 0;
+  /// Evaluations that were scoped to a single partition (Section 6.3).
+  uint64_t PartitionScopedEvals = 0;
+
+  /// Resets every counter to zero.
+  void reset() { *this = Statistics(); }
+
+  /// Live node count.
+  uint64_t liveNodes() const { return NodesCreated - NodesDestroyed; }
+
+  /// Live edge count.
+  uint64_t liveEdges() const { return EdgesCreated - EdgesRemoved; }
+};
+
+/// Prints all counters, one per line, for debugging and bench reports.
+std::ostream &operator<<(std::ostream &OS, const Statistics &S);
+
+} // namespace alphonse
+
+#endif // ALPHONSE_SUPPORT_STATISTICS_H

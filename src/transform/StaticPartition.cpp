@@ -1,0 +1,209 @@
+//===- StaticPartition.cpp - Type-connectivity analysis -------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/StaticPartition.h"
+
+#include "support/UnionFind.h"
+
+using namespace alphonse::lang;
+
+namespace alphonse::transform {
+
+namespace {
+
+/// Assigns union-find elements to types, procedures, and globals, then
+/// unites along every conservative reachability edge.
+class PartitionBuilder {
+public:
+  PartitionBuilder(const Module &M, const SemaInfo &Info) : M(M), Info(Info) {}
+
+  StaticPartitionResult run() {
+    // Element creation.
+    for (const auto &T : Info.Types)
+      TypeElem[T.get()] = UF.makeSet();
+    for (const auto &P : M.Procs)
+      ProcElem[P.get()] = UF.makeSet();
+    for (const GlobalDecl &G : M.Globals)
+      if (G.Index >= 0)
+        GlobalElem[G.Index] = UF.makeSet();
+
+    // Type-to-type edges: pointer fields and inheritance.
+    for (const auto &T : Info.Types) {
+      if (T->Super)
+        UF.unite(TypeElem[T.get()], TypeElem[T->Super]);
+      for (const FieldInfo &F : T->Fields)
+        if (F.Ty.isObject())
+          UF.unite(TypeElem[T.get()], TypeElem[F.Ty.Obj]);
+      // Method implementations touch objects of the binding type.
+      for (const MethodImpl &MI : T->VTable)
+        if (MI.Impl)
+          UF.unite(TypeElem[T.get()], ProcElem[MI.Impl]);
+    }
+
+    // Procedure edges: parameter/return object types, NEW sites, global
+    // references, and direct calls.
+    for (const auto &P : M.Procs) {
+      const ProcInfo *PI = Info.procInfo(P.get());
+      if (PI) {
+        for (const Type &Ty : PI->ParamTypes)
+          if (Ty.isObject())
+            UF.unite(ProcElem[P.get()], TypeElem[Ty.Obj]);
+        if (PI->RetType.isObject())
+          UF.unite(ProcElem[P.get()], TypeElem[PI->RetType.Obj]);
+      }
+      for (const StmtPtr &S : P->Body)
+        walkStmt(P.get(), S.get());
+      for (const LocalDecl &L : P->Locals)
+        if (L.Init)
+          walkExpr(P.get(), L.Init.get());
+    }
+    for (const GlobalDecl &G : M.Globals) {
+      if (G.Index < 0)
+        continue;
+      const Type &Ty = Info.GlobalTypes[G.Index];
+      if (Ty.isObject())
+        UF.unite(GlobalElem[G.Index], TypeElem[Ty.Obj]);
+    }
+
+    // Densify component ids.
+    StaticPartitionResult R;
+    std::unordered_map<UnionFind::Id, int> Dense;
+    auto ComponentOf = [&](UnionFind::Id E) {
+      UnionFind::Id Root = UF.find(E);
+      auto It = Dense.find(Root);
+      if (It != Dense.end())
+        return It->second;
+      int Id = R.NumComponents++;
+      Dense[Root] = Id;
+      return Id;
+    };
+    for (auto &[T, E] : TypeElem)
+      R.TypeComponent[T] = ComponentOf(E);
+    for (auto &[P, E] : ProcElem)
+      R.ProcComponent[P] = ComponentOf(E);
+    for (auto &[G, E] : GlobalElem)
+      R.GlobalComponent[G] = ComponentOf(E);
+    return R;
+  }
+
+private:
+  void walkStmts(const ProcDecl *P, const std::vector<StmtPtr> &Stmts) {
+    for (const StmtPtr &S : Stmts)
+      walkStmt(P, S.get());
+  }
+
+  void walkStmt(const ProcDecl *P, const Stmt *S) {
+    switch (S->Kind) {
+    case StmtKind::Assign: {
+      const auto *A = static_cast<const AssignStmt *>(S);
+      walkExpr(P, A->Target.get());
+      walkExpr(P, A->Value.get());
+      return;
+    }
+    case StmtKind::If: {
+      const auto *I = static_cast<const IfStmt *>(S);
+      for (const IfStmt::Arm &Arm : I->Arms) {
+        walkExpr(P, Arm.Cond.get());
+        walkStmts(P, Arm.Body);
+      }
+      walkStmts(P, I->ElseBody);
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = static_cast<const WhileStmt *>(S);
+      walkExpr(P, W->Cond.get());
+      walkStmts(P, W->Body);
+      return;
+    }
+    case StmtKind::For: {
+      const auto *F = static_cast<const ForStmt *>(S);
+      walkExpr(P, F->From.get());
+      walkExpr(P, F->To.get());
+      walkStmts(P, F->Body);
+      return;
+    }
+    case StmtKind::Return: {
+      const auto *R = static_cast<const ReturnStmt *>(S);
+      if (R->Value)
+        walkExpr(P, R->Value.get());
+      return;
+    }
+    case StmtKind::Expr:
+      walkExpr(P, static_cast<const ExprStmt *>(S)->E.get());
+      return;
+    }
+  }
+
+  void walkExpr(const ProcDecl *P, const Expr *E) {
+    switch (E->Kind) {
+    case ExprKind::IntLit:
+    case ExprKind::BoolLit:
+    case ExprKind::TextLit:
+    case ExprKind::NilLit:
+      return;
+    case ExprKind::NameRef: {
+      const auto *N = static_cast<const NameRefExpr *>(E);
+      if (N->Binding == NameBinding::Global && N->Index >= 0)
+        UF.unite(ProcElem[P], GlobalElem[N->Index]);
+      return;
+    }
+    case ExprKind::FieldAccess:
+      walkExpr(P, static_cast<const FieldAccessExpr *>(E)->Base.get());
+      return;
+    case ExprKind::Call: {
+      const auto *C = static_cast<const CallExpr *>(E);
+      if (C->Resolved)
+        UF.unite(ProcElem[P], ProcElem[C->Resolved]);
+      for (const ExprPtr &A : C->Args)
+        walkExpr(P, A.get());
+      return;
+    }
+    case ExprKind::MethodCall: {
+      const auto *C = static_cast<const MethodCallExpr *>(E);
+      walkExpr(P, C->Base.get());
+      for (const ExprPtr &A : C->Args)
+        walkExpr(P, A.get());
+      return;
+    }
+    case ExprKind::New: {
+      const auto *N = static_cast<const NewExpr *>(E);
+      if (N->Resolved)
+        UF.unite(ProcElem[P], TypeElem.at(N->Resolved));
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto *B = static_cast<const BinaryExpr *>(E);
+      walkExpr(P, B->Lhs.get());
+      walkExpr(P, B->Rhs.get());
+      return;
+    }
+    case ExprKind::Unary:
+      walkExpr(P, static_cast<const UnaryExpr *>(E)->Sub.get());
+      return;
+    case ExprKind::Unchecked:
+      walkExpr(P, static_cast<const UncheckedExpr *>(E)->Sub.get());
+      return;
+    }
+  }
+
+  const Module &M;
+  const SemaInfo &Info;
+  UnionFind UF;
+  std::unordered_map<const ObjectTypeInfo *, UnionFind::Id> TypeElem;
+  std::unordered_map<const ProcDecl *, UnionFind::Id> ProcElem;
+  std::unordered_map<int, UnionFind::Id> GlobalElem;
+};
+
+} // namespace
+
+StaticPartitionResult computeStaticPartitions(const Module &M,
+                                              const SemaInfo &Info) {
+  PartitionBuilder B(M, Info);
+  return B.run();
+}
+
+} // namespace alphonse::transform

@@ -1,0 +1,58 @@
+//===- StaticPartition.h - Type-connectivity analysis -----------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static half of the Section 6.3 graph partitioning: "we construct a
+/// connectivity graph of types declared by the program ... directed edges
+/// are added from C(t1) to C(t2) if t1 has a pointer field that can point
+/// to an object of type t2 ... we augment this graph [with] each procedure
+/// call site that could be an incremental procedure instance ... The
+/// resulting connectivity graph is separated into disconnected
+/// components." Dependency-graph nodes are then born into the component of
+/// their representative, and the dynamic union-find refinement (already in
+/// graph/DepGraph) subdivides further.
+///
+/// Connectivity here is conservative: field reachability, inheritance
+/// (a supertype pointer can reach any subtype), procedure parameter /
+/// return / NEW types, and references to top-level variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_TRANSFORM_STATICPARTITION_H
+#define ALPHONSE_TRANSFORM_STATICPARTITION_H
+
+#include "lang/Sema.h"
+
+#include <unordered_map>
+
+namespace alphonse::transform {
+
+/// Component assignment for every type, procedure, and global.
+struct StaticPartitionResult {
+  int NumComponents = 0;
+  std::unordered_map<const lang::ObjectTypeInfo *, int> TypeComponent;
+  std::unordered_map<const lang::ProcDecl *, int> ProcComponent;
+  /// Keyed by GlobalDecl::Index.
+  std::unordered_map<int, int> GlobalComponent;
+
+  /// True when the two procedures land in one component (and hence share
+  /// an instance of quiescence propagation).
+  bool sameComponent(const lang::ProcDecl *A, const lang::ProcDecl *B) const {
+    auto IA = ProcComponent.find(A);
+    auto IB = ProcComponent.find(B);
+    return IA != ProcComponent.end() && IB != ProcComponent.end() &&
+           IA->second == IB->second;
+  }
+};
+
+/// Computes the static connectivity components of \p M.
+StaticPartitionResult computeStaticPartitions(const lang::Module &M,
+                                              const lang::SemaInfo &Info);
+
+} // namespace alphonse::transform
+
+#endif // ALPHONSE_TRANSFORM_STATICPARTITION_H

@@ -1,0 +1,196 @@
+//===- Transform.cpp - The Section 5 program transformation ---------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Transform.h"
+
+using namespace alphonse::lang;
+
+namespace alphonse::transform {
+
+namespace {
+
+class Transformer {
+public:
+  Transformer(Module &M, const SemaInfo &Info, TransformOptions Opts)
+      : M(M), Info(Info), Opts(Opts) {}
+
+  TransformStats run() {
+    // Precompute: can any method dispatch reach a maintained impl? With a
+    // closed program we can answer per-slot conservatively; we keep the
+    // simpler whole-program answer (any maintained binding at all).
+    for (const auto &T : Info.Types)
+      for (const MethodImpl &MI : T->VTable)
+        if (MI.Pragma.Kind == ProcPragma::Maintained)
+          AnyMaintainedMethod = true;
+
+    for (GlobalDecl &G : M.Globals)
+      if (G.Init)
+        walkExpr(G.Init.get(), /*IsRead=*/true);
+    for (auto &P : M.Procs)
+      walkStmts(P->Body);
+    return Stats;
+  }
+
+private:
+  void walkStmts(std::vector<StmtPtr> &Stmts) {
+    for (StmtPtr &S : Stmts)
+      walkStmt(S.get());
+  }
+
+  void walkStmt(Stmt *S) {
+    switch (S->Kind) {
+    case StmtKind::Assign: {
+      auto *A = static_cast<AssignStmt *>(S);
+      walkExpr(A->Value.get(), /*IsRead=*/true);
+      // The target is written, not read — but a field target's *base* is
+      // read to locate the object, and the modify(l, v) operation itself
+      // starts with access(l) at run time (Algorithm 4).
+      ++Stats.WritesTotal;
+      if (A->Target->Kind == ExprKind::FieldAccess) {
+        auto *F = static_cast<FieldAccessExpr *>(A->Target.get());
+        walkExpr(F->Base.get(), /*IsRead=*/true);
+        A->TrackedModify = true; // Heap storage is always top-level.
+        ++Stats.WritesWrapped;
+      } else {
+        auto *N = static_cast<NameRefExpr *>(A->Target.get());
+        bool Wrap = N->Binding == NameBinding::Global ||
+                    !Opts.OptimizeLocalAccesses;
+        A->TrackedModify = Wrap;
+        if (Wrap)
+          ++Stats.WritesWrapped;
+      }
+      return;
+    }
+    case StmtKind::If: {
+      auto *I = static_cast<IfStmt *>(S);
+      for (IfStmt::Arm &Arm : I->Arms) {
+        walkExpr(Arm.Cond.get(), true);
+        walkStmts(Arm.Body);
+      }
+      walkStmts(I->ElseBody);
+      return;
+    }
+    case StmtKind::While: {
+      auto *W = static_cast<WhileStmt *>(S);
+      walkExpr(W->Cond.get(), true);
+      walkStmts(W->Body);
+      return;
+    }
+    case StmtKind::For: {
+      auto *F = static_cast<ForStmt *>(S);
+      walkExpr(F->From.get(), true);
+      walkExpr(F->To.get(), true);
+      walkStmts(F->Body);
+      return;
+    }
+    case StmtKind::Return: {
+      auto *R = static_cast<ReturnStmt *>(S);
+      if (R->Value)
+        walkExpr(R->Value.get(), true);
+      return;
+    }
+    case StmtKind::Expr:
+      walkExpr(static_cast<ExprStmt *>(S)->E.get(), true);
+      return;
+    }
+  }
+
+  void walkExpr(Expr *E, bool IsRead) {
+    switch (E->Kind) {
+    case ExprKind::IntLit:
+    case ExprKind::BoolLit:
+    case ExprKind::TextLit:
+    case ExprKind::NilLit:
+      return;
+    case ExprKind::NameRef: {
+      auto *N = static_cast<NameRefExpr *>(E);
+      if (!IsRead)
+        return;
+      ++Stats.ReadsTotal;
+      bool Wrap = N->Binding == NameBinding::Global ||
+                  !Opts.OptimizeLocalAccesses;
+      N->TrackedAccess = Wrap;
+      if (Wrap)
+        ++Stats.ReadsWrapped;
+      return;
+    }
+    case ExprKind::FieldAccess: {
+      auto *F = static_cast<FieldAccessExpr *>(E);
+      // "Pointers must be accessed twice, once for the pointer, once for
+      // the location it points to" — the base is itself a read.
+      walkExpr(F->Base.get(), true);
+      if (!IsRead)
+        return;
+      ++Stats.ReadsTotal;
+      F->TrackedAccess = true; // Heap fields are always top-level storage.
+      ++Stats.ReadsWrapped;
+      return;
+    }
+    case ExprKind::Call: {
+      auto *C = static_cast<CallExpr *>(E);
+      for (ExprPtr &A : C->Args)
+        walkExpr(A.get(), true);
+      if (C->BuiltinIndex >= 0)
+        return; // Builtins are pure runtime services, never incremental.
+      ++Stats.CallsTotal;
+      bool Check = !Opts.OptimizeCallChecks ||
+                   (C->Resolved &&
+                    C->Resolved->Pragma.Kind == ProcPragma::Cached);
+      C->CheckedCall = Check;
+      if (Check)
+        ++Stats.CallsChecked;
+      return;
+    }
+    case ExprKind::MethodCall: {
+      auto *C = static_cast<MethodCallExpr *>(E);
+      walkExpr(C->Base.get(), true);
+      for (ExprPtr &A : C->Args)
+        walkExpr(A.get(), true);
+      ++Stats.CallsTotal;
+      // Dynamic dispatch: checked unless no maintained method exists
+      // anywhere in the program.
+      bool Check = !Opts.OptimizeCallChecks || AnyMaintainedMethod;
+      C->CheckedCall = Check;
+      if (Check)
+        ++Stats.CallsChecked;
+      return;
+    }
+    case ExprKind::New:
+      return;
+    case ExprKind::Binary: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      walkExpr(B->Lhs.get(), true);
+      walkExpr(B->Rhs.get(), true);
+      return;
+    }
+    case ExprKind::Unary:
+      walkExpr(static_cast<UnaryExpr *>(E)->Sub.get(), true);
+      return;
+    case ExprKind::Unchecked:
+      // Contents transform normally; the null call-stack frame at run time
+      // makes the recorded accesses inert (Section 6.4).
+      walkExpr(static_cast<UncheckedExpr *>(E)->Sub.get(), IsRead);
+      return;
+    }
+  }
+
+  Module &M;
+  const SemaInfo &Info;
+  TransformOptions Opts;
+  TransformStats Stats;
+  bool AnyMaintainedMethod = false;
+};
+
+} // namespace
+
+TransformStats transform(Module &M, const SemaInfo &Info,
+                         TransformOptions Opts) {
+  Transformer T(M, Info, Opts);
+  return T.run();
+}
+
+} // namespace alphonse::transform

@@ -1,0 +1,60 @@
+//===- Transform.h - The Section 5 program transformation -------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Alphonse program transformation (Section 5): rewrites every storage
+/// read into access(v), every storage write into modify(l, v), and every
+/// procedure/method call into call(p, a1..ak), by setting the
+/// corresponding AST flags the interpreter and unparser consume.
+///
+/// The static optimization of Section 6.1 ("we use dataflow analysis to
+/// identify the many variables and procedures where the results of these
+/// tests are statically known") is implemented by the default options:
+/// locals and parameters are provably non-top-level in Alphonse-L (there
+/// are no VAR parameters or pointers to locals), so their accesses are not
+/// wrapped, and calls to procedures that can never be incremental are not
+/// checked. Turning the options off models the naive transformer, for the
+/// E12 ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_TRANSFORM_TRANSFORM_H
+#define ALPHONSE_TRANSFORM_TRANSFORM_H
+
+#include "lang/Sema.h"
+
+#include <cstdint>
+
+namespace alphonse::transform {
+
+/// Counters describing how much instrumentation the transformation
+/// inserted (experiment E12 reports wrapped/total ratios).
+struct TransformStats {
+  uint64_t ReadsTotal = 0;
+  uint64_t ReadsWrapped = 0;
+  uint64_t WritesTotal = 0;
+  uint64_t WritesWrapped = 0;
+  uint64_t CallsTotal = 0;
+  uint64_t CallsChecked = 0;
+};
+
+struct TransformOptions {
+  /// Section 6.1: skip access() on storage statically known to be local.
+  bool OptimizeLocalAccesses = true;
+  /// Section 6.1: skip call() checks on calls that can never reach an
+  /// incremental procedure.
+  bool OptimizeCallChecks = true;
+};
+
+/// Applies the transformation in place over every procedure body and
+/// global initializer of \p M. Idempotent.
+TransformStats transform(lang::Module &M, const lang::SemaInfo &Info,
+                         TransformOptions Opts = TransformOptions());
+
+} // namespace alphonse::transform
+
+#endif // ALPHONSE_TRANSFORM_TRANSFORM_H

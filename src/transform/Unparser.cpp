@@ -1,0 +1,352 @@
+//===- Unparser.cpp - Alphonse-L pretty printer ---------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Unparser.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace alphonse::lang;
+
+namespace alphonse::transform {
+
+namespace {
+
+class Printer {
+public:
+  std::string module(const Module &M) {
+    for (const TypeDecl &T : M.Types)
+      typeDecl(T);
+    if (!M.Globals.empty()) {
+      OS << "VAR\n";
+      for (const GlobalDecl &G : M.Globals) {
+        OS << "  " << G.Name << " : " << G.Type.Name;
+        if (G.Init)
+          OS << " := " << exprStr(*G.Init);
+        OS << ";\n";
+      }
+      OS << "\n";
+    }
+    for (const auto &P : M.Procs)
+      procDecl(*P);
+    return OS.str();
+  }
+
+  std::string exprStr(const Expr &E) {
+    std::ostringstream Sub;
+    printExpr(Sub, E);
+    return Sub.str();
+  }
+
+  std::string stmtStr(const Stmt &S, int Indent) {
+    std::ostringstream Sub;
+    printStmt(Sub, S, Indent);
+    return Sub.str();
+  }
+
+private:
+  static const char *pragmaStr(const PragmaInfo &P) {
+    if (P.Kind == ProcPragma::Maintained)
+      return P.Strategy == EvalStrategy::Eager ? "(*MAINTAINED EAGER*) "
+                                               : "(*MAINTAINED*) ";
+    if (P.Kind == ProcPragma::Cached)
+      return P.Strategy == EvalStrategy::Eager ? "(*CACHED EAGER*) "
+                                               : "(*CACHED*) ";
+    return "";
+  }
+
+  void typeDecl(const TypeDecl &T) {
+    OS << "TYPE " << T.Name << " = ";
+    if (!T.SuperName.empty())
+      OS << T.SuperName << " ";
+    OS << "OBJECT\n";
+    for (const FieldDecl &F : T.Fields)
+      OS << "  " << F.Name << " : " << F.Type.Name << ";\n";
+    if (!T.Methods.empty()) {
+      OS << "METHODS\n";
+      for (const MethodDecl &MD : T.Methods) {
+        OS << "  " << pragmaStr(MD.Pragma) << MD.Name << "(";
+        for (size_t I = 0; I < MD.Params.size(); ++I) {
+          if (I)
+            OS << "; ";
+          OS << MD.Params[I].Name << " : " << MD.Params[I].Type.Name;
+        }
+        OS << ")";
+        if (MD.RetType)
+          OS << " : " << MD.RetType->Name;
+        OS << " := " << MD.ImplName << ";\n";
+      }
+    }
+    if (!T.Overrides.empty()) {
+      OS << "OVERRIDES\n";
+      for (const OverrideDecl &OD : T.Overrides)
+        OS << "  " << pragmaStr(OD.Pragma) << OD.Name << " := "
+           << OD.ImplName << ";\n";
+    }
+    OS << "END;\n\n";
+  }
+
+  void procDecl(const ProcDecl &P) {
+    OS << pragmaStr(P.Pragma) << "PROCEDURE " << P.Name << "(";
+    for (size_t I = 0; I < P.Params.size(); ++I) {
+      if (I)
+        OS << "; ";
+      OS << P.Params[I].Name << " : " << P.Params[I].Type.Name;
+    }
+    OS << ")";
+    if (P.RetType)
+      OS << " : " << P.RetType->Name;
+    OS << " =\n";
+    if (!P.Locals.empty()) {
+      OS << "VAR\n";
+      for (const LocalDecl &L : P.Locals) {
+        OS << "  " << L.Name << " : " << L.Type.Name;
+        if (L.Init)
+          OS << " := " << exprStr(*L.Init);
+        OS << ";\n";
+      }
+    }
+    OS << "BEGIN\n";
+    for (const StmtPtr &S : P.Body)
+      printStmt(OS, *S, 1);
+    OS << "END " << P.Name << ";\n\n";
+  }
+
+  static void indentTo(std::ostream &Out, int Indent) {
+    for (int I = 0; I < Indent; ++I)
+      Out << "  ";
+  }
+
+  void printStmts(std::ostream &Out, const std::vector<StmtPtr> &Stmts,
+                  int Indent) {
+    for (const StmtPtr &S : Stmts)
+      printStmt(Out, *S, Indent);
+  }
+
+  void printStmt(std::ostream &Out, const Stmt &S, int Indent) {
+    indentTo(Out, Indent);
+    switch (S.Kind) {
+    case StmtKind::Assign: {
+      const auto &A = static_cast<const AssignStmt &>(S);
+      if (A.TrackedModify) {
+        Out << "modify(";
+        printExpr(Out, *A.Target);
+        Out << ", ";
+        printExpr(Out, *A.Value);
+        Out << ");\n";
+      } else {
+        printExpr(Out, *A.Target);
+        Out << " := ";
+        printExpr(Out, *A.Value);
+        Out << ";\n";
+      }
+      return;
+    }
+    case StmtKind::If: {
+      const auto &I = static_cast<const IfStmt &>(S);
+      for (size_t A = 0; A < I.Arms.size(); ++A) {
+        if (A != 0)
+          indentTo(Out, Indent);
+        Out << (A == 0 ? "IF " : "ELSIF ");
+        printExpr(Out, *I.Arms[A].Cond);
+        Out << " THEN\n";
+        printStmts(Out, I.Arms[A].Body, Indent + 1);
+      }
+      if (!I.ElseBody.empty()) {
+        indentTo(Out, Indent);
+        Out << "ELSE\n";
+        printStmts(Out, I.ElseBody, Indent + 1);
+      }
+      indentTo(Out, Indent);
+      Out << "END;\n";
+      return;
+    }
+    case StmtKind::While: {
+      const auto &W = static_cast<const WhileStmt &>(S);
+      Out << "WHILE ";
+      printExpr(Out, *W.Cond);
+      Out << " DO\n";
+      printStmts(Out, W.Body, Indent + 1);
+      indentTo(Out, Indent);
+      Out << "END;\n";
+      return;
+    }
+    case StmtKind::For: {
+      const auto &F = static_cast<const ForStmt &>(S);
+      Out << "FOR " << F.Var << " := ";
+      printExpr(Out, *F.From);
+      Out << " TO ";
+      printExpr(Out, *F.To);
+      Out << " DO\n";
+      printStmts(Out, F.Body, Indent + 1);
+      indentTo(Out, Indent);
+      Out << "END;\n";
+      return;
+    }
+    case StmtKind::Return: {
+      const auto &R = static_cast<const ReturnStmt &>(S);
+      Out << "RETURN";
+      if (R.Value) {
+        Out << " ";
+        printExpr(Out, *R.Value);
+      }
+      Out << ";\n";
+      return;
+    }
+    case StmtKind::Expr: {
+      printExpr(Out, *static_cast<const ExprStmt &>(S).E);
+      Out << ";\n";
+      return;
+    }
+    }
+  }
+
+  static const char *binOpStr(BinaryOp Op) {
+    switch (Op) {
+    case BinaryOp::Add:
+      return " + ";
+    case BinaryOp::Sub:
+      return " - ";
+    case BinaryOp::Mul:
+      return " * ";
+    case BinaryOp::Div:
+      return " DIV ";
+    case BinaryOp::Mod:
+      return " MOD ";
+    case BinaryOp::Eq:
+      return " = ";
+    case BinaryOp::Ne:
+      return " # ";
+    case BinaryOp::Lt:
+      return " < ";
+    case BinaryOp::Le:
+      return " <= ";
+    case BinaryOp::Gt:
+      return " > ";
+    case BinaryOp::Ge:
+      return " >= ";
+    case BinaryOp::And:
+      return " AND ";
+    case BinaryOp::Or:
+      return " OR ";
+    case BinaryOp::Concat:
+      return " & ";
+    }
+    return " ? ";
+  }
+
+  void printExpr(std::ostream &Out, const Expr &E) {
+    // access(...) wrapping shows where the Algorithm 3 operation landed.
+    if (E.TrackedAccess)
+      Out << "access(";
+    printExprBare(Out, E);
+    if (E.TrackedAccess)
+      Out << ")";
+  }
+
+  void printExprBare(std::ostream &Out, const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      Out << static_cast<const IntLitExpr &>(E).Value;
+      return;
+    case ExprKind::BoolLit:
+      Out << (static_cast<const BoolLitExpr &>(E).Value ? "TRUE" : "FALSE");
+      return;
+    case ExprKind::TextLit:
+      Out << '"' << static_cast<const TextLitExpr &>(E).Value << '"';
+      return;
+    case ExprKind::NilLit:
+      Out << "NIL";
+      return;
+    case ExprKind::NameRef:
+      Out << static_cast<const NameRefExpr &>(E).Name;
+      return;
+    case ExprKind::FieldAccess: {
+      const auto &F = static_cast<const FieldAccessExpr &>(E);
+      printExpr(Out, *F.Base);
+      Out << "." << F.Field;
+      return;
+    }
+    case ExprKind::Call: {
+      const auto &C = static_cast<const CallExpr &>(E);
+      if (C.CheckedCall)
+        Out << "call(" << C.Callee << (C.Args.empty() ? "" : ", ");
+      else
+        Out << C.Callee << "(";
+      for (size_t I = 0; I < C.Args.size(); ++I) {
+        if (I)
+          Out << ", ";
+        printExpr(Out, *C.Args[I]);
+      }
+      Out << ")";
+      return;
+    }
+    case ExprKind::MethodCall: {
+      const auto &C = static_cast<const MethodCallExpr &>(E);
+      if (C.CheckedCall) {
+        Out << "call(";
+        printExpr(Out, *C.Base);
+        Out << "." << C.Method << (C.Args.empty() ? "" : ", ");
+      } else {
+        printExpr(Out, *C.Base);
+        Out << "." << C.Method << "(";
+      }
+      for (size_t I = 0; I < C.Args.size(); ++I) {
+        if (I)
+          Out << ", ";
+        printExpr(Out, *C.Args[I]);
+      }
+      Out << ")";
+      return;
+    }
+    case ExprKind::New:
+      Out << "NEW(" << static_cast<const NewExpr &>(E).TypeName << ")";
+      return;
+    case ExprKind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      Out << "(";
+      printExpr(Out, *B.Lhs);
+      Out << binOpStr(B.Op);
+      printExpr(Out, *B.Rhs);
+      Out << ")";
+      return;
+    }
+    case ExprKind::Unary: {
+      const auto &U = static_cast<const UnaryExpr &>(E);
+      Out << (U.Op == UnaryOp::Neg ? "-" : "NOT ");
+      printExpr(Out, *U.Sub);
+      return;
+    }
+    case ExprKind::Unchecked: {
+      Out << "(*UNCHECKED*) ";
+      printExpr(Out, *static_cast<const UncheckedExpr &>(E).Sub);
+      return;
+    }
+    }
+  }
+
+  std::ostringstream OS;
+};
+
+} // namespace
+
+std::string unparse(const Module &M) {
+  Printer P;
+  return P.module(M);
+}
+
+std::string unparseExpr(const Expr &E) {
+  Printer P;
+  return P.exprStr(E);
+}
+
+std::string unparseStmt(const Stmt &S, int Indent) {
+  Printer P;
+  return P.stmtStr(S, Indent);
+}
+
+} // namespace alphonse::transform

@@ -1,0 +1,39 @@
+//===- Unparser.h - Alphonse-L pretty printer -------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a module back to Alphonse-L source. The paper's implementation
+/// works by source-to-source translation (Section 8: "Unparsing the syntax
+/// tree will then yield a pure Modula-3 program containing the code
+/// fragments of Section 5"); this unparser shows transformed nodes as the
+/// inserted operations, exactly like Algorithm 2's example:
+///
+///   modify(access(p), call(p2, a + access(b) + c, access(access(y))))
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_TRANSFORM_UNPARSER_H
+#define ALPHONSE_TRANSFORM_UNPARSER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace alphonse::transform {
+
+/// Renders the whole module (declarations, procedures, bodies).
+std::string unparse(const lang::Module &M);
+
+/// Renders one expression (test convenience).
+std::string unparseExpr(const lang::Expr &E);
+
+/// Renders one statement at the given indent depth.
+std::string unparseStmt(const lang::Stmt &S, int Indent = 0);
+
+} // namespace alphonse::transform
+
+#endif // ALPHONSE_TRANSFORM_UNPARSER_H

@@ -1,0 +1,154 @@
+//===- ClassicAvl.cpp - Hand-written AVL baseline -------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trees/ClassicAvl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace alphonse::trees {
+
+void ClassicAvl::update(Node *N) {
+  N->Height = std::max(nodeHeight(N->Left.get()), nodeHeight(N->Right.get())) +
+              1;
+}
+
+int ClassicAvl::balanceFactor(const Node *N) {
+  return nodeHeight(N->Left.get()) - nodeHeight(N->Right.get());
+}
+
+std::unique_ptr<ClassicAvl::Node>
+ClassicAvl::rotateRight(std::unique_ptr<Node> N) {
+  std::unique_ptr<Node> S = std::move(N->Left);
+  N->Left = std::move(S->Right);
+  update(N.get());
+  S->Right = std::move(N);
+  update(S.get());
+  return S;
+}
+
+std::unique_ptr<ClassicAvl::Node>
+ClassicAvl::rotateLeft(std::unique_ptr<Node> N) {
+  std::unique_ptr<Node> S = std::move(N->Right);
+  N->Right = std::move(S->Left);
+  update(N.get());
+  S->Left = std::move(N);
+  update(S.get());
+  return S;
+}
+
+std::unique_ptr<ClassicAvl::Node>
+ClassicAvl::rebalance(std::unique_ptr<Node> N) {
+  update(N.get());
+  int BF = balanceFactor(N.get());
+  if (BF > 1) {
+    if (balanceFactor(N->Left.get()) < 0)
+      N->Left = rotateLeft(std::move(N->Left));
+    return rotateRight(std::move(N));
+  }
+  if (BF < -1) {
+    if (balanceFactor(N->Right.get()) > 0)
+      N->Right = rotateRight(std::move(N->Right));
+    return rotateLeft(std::move(N));
+  }
+  return N;
+}
+
+std::unique_ptr<ClassicAvl::Node>
+ClassicAvl::insertInto(std::unique_ptr<Node> N, int Key) {
+  if (!N) {
+    ++Count;
+    return std::make_unique<Node>(Key);
+  }
+  if (Key < N->Key)
+    N->Left = insertInto(std::move(N->Left), Key);
+  else if (Key > N->Key)
+    N->Right = insertInto(std::move(N->Right), Key);
+  else
+    return N; // Duplicate.
+  return rebalance(std::move(N));
+}
+
+std::unique_ptr<ClassicAvl::Node>
+ClassicAvl::removeFrom(std::unique_ptr<Node> N, int Key, bool &Removed) {
+  if (!N)
+    return N;
+  if (Key < N->Key) {
+    N->Left = removeFrom(std::move(N->Left), Key, Removed);
+  } else if (Key > N->Key) {
+    N->Right = removeFrom(std::move(N->Right), Key, Removed);
+  } else {
+    Removed = true;
+    --Count;
+    if (!N->Left)
+      return std::move(N->Right);
+    if (!N->Right)
+      return std::move(N->Left);
+    Node *Succ = N->Right.get();
+    while (Succ->Left)
+      Succ = Succ->Left.get();
+    N->Key = Succ->Key;
+    bool Inner = false;
+    N->Right = removeFrom(std::move(N->Right), N->Key, Inner);
+    assert(Inner && "successor key vanished during delete");
+    ++Count; // The inner removal decremented for the moved key.
+  }
+  return rebalance(std::move(N));
+}
+
+void ClassicAvl::insert(int Key) { RootNode = insertInto(std::move(RootNode), Key); }
+
+bool ClassicAvl::erase(int Key) {
+  bool Removed = false;
+  RootNode = removeFrom(std::move(RootNode), Key, Removed);
+  return Removed;
+}
+
+bool ClassicAvl::contains(int Key) const {
+  const Node *N = RootNode.get();
+  while (N) {
+    if (Key == N->Key)
+      return true;
+    N = (Key < N->Key) ? N->Left.get() : N->Right.get();
+  }
+  return false;
+}
+
+bool ClassicAvl::checkAvl(const Node *N, int *HeightOut) {
+  if (!N) {
+    *HeightOut = 0;
+    return true;
+  }
+  int HL = 0, HR = 0;
+  if (!checkAvl(N->Left.get(), &HL) || !checkAvl(N->Right.get(), &HR))
+    return false;
+  *HeightOut = std::max(HL, HR) + 1;
+  return std::abs(HL - HR) <= 1 && N->Height == *HeightOut;
+}
+
+bool ClassicAvl::checkBst(const Node *N, const int *Lo, const int *Hi) {
+  if (!N)
+    return true;
+  if (Lo && N->Key <= *Lo)
+    return false;
+  if (Hi && N->Key >= *Hi)
+    return false;
+  return checkBst(N->Left.get(), Lo, &N->Key) &&
+         checkBst(N->Right.get(), &N->Key, Hi);
+}
+
+bool ClassicAvl::isAvlBalanced() const {
+  int H = 0;
+  return checkAvl(RootNode.get(), &H);
+}
+
+bool ClassicAvl::isBst() const {
+  return checkBst(RootNode.get(), nullptr, nullptr);
+}
+
+} // namespace alphonse::trees

@@ -1,0 +1,70 @@
+//===- ClassicAvl.h - Hand-written AVL baseline -----------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textbook AVL tree with stored heights and eager per-insert
+/// rebalancing — the "complex algorithm typically used" that Section 1 of
+/// the paper contrasts with Alphonse's exhaustive specification, and the
+/// comparator for experiment E6. No incremental runtime involved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_TREES_CLASSICAVL_H
+#define ALPHONSE_TREES_CLASSICAVL_H
+
+#include <cstddef>
+#include <memory>
+
+namespace alphonse::trees {
+
+/// Conventional AVL search tree (insert/erase/contains in O(log n)).
+class ClassicAvl {
+public:
+  ClassicAvl() = default;
+
+  /// Inserts \p Key; duplicates are ignored.
+  void insert(int Key);
+  /// Removes \p Key. \returns true if it was present.
+  bool erase(int Key);
+  /// Membership test.
+  bool contains(int Key) const;
+  /// Height of the tree (0 when empty).
+  int height() const { return nodeHeight(RootNode.get()); }
+  size_t size() const { return Count; }
+  /// Test oracle: the AVL balance invariant.
+  bool isAvlBalanced() const;
+  /// Test oracle: strict BST ordering.
+  bool isBst() const;
+
+private:
+  struct Node {
+    explicit Node(int Key) : Key(Key) {}
+    int Key;
+    int Height = 1;
+    std::unique_ptr<Node> Left;
+    std::unique_ptr<Node> Right;
+  };
+
+  static int nodeHeight(const Node *N) { return N ? N->Height : 0; }
+  static void update(Node *N);
+  static int balanceFactor(const Node *N);
+  static std::unique_ptr<Node> rotateRight(std::unique_ptr<Node> N);
+  static std::unique_ptr<Node> rotateLeft(std::unique_ptr<Node> N);
+  static std::unique_ptr<Node> rebalance(std::unique_ptr<Node> N);
+  std::unique_ptr<Node> insertInto(std::unique_ptr<Node> N, int Key);
+  std::unique_ptr<Node> removeFrom(std::unique_ptr<Node> N, int Key,
+                                   bool &Removed);
+  static bool checkAvl(const Node *N, int *HeightOut);
+  static bool checkBst(const Node *N, const int *Lo, const int *Hi);
+
+  std::unique_ptr<Node> RootNode;
+  size_t Count = 0;
+};
+
+} // namespace alphonse::trees
+
+#endif // ALPHONSE_TREES_CLASSICAVL_H

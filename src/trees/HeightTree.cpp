@@ -1,0 +1,62 @@
+//===- HeightTree.cpp - Maintained-height binary tree ---------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trees/HeightTree.h"
+
+#include <algorithm>
+
+namespace alphonse::trees {
+
+HeightTree::Node::Node(Runtime &RT)
+    : Left(RT, nullptr, "tree.left"), Right(RT, nullptr, "tree.right") {}
+
+HeightTree::Node::~Node() = default;
+
+int HeightTree::Node::computeHeight(HeightTree &Tree) {
+  // PROCEDURE Height(t): RETURN max(t.left.height(), t.right.height()) + 1.
+  int LeftHeight = Tree.height(Left.get());
+  int RightHeight = Tree.height(Right.get());
+  return std::max(LeftHeight, RightHeight) + 1;
+}
+
+HeightTree::HeightTree(Runtime &RT)
+    : RT(RT),
+      Height(
+          RT, [this](Node *N) { return N->computeHeight(*this); },
+          EvalStrategy::Demand, "Tree.height"),
+      NilNode(RT) {}
+
+HeightTree::~HeightTree() = default;
+
+HeightTree::Node *HeightTree::makeNode() {
+  auto Owned = std::make_unique<Node>(RT);
+  Node *N = Owned.get();
+  N->Left.set(&NilNode);
+  N->Right.set(&NilNode);
+  Pool.push_back(std::move(Owned));
+  return N;
+}
+
+void HeightTree::discard(Node *N) {
+  assert(N != &NilNode && "cannot discard the shared nil node");
+  Height.erase(N);
+  auto It = std::find_if(Pool.begin(), Pool.end(),
+                         [N](const auto &P) { return P.get() == N; });
+  assert(It != Pool.end() && "discarding a node this tree does not own");
+  *It = std::move(Pool.back());
+  Pool.pop_back();
+}
+
+int HeightTree::exhaustiveHeight(const Node *N, const Node *Nil) {
+  if (N == Nil)
+    return 0;
+  return std::max(exhaustiveHeight(N->Left.peek(), Nil),
+                  exhaustiveHeight(N->Right.peek(), Nil)) +
+         1;
+}
+
+} // namespace alphonse::trees

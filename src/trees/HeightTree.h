@@ -1,0 +1,106 @@
+//===- HeightTree.h - Maintained-height binary tree -------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example (Algorithm 1): a binary tree whose `height`
+/// method is (*MAINTAINED*). The exhaustive specification is the obvious
+/// bottom-up recursion; the incremental runtime turns it into cached
+/// per-node heights that update along the root path after a pointer change,
+/// with batching across multiple changes (Section 3.4's cost claims are
+/// experiments E1–E3).
+///
+/// The paper's TreeNil object — one shared node standing in for missing
+/// children, with `height` overridden to return 0 — is reproduced with a
+/// virtual `computeHeight`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_TREES_HEIGHTTREE_H
+#define ALPHONSE_TREES_HEIGHTTREE_H
+
+#include "core/Alphonse.h"
+
+#include <memory>
+#include <vector>
+
+namespace alphonse::trees {
+
+/// A binary tree with an incrementally maintained height method.
+///
+/// Nodes are owned by the tree. `height(n)` is the Alphonse procedure; the
+/// mutator changes the shape with setLeft()/setRight() and re-demands
+/// heights at any time.
+class HeightTree {
+public:
+  class Node {
+  public:
+    explicit Node(Runtime &RT);
+    virtual ~Node();
+
+    /// Child pointers are tracked storage: the height computation reads
+    /// them, so the mutator's pointer assignments propagate.
+    Cell<Node *> Left;
+    Cell<Node *> Right;
+
+  protected:
+    friend class HeightTree;
+    /// The exhaustive specification (procedure Height of Algorithm 1).
+    virtual int computeHeight(HeightTree &Tree);
+  };
+
+  explicit HeightTree(Runtime &RT);
+  ~HeightTree();
+
+  /// The shared TreeNil object (height 0, no children).
+  Node *nil() { return &NilNode; }
+
+  /// Allocates a fresh interior node with nil children.
+  Node *makeNode();
+
+  /// The maintained height method: O(|subtree|) on first demand, O(1) when
+  /// cached, O(path) after a change.
+  int height(Node *N) { return Height(N); }
+
+  /// Mutator operations (tracked writes).
+  void setLeft(Node *N, Node *Child) { N->Left.set(Child); }
+  void setRight(Node *N, Node *Child) { N->Right.set(Child); }
+
+  /// Destroys \p N and drops its cached height. The caller must first
+  /// unlink it from any parent.
+  void discard(Node *N);
+
+  /// Number of live interior nodes.
+  size_t size() const { return Pool.size(); }
+
+  Runtime &runtime() { return RT; }
+
+  /// Reference oracle for tests: recomputes the height exhaustively with no
+  /// incremental machinery.
+  static int exhaustiveHeight(const Node *N, const Node *Nil);
+
+private:
+  /// The TreeNil subtype with the overridden method.
+  class Sentinel final : public Node {
+  public:
+    explicit Sentinel(Runtime &RT) : Node(RT) {}
+
+  protected:
+    int computeHeight(HeightTree &) override { return 0; }
+  };
+
+  Runtime &RT;
+  /// Declared before Pool/NilNode users so it is destroyed after them...
+  /// destruction runs in reverse: Pool first (storage nodes unregister and
+  /// invalidate instances), then Height's instance table.
+  Maintained<int(Node *)> Height;
+  Sentinel NilNode;
+  std::vector<std::unique_ptr<Node>> Pool;
+};
+
+} // namespace alphonse::trees
+
+#endif // ALPHONSE_TREES_HEIGHTTREE_H

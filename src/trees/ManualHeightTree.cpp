@@ -1,0 +1,49 @@
+//===- ManualHeightTree.cpp - Hand-coded height maintenance ---------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trees/ManualHeightTree.h"
+
+#include <algorithm>
+
+namespace alphonse::trees {
+
+ManualHeightTree::Node *ManualHeightTree::makeNode() {
+  Pool.push_back(std::make_unique<Node>());
+  return Pool.back().get();
+}
+
+void ManualHeightTree::setLeft(Node *N, Node *Child) {
+  if (N->Left)
+    N->Left->Parent = nullptr;
+  N->Left = Child;
+  if (Child)
+    Child->Parent = N;
+  repairUpward(N);
+}
+
+void ManualHeightTree::setRight(Node *N, Node *Child) {
+  if (N->Right)
+    N->Right->Parent = nullptr;
+  N->Right = Child;
+  if (Child)
+    Child->Parent = N;
+  repairUpward(N);
+}
+
+void ManualHeightTree::repairUpward(Node *N) {
+  while (N) {
+    ++Updates;
+    int NewHeight =
+        std::max(height(N->Left), height(N->Right)) + 1;
+    if (NewHeight == N->Height)
+      return; // Height unchanged: ancestors are already correct.
+    N->Height = NewHeight;
+    N = N->Parent;
+  }
+}
+
+} // namespace alphonse::trees

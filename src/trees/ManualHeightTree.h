@@ -1,0 +1,66 @@
+//===- ManualHeightTree.h - Hand-coded height maintenance ------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 9's "ambitious programmer": a binary tree that keeps a height
+/// field in every node and, on each pointer change, walks parent pointers
+/// to the root updating heights. This is the hand-coded competitor for the
+/// maintained-height tree of Algorithm 1 (experiments E1/E2/E3 baselines).
+/// Unlike the Alphonse version it cannot batch updates: ancestors shared
+/// by several changes are updated once per change.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_TREES_MANUALHEIGHTTREE_H
+#define ALPHONSE_TREES_MANUALHEIGHTTREE_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace alphonse::trees {
+
+/// Binary tree with eagerly maintained per-node heights and parent links.
+class ManualHeightTree {
+public:
+  struct Node {
+    Node *Left = nullptr;
+    Node *Right = nullptr;
+    Node *Parent = nullptr;
+    int Height = 1;
+  };
+
+  /// Allocates a fresh leaf node.
+  Node *makeNode();
+
+  /// Links \p Child (may be null) as the left child of \p N and repairs
+  /// heights up the root path.
+  void setLeft(Node *N, Node *Child);
+  /// Links \p Child (may be null) as the right child of \p N and repairs
+  /// heights up the root path.
+  void setRight(Node *N, Node *Child);
+
+  /// Height of the subtree rooted at \p N (0 for null). O(1): the field is
+  /// maintained eagerly.
+  static int height(const Node *N) { return N ? N->Height : 0; }
+
+  size_t size() const { return Pool.size(); }
+
+  /// Number of per-node height updates performed so far (for the E3
+  /// batching comparison: this counts duplicate ancestor work).
+  uint64_t updateCount() const { return Updates; }
+
+private:
+  void repairUpward(Node *N);
+
+  std::vector<std::unique_ptr<Node>> Pool;
+  uint64_t Updates = 0;
+};
+
+} // namespace alphonse::trees
+
+#endif // ALPHONSE_TREES_MANUALHEIGHTTREE_H

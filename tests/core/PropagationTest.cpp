@@ -1,0 +1,276 @@
+//===- PropagationTest.cpp - Change propagation shape tests ---------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Propagation through characteristic dependency shapes: diamonds (no
+/// duplicate re-execution), deep chains, fan-out/fan-in, mixed
+/// eager/demand pipelines, and a randomized DAG stress test against a
+/// from-scratch oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Alphonse.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+namespace alphonse {
+namespace {
+
+TEST(PropagationTest, EagerDiamondExecutesEachNodeOnce) {
+  // x -> g, x -> h, {g,h} -> f. One change to x must run g, h, f once
+  // each (level-ordered processing), not f twice.
+  Runtime RT;
+  Cell<int> X(RT, 1);
+  int GRuns = 0, HRuns = 0, FRuns = 0;
+  Maintained<int()> G(
+      RT,
+      [&] {
+        ++GRuns;
+        return X.get() + 1;
+      },
+      EvalStrategy::Eager);
+  Maintained<int()> H(
+      RT,
+      [&] {
+        ++HRuns;
+        return X.get() * 2;
+      },
+      EvalStrategy::Eager);
+  Maintained<int()> F(
+      RT,
+      [&] {
+        ++FRuns;
+        return G() + H();
+      },
+      EvalStrategy::Eager);
+  EXPECT_EQ(F(), 4);
+  X.set(10);
+  RT.pump();
+  EXPECT_EQ(GRuns, 2);
+  EXPECT_EQ(HRuns, 2);
+  EXPECT_EQ(FRuns, 2); // Exactly one re-execution despite two paths.
+  EXPECT_EQ(F(), 31);
+  EXPECT_EQ(FRuns, 2); // The demand was a cache hit.
+}
+
+TEST(PropagationTest, DemandDiamondExecutesEachNodeOnce) {
+  Runtime RT;
+  Cell<int> X(RT, 1);
+  int Runs = 0;
+  Maintained<int(int)> Mid(RT, [&](int Which) {
+    ++Runs;
+    return X.get() + Which;
+  });
+  Maintained<int()> F(RT, [&] {
+    ++Runs;
+    return Mid(0) + Mid(100);
+  });
+  EXPECT_EQ(F(), 102);
+  EXPECT_EQ(Runs, 3);
+  X.set(5);
+  EXPECT_EQ(F(), 110);
+  EXPECT_EQ(Runs, 6); // Each of the three instances exactly once more.
+}
+
+TEST(PropagationTest, DeepChainPropagatesFully) {
+  constexpr int Depth = 200;
+  Runtime RT;
+  Cell<int> Base(RT, 0);
+  std::vector<std::unique_ptr<Maintained<int()>>> Chain;
+  for (int I = 0; I < Depth; ++I) {
+    Maintained<int()> *Prev = I ? Chain.back().get() : nullptr;
+    Cell<int> *B = &Base;
+    Chain.push_back(std::make_unique<Maintained<int()>>(
+        RT, [Prev, B] { return (Prev ? (*Prev)() : B->get()) + 1; }));
+  }
+  EXPECT_EQ((*Chain.back())(), Depth);
+  Base.set(1000);
+  EXPECT_EQ((*Chain.back())(), 1000 + Depth);
+  Base.set(-5);
+  EXPECT_EQ((*Chain.back())(), Depth - 5);
+}
+
+TEST(PropagationTest, FanOutInvalidatesAllReaders) {
+  constexpr int Readers = 50;
+  Runtime RT;
+  Cell<int> X(RT, 7);
+  int Runs = 0;
+  Maintained<int(int)> R(RT, [&](int I) {
+    ++Runs;
+    return X.get() + I;
+  });
+  for (int I = 0; I < Readers; ++I)
+    EXPECT_EQ(R(I), 7 + I);
+  EXPECT_EQ(Runs, Readers);
+  X.set(100);
+  for (int I = 0; I < Readers; ++I)
+    EXPECT_EQ(R(I), 100 + I);
+  EXPECT_EQ(Runs, 2 * Readers);
+}
+
+TEST(PropagationTest, FanInReexecutesOnceForBatchedChanges) {
+  constexpr int Inputs = 20;
+  Runtime RT;
+  std::vector<std::unique_ptr<Cell<int>>> Cells;
+  for (int I = 0; I < Inputs; ++I)
+    Cells.push_back(std::make_unique<Cell<int>>(RT, 1));
+  int Runs = 0;
+  Maintained<int()> Sum(RT, [&] {
+    ++Runs;
+    int S = 0;
+    for (auto &C : Cells)
+      S += C->get();
+    return S;
+  });
+  EXPECT_EQ(Sum(), Inputs);
+  // Change every input, then demand once: one re-execution.
+  for (auto &C : Cells)
+    C->set(2);
+  EXPECT_EQ(Sum(), 2 * Inputs);
+  EXPECT_EQ(Runs, 2);
+}
+
+TEST(PropagationTest, MixedStrategiesPipeline) {
+  // demand -> eager -> demand chain: the eager stage updates at the pump;
+  // the demand tail stays lazy until called.
+  Runtime RT;
+  Cell<int> X(RT, 1);
+  int DemRuns = 0, EagRuns = 0, TailRuns = 0;
+  Maintained<int()> Dem(RT, [&] {
+    ++DemRuns;
+    return X.get() + 1;
+  });
+  Maintained<int()> Eag(
+      RT,
+      [&] {
+        ++EagRuns;
+        return Dem() * 10;
+      },
+      EvalStrategy::Eager);
+  Maintained<int()> Tail(RT, [&] {
+    ++TailRuns;
+    return Eag() + 3;
+  });
+  EXPECT_EQ(Tail(), 23);
+  X.set(2);
+  RT.pump();
+  // The eager stage pulled the demand stage with it.
+  EXPECT_EQ(DemRuns, 2);
+  EXPECT_EQ(EagRuns, 2);
+  EXPECT_EQ(TailRuns, 1); // Not yet demanded.
+  EXPECT_EQ(Tail(), 33);
+  EXPECT_EQ(TailRuns, 2);
+}
+
+TEST(PropagationTest, NodesReleaseCleanly) {
+  Runtime RT;
+  {
+    Cell<int> X(RT, 1);
+    Maintained<int(int)> F(RT, [&](int K) { return X.get() + K; });
+    for (int I = 0; I < 32; ++I)
+      F(I);
+    EXPECT_EQ(RT.graph().numLiveNodes(), 33u);
+    EXPECT_EQ(RT.graph().numLiveEdges(), 32u);
+  }
+  EXPECT_EQ(RT.graph().numLiveNodes(), 0u);
+  EXPECT_EQ(RT.graph().numLiveEdges(), 0u);
+  EXPECT_EQ(RT.graph().numPending(), 0u);
+}
+
+/// Randomized DAG: K cells feed a layered web of maintained instances;
+/// after every batch of random writes the top values must equal a
+/// from-scratch functional oracle.
+class PropagationStressTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PropagationStressTest, RandomWriteBatchesMatchOracle) {
+  std::mt19937 Rng(GetParam());
+  constexpr int NumCells = 8;
+  constexpr int NumLayers = 4;
+  constexpr int PerLayer = 6;
+  Runtime RT;
+  std::vector<std::unique_ptr<Cell<int>>> Cells;
+  for (int I = 0; I < NumCells; ++I)
+    Cells.push_back(std::make_unique<Cell<int>>(RT, I));
+
+  // Wiring: each node picks two inputs from the previous layer (or cells)
+  // and an operation. The same wiring drives both the incremental web and
+  // the oracle.
+  struct Wire {
+    int A, B;
+    int Op; // 0: +, 1: -, 2: min, 3: *mod
+  };
+  std::vector<std::vector<Wire>> Wiring(NumLayers,
+                                        std::vector<Wire>(PerLayer));
+  for (int L = 0; L < NumLayers; ++L)
+    for (int N = 0; N < PerLayer; ++N) {
+      int Fan = (L == 0) ? NumCells : PerLayer;
+      Wiring[L][N] = {static_cast<int>(Rng() % Fan),
+                      static_cast<int>(Rng() % Fan),
+                      static_cast<int>(Rng() % 4)};
+    }
+  auto Combine = [](int Op, int A, int B) {
+    switch (Op) {
+    case 0:
+      return A + B;
+    case 1:
+      return A - B;
+    case 2:
+      return std::min(A, B);
+    default:
+      return (A * B) % 1000;
+    }
+  };
+
+  // The incremental web, one Maintained per layer keyed by index.
+  std::vector<std::unique_ptr<Maintained<int(int)>>> Layers;
+  for (int L = 0; L < NumLayers; ++L) {
+    Maintained<int(int)> *Prev = L ? Layers.back().get() : nullptr;
+    auto Body = [&, L, Prev](int N) {
+      const Wire &W = Wiring[L][N];
+      int A = Prev ? (*Prev)(W.A) : Cells[W.A]->get();
+      int B = Prev ? (*Prev)(W.B) : Cells[W.B]->get();
+      return Combine(W.Op, A, B);
+    };
+    Layers.push_back(
+        std::make_unique<Maintained<int(int)>>(RT, Body));
+  }
+
+  // Oracle: same wiring, recomputed from scratch.
+  auto Oracle = [&](int N) {
+    std::vector<int> Cur(NumCells);
+    for (int I = 0; I < NumCells; ++I)
+      Cur[I] = Cells[I]->peek();
+    for (int L = 0; L < NumLayers; ++L) {
+      std::vector<int> Next(PerLayer);
+      for (int J = 0; J < PerLayer; ++J) {
+        const Wire &W = Wiring[L][J];
+        Next[J] = Combine(W.Op, Cur[W.A], Cur[W.B]);
+      }
+      Cur = std::move(Next);
+    }
+    return Cur[N];
+  };
+
+  for (int Round = 0; Round < 60; ++Round) {
+    int Writes = 1 + static_cast<int>(Rng() % 4);
+    for (int W = 0; W < Writes; ++W)
+      Cells[Rng() % NumCells]->set(static_cast<int>(Rng() % 50));
+    for (int N = 0; N < PerLayer; ++N)
+      ASSERT_EQ((*Layers.back())(N), Oracle(N))
+          << "round " << Round << " output " << N;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationStressTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+} // namespace
+} // namespace alphonse

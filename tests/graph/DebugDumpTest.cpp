@@ -1,0 +1,100 @@
+//===- DebugDumpTest.cpp - Provenance dump tests --------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DebugDump.h"
+
+#include "core/Alphonse.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace alphonse {
+namespace {
+
+TEST(DebugDumpTest, DescribesKindsAndState) {
+  Runtime RT;
+  Cell<int> C(RT, 1, "theCell");
+  Maintained<int()> F(
+      RT, [&C] { return C.get(); }, EvalStrategy::Demand, "theProc");
+  F();
+  ASSERT_NE(C.node(), nullptr);
+  std::string CellDesc = describeNode(*C.node());
+  EXPECT_NE(CellDesc.find("theCell"), std::string::npos);
+  EXPECT_NE(CellDesc.find("[storage"), std::string::npos);
+  std::string ProcDesc = describeNode(*F.instanceNode());
+  EXPECT_NE(ProcDesc.find("theProc"), std::string::npos);
+  EXPECT_NE(ProcDesc.find("demand"), std::string::npos);
+  EXPECT_NE(ProcDesc.find("consistent"), std::string::npos);
+  C.set(2);
+  RT.pump();
+  EXPECT_NE(describeNode(*F.instanceNode()).find("INCONSISTENT"),
+            std::string::npos);
+}
+
+TEST(DebugDumpTest, ShowsProvenanceTree) {
+  Runtime RT;
+  Cell<int> A(RT, 1, "a");
+  Cell<int> B(RT, 2, "b");
+  Maintained<int()> Mid(
+      RT, [&] { return A.get() + B.get(); }, EvalStrategy::Demand, "mid");
+  Maintained<int()> Top(
+      RT, [&] { return Mid() * 10; }, EvalStrategy::Demand, "top");
+  Top();
+  std::ostringstream OS;
+  dumpDependencies(OS, *Top.instanceNode());
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("top"), std::string::npos);
+  EXPECT_NE(Out.find("mid"), std::string::npos);
+  EXPECT_NE(Out.find("a [storage"), std::string::npos);
+  EXPECT_NE(Out.find("b [storage"), std::string::npos);
+  // Indentation: "mid" is one level down, "a" two.
+  EXPECT_NE(Out.find("\n  mid"), std::string::npos);
+  EXPECT_NE(Out.find("\n    a"), std::string::npos);
+}
+
+TEST(DebugDumpTest, SharedNodesRenderedOnce) {
+  Runtime RT;
+  Cell<int> X(RT, 1, "x");
+  Maintained<int()> G(
+      RT, [&] { return X.get(); }, EvalStrategy::Demand, "g");
+  Maintained<int()> H(
+      RT, [&] { return X.get(); }, EvalStrategy::Demand, "h");
+  Maintained<int()> F(
+      RT, [&] { return G() + H(); }, EvalStrategy::Demand, "f");
+  F();
+  std::ostringstream OS;
+  dumpDependencies(OS, *F.instanceNode());
+  std::string Out = OS.str();
+  // x appears under g, then under h as a back-reference.
+  EXPECT_NE(Out.find("(shown above)"), std::string::npos);
+}
+
+TEST(DebugDumpTest, DepthAndFanInLimits) {
+  Runtime RT;
+  std::vector<std::unique_ptr<Cell<int>>> Cells;
+  for (int I = 0; I < 30; ++I)
+    Cells.push_back(std::make_unique<Cell<int>>(RT, I, "c"));
+  Maintained<int()> Wide(
+      RT,
+      [&] {
+        int S = 0;
+        for (auto &C : Cells)
+          S += C->get();
+        return S;
+      },
+      EvalStrategy::Demand, "wide");
+  Wide();
+  DumpOptions Opts;
+  Opts.MaxFanIn = 5;
+  std::ostringstream OS;
+  dumpDependencies(OS, *Wide.instanceNode(), Opts);
+  EXPECT_NE(OS.str().find("more dependencies"), std::string::npos);
+}
+
+} // namespace
+} // namespace alphonse

@@ -1,0 +1,229 @@
+//===- EquivalenceTest.cpp - Theorem 5.1 equivalence tests ----------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Theorem 5.1: "Given an Alphonse program P, Alphonse execution of P will
+/// produce the same output as a conventional execution of P." These tests
+/// run one module through both execution modes with identical driver
+/// scripts and compare every observable: return values, print output, and
+/// final global state. A randomized driver sweeps many interleavings of
+/// mutation and demand.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "lang/CompileTestHelper.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace alphonse::interp {
+namespace {
+
+using testing::compile;
+using testing::Compiled;
+
+static Value IV(long X) { return Value::integer(X); }
+
+/// A driver step: call a procedure with integer arguments.
+struct Step {
+  std::string Proc;
+  std::vector<long> Args;
+};
+
+/// Runs the same step sequence through both modes and compares every
+/// return value and the final output.
+static void checkEquivalence(const Compiled &C, const std::vector<Step> &Script) {
+  Interp Conv(C.M, C.Info, ExecMode::Conventional);
+  Interp Alph(C.M, C.Info, ExecMode::Alphonse);
+  for (size_t I = 0; I < Script.size(); ++I) {
+    std::vector<Value> Args;
+    for (long A : Script[I].Args)
+      Args.push_back(IV(A));
+    Value VC = Conv.call(Script[I].Proc, Args);
+    Value VA = Alph.call(Script[I].Proc, Args);
+    ASSERT_FALSE(Conv.failed()) << Conv.errorMessage();
+    ASSERT_FALSE(Alph.failed()) << Alph.errorMessage();
+    // Object references are per-interpreter identities; compare only
+    // scalar results (kind equality still applies to objects).
+    ASSERT_EQ(VC.K, VA.K) << "step " << I << " (" << Script[I].Proc << ")";
+    if (VC.K != Value::Kind::Object) {
+      ASSERT_TRUE(VC == VA) << "step " << I << " (" << Script[I].Proc
+                            << "): conventional=" << VC.render()
+                            << " alphonse=" << VA.render();
+    }
+  }
+  EXPECT_EQ(Conv.output(), Alph.output());
+}
+
+TEST(EquivalenceTest, HeightTreeScript) {
+  auto C = compile(testing::heightTreeProgram());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  checkEquivalence(*C, {
+                           {"BuildChain", {15}},
+                           {"RootHeight", {}},
+                           {"RootHeight", {}},
+                           {"GrowLeft", {4}},
+                           {"RootHeight", {}},
+                           {"GrowLeft", {1}},
+                           {"GrowLeft", {2}},
+                           {"RootHeight", {}},
+                       });
+}
+
+TEST(EquivalenceTest, AvlScriptedInserts) {
+  auto C = compile(testing::avlProgram());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  std::vector<Step> Script = {{"InitTree", {}}};
+  for (long K : {50, 20, 70, 10, 30, 60, 80, 5, 15, 25, 35})
+    Script.push_back({"Insert", {K}});
+  Script.push_back({"Rebalance", {}});
+  Script.push_back({"IsBalanced", {}});
+  Script.push_back({"TreeHeight", {}});
+  for (long K : {5, 15, 42, 80, 100})
+    Script.push_back({"Contains", {K}});
+  checkEquivalence(*C, Script);
+}
+
+TEST(EquivalenceTest, AvlRandomizedInterleavings) {
+  auto C = compile(testing::avlProgram());
+  ASSERT_TRUE(C->ok());
+  for (unsigned Seed = 1; Seed <= 5; ++Seed) {
+    std::mt19937 Rng(Seed);
+    std::vector<Step> Script = {{"InitTree", {}}};
+    for (int I = 0; I < 120; ++I) {
+      long K = static_cast<long>(Rng() % 200);
+      switch (Rng() % 4) {
+      case 0:
+      case 1:
+        Script.push_back({"Insert", {K}});
+        break;
+      case 2:
+        Script.push_back({"Contains", {K}});
+        break;
+      default:
+        Script.push_back({"Rebalance", {}});
+        break;
+      }
+    }
+    Script.push_back({"IsBalanced", {}});
+    Script.push_back({"TreeHeight", {}});
+    checkEquivalence(*C, Script);
+  }
+}
+
+TEST(EquivalenceTest, CachedFibWithPrints) {
+  auto C = compile(R"(
+(*CACHED*) PROCEDURE Fib(n : INTEGER) : INTEGER =
+BEGIN
+  IF n < 2 THEN
+    RETURN n;
+  END;
+  RETURN Fib(n - 1) + Fib(n - 2);
+END Fib;
+PROCEDURE Show(n : INTEGER) =
+BEGIN
+  print(Fib(n));
+END Show;
+)");
+  ASSERT_TRUE(C->ok());
+  checkEquivalence(*C, {
+                           {"Show", {10}},
+                           {"Show", {15}},
+                           {"Show", {10}},
+                           {"Show", {20}},
+                       });
+}
+
+TEST(EquivalenceTest, GlobalMutationScript) {
+  auto C = compile(R"(
+VAR acc : INTEGER := 0; factor : INTEGER := 1;
+(*CACHED*) PROCEDURE Scaled(x : INTEGER) : INTEGER =
+BEGIN
+  RETURN x * factor;
+END Scaled;
+PROCEDURE SetFactor(f : INTEGER) = BEGIN factor := f; END SetFactor;
+PROCEDURE Accumulate(x : INTEGER) : INTEGER =
+BEGIN
+  acc := acc + Scaled(x);
+  RETURN acc;
+END Accumulate;
+)");
+  ASSERT_TRUE(C->ok());
+  checkEquivalence(*C, {
+                           {"Accumulate", {3}},
+                           {"Accumulate", {3}},
+                           {"SetFactor", {10}},
+                           {"Accumulate", {3}},
+                           {"SetFactor", {10}}, // Quiescent write.
+                           {"Accumulate", {4}},
+                           {"SetFactor", {1}},
+                           {"Accumulate", {5}},
+                       });
+}
+
+TEST(EquivalenceTest, MaintainedWithSideEffectRepair) {
+  // A maintained method that writes storage it also reads (the AVL
+  // rotation pattern in miniature): the OBS argument says spurious
+  // re-execution is unobservable, and outputs must agree.
+  auto C = compile(R"(
+TYPE Pair = OBJECT
+  a, b : INTEGER;
+METHODS
+  (*MAINTAINED*) sorted() : INTEGER := Sorted;
+END;
+VAR p : Pair;
+PROCEDURE Sorted(o : Pair) : INTEGER =
+VAR t : INTEGER;
+BEGIN
+  IF o.a > o.b THEN
+    t := o.a;
+    o.a := o.b;
+    o.b := t;
+  END;
+  RETURN o.b - o.a;
+END Sorted;
+PROCEDURE Init() = BEGIN p := NEW(Pair); END Init;
+PROCEDURE SetPair(x, y : INTEGER) : INTEGER =
+BEGIN
+  p.a := x;
+  p.b := y;
+  RETURN p.sorted();
+END SetPair;
+PROCEDURE Low() : INTEGER = BEGIN RETURN p.a; END Low;
+)");
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  checkEquivalence(*C, {
+                           {"Init", {}},
+                           {"SetPair", {5, 2}},
+                           {"Low", {}},
+                           {"SetPair", {1, 9}},
+                           {"Low", {}},
+                           {"SetPair", {7, 7}},
+                           {"Low", {}},
+                       });
+}
+
+TEST(EquivalenceTest, RandomHeightTreeGrowth) {
+  auto C = compile(testing::heightTreeProgram());
+  ASSERT_TRUE(C->ok());
+  for (unsigned Seed = 11; Seed <= 13; ++Seed) {
+    std::mt19937 Rng(Seed);
+    std::vector<Step> Script = {{"BuildChain", {long(1 + Rng() % 10)}}};
+    for (int I = 0; I < 40; ++I) {
+      if (Rng() % 2 == 0)
+        Script.push_back({"GrowLeft", {long(1 + Rng() % 3)}});
+      else
+        Script.push_back({"RootHeight", {}});
+    }
+    checkEquivalence(*C, Script);
+  }
+}
+
+} // namespace
+} // namespace alphonse::interp

@@ -1,0 +1,418 @@
+//===- InterpTest.cpp - Alphonse-L interpreter tests ----------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conventional-mode execution semantics, Alphonse-mode incremental
+/// behaviour (caching, invalidation, batching, eager/demand, unchecked),
+/// and error handling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "lang/CompileTestHelper.h"
+
+#include <gtest/gtest.h>
+
+namespace alphonse::interp {
+namespace {
+
+using testing::compile;
+using testing::Compiled;
+
+static Value IV(long X) { return Value::integer(X); }
+
+//===----------------------------------------------------------------------===//
+// Conventional semantics
+//===----------------------------------------------------------------------===//
+
+TEST(InterpConventionalTest, ArithmeticAndControlFlow) {
+  auto C = compile(R"(
+PROCEDURE SumTo(n : INTEGER) : INTEGER =
+VAR s, i : INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO n DO
+    s := s + i;
+  END;
+  RETURN s;
+END SumTo;
+
+PROCEDURE Collatz(n : INTEGER) : INTEGER =
+VAR steps : INTEGER;
+BEGIN
+  steps := 0;
+  WHILE n # 1 DO
+    IF n MOD 2 = 0 THEN
+      n := n DIV 2;
+    ELSE
+      n := 3 * n + 1;
+    END;
+    steps := steps + 1;
+  END;
+  RETURN steps;
+END Collatz;
+)");
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  Interp I(C->M, C->Info, ExecMode::Conventional);
+  EXPECT_EQ(I.call("SumTo", {IV(100)}).Int, 5050);
+  EXPECT_EQ(I.call("Collatz", {IV(27)}).Int, 111);
+  EXPECT_FALSE(I.failed());
+}
+
+TEST(InterpConventionalTest, RecursionAndBuiltins) {
+  auto C = compile(R"(
+PROCEDURE Fact(n : INTEGER) : INTEGER =
+BEGIN
+  IF n <= 1 THEN
+    RETURN 1;
+  END;
+  RETURN n * Fact(n - 1);
+END Fact;
+
+PROCEDURE Clamp(x : INTEGER) : INTEGER =
+BEGIN
+  RETURN max(0, min(x, 10));
+END Clamp;
+)");
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Conventional);
+  EXPECT_EQ(I.call("Fact", {IV(10)}).Int, 3628800);
+  EXPECT_EQ(I.call("Clamp", {IV(-5)}).Int, 0);
+  EXPECT_EQ(I.call("Clamp", {IV(50)}).Int, 10);
+  EXPECT_EQ(I.call("Clamp", {IV(7)}).Int, 7);
+}
+
+TEST(InterpConventionalTest, TextAndPrint) {
+  auto C = compile(R"(
+PROCEDURE Greet(name : TEXT) =
+BEGIN
+  print("hello, " & name & "!");
+  print(40 + 2);
+  print(TRUE);
+END Greet;
+)");
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Conventional);
+  I.call("Greet", {Value::text("world")});
+  EXPECT_EQ(I.output(), "hello, world!\n42\nTRUE\n");
+}
+
+TEST(InterpConventionalTest, ObjectsFieldsAndDispatch) {
+  auto C = compile(R"(
+TYPE Shape = OBJECT
+  scale : INTEGER;
+METHODS
+  area() : INTEGER := ShapeArea;
+END;
+TYPE Square = Shape OBJECT
+  side : INTEGER;
+OVERRIDES
+  area := SquareArea;
+END;
+PROCEDURE ShapeArea(s : Shape) : INTEGER = BEGIN RETURN 0; END ShapeArea;
+PROCEDURE SquareArea(s : Shape) : INTEGER =
+BEGIN
+  RETURN s.scale;
+END SquareArea;
+VAR shapes : Shape;
+PROCEDURE Run() : INTEGER =
+VAR a : Shape; b : Shape;
+BEGIN
+  a := NEW(Shape);
+  a.scale := 7;
+  b := NEW(Square);
+  b.scale := 9;
+  RETURN a.area() + b.area();
+END Run;
+)");
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  Interp I(C->M, C->Info, ExecMode::Conventional);
+  EXPECT_EQ(I.call("Run").Int, 9); // 0 (base) + 9 (override reads scale).
+}
+
+TEST(InterpConventionalTest, GlobalInitializersRunInOrder) {
+  auto C = compile(R"(
+VAR a : INTEGER := 5; b : INTEGER := a * 2; t : TEXT := "x";
+PROCEDURE Get() : INTEGER = BEGIN RETURN b; END Get;
+)");
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Conventional);
+  EXPECT_EQ(I.call("Get").Int, 10);
+  EXPECT_EQ(I.global("t").Text, "x");
+}
+
+TEST(InterpConventionalTest, NilDereferenceFails) {
+  auto C = compile(R"(
+TYPE T = OBJECT v : INTEGER; END;
+VAR t : T;
+PROCEDURE Boom() : INTEGER = BEGIN RETURN t.v; END Boom;
+)");
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Conventional);
+  I.call("Boom");
+  EXPECT_TRUE(I.failed());
+  EXPECT_NE(I.errorMessage().find("NIL dereference"), std::string::npos);
+}
+
+TEST(InterpConventionalTest, DivisionByZeroFails) {
+  auto C = compile(R"(
+PROCEDURE Boom(n : INTEGER) : INTEGER = BEGIN RETURN 1 DIV n; END Boom;
+)");
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Conventional);
+  I.call("Boom", {IV(0)});
+  EXPECT_TRUE(I.failed());
+}
+
+TEST(InterpConventionalTest, RunawayRecursionFails) {
+  auto C = compile(R"(
+PROCEDURE Loop(n : INTEGER) : INTEGER = BEGIN RETURN Loop(n); END Loop;
+)");
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Conventional);
+  I.call("Loop", {IV(1)});
+  EXPECT_TRUE(I.failed());
+  EXPECT_NE(I.errorMessage().find("call depth"), std::string::npos);
+}
+
+TEST(InterpConventionalTest, ShortCircuitEvaluation) {
+  auto C = compile(R"(
+TYPE T = OBJECT v : INTEGER; END;
+PROCEDURE Safe(t : T) : BOOLEAN =
+BEGIN
+  RETURN t # NIL AND t.v > 0;
+END Safe;
+)");
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Conventional);
+  EXPECT_FALSE(I.call("Safe", {Value::nil()}).Bool);
+  EXPECT_FALSE(I.failed()) << I.errorMessage(); // t.v never evaluated.
+}
+
+//===----------------------------------------------------------------------===//
+// Alphonse-mode incremental behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(InterpAlphonseTest, CachedProcedureMemoizes) {
+  auto C = compile(R"(
+(*CACHED*) PROCEDURE Fib(n : INTEGER) : INTEGER =
+BEGIN
+  IF n < 2 THEN
+    RETURN n;
+  END;
+  RETURN Fib(n - 1) + Fib(n - 2);
+END Fib;
+)");
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  EXPECT_EQ(I.call("Fib", {IV(25)}).Int, 75025);
+  // Linear executions, not exponential.
+  EXPECT_EQ(I.runtime().stats().ProcExecutions, 26u);
+  EXPECT_EQ(I.call("Fib", {IV(25)}).Int, 75025);
+  EXPECT_EQ(I.runtime().stats().ProcExecutions, 26u);
+}
+
+TEST(InterpAlphonseTest, CachedProcedureTracksGlobalState) {
+  // Section 4.2's contribution: cached procedures are not combinators.
+  auto C = compile(R"(
+VAR scale : INTEGER := 2;
+(*CACHED*) PROCEDURE Times(x : INTEGER) : INTEGER =
+BEGIN
+  RETURN x * scale;
+END Times;
+)");
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  EXPECT_EQ(I.call("Times", {IV(10)}).Int, 20);
+  EXPECT_EQ(I.call("Times", {IV(10)}).Int, 20);
+  EXPECT_EQ(I.runtime().stats().ProcExecutions, 1u);
+  I.setGlobal("scale", IV(3));
+  EXPECT_EQ(I.call("Times", {IV(10)}).Int, 30);
+  EXPECT_EQ(I.runtime().stats().ProcExecutions, 2u);
+}
+
+TEST(InterpAlphonseTest, MaintainedHeightCachesAndUpdates) {
+  auto C = compile(testing::heightTreeProgram());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  I.call("BuildChain", {IV(20)});
+  EXPECT_EQ(I.call("RootHeight").Int, 20);
+  ASSERT_FALSE(I.failed()) << I.errorMessage();
+  uint64_t FirstRun = I.runtime().stats().ProcExecutions;
+  EXPECT_GE(FirstRun, 21u);
+  // Second demand: pure cache hit.
+  EXPECT_EQ(I.call("RootHeight").Int, 20);
+  EXPECT_EQ(I.runtime().stats().ProcExecutions, FirstRun);
+  // Grow under the deepest leaf: only the path re-executes.
+  I.call("GrowLeft", {IV(1)});
+  EXPECT_EQ(I.call("RootHeight").Int, 21);
+  uint64_t AfterGrow = I.runtime().stats().ProcExecutions;
+  EXPECT_LE(AfterGrow - FirstRun, 23u); // Path + new node, not 2^n.
+}
+
+TEST(InterpAlphonseTest, BatchedGrowthIsShared) {
+  auto C = compile(testing::heightTreeProgram());
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  I.call("BuildChain", {IV(10)});
+  EXPECT_EQ(I.call("RootHeight").Int, 10);
+  I.runtime().resetStats();
+  // Ten single growth steps, one re-demand: the changes batch.
+  I.call("GrowLeft", {IV(10)});
+  EXPECT_EQ(I.call("RootHeight").Int, 20);
+  EXPECT_FALSE(I.failed()) << I.errorMessage();
+}
+
+TEST(InterpAlphonseTest, AvlSelfBalances) {
+  auto C = compile(testing::avlProgram());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  I.call("InitTree");
+  for (int K = 1; K <= 64; ++K)
+    I.call("Insert", {IV(K)});
+  ASSERT_FALSE(I.failed()) << I.errorMessage();
+  I.call("Rebalance");
+  ASSERT_FALSE(I.failed()) << I.errorMessage();
+  EXPECT_TRUE(I.call("IsBalanced").Bool);
+  EXPECT_EQ(I.call("TreeHeight").Int, 7);
+  for (int K = 1; K <= 64; ++K)
+    EXPECT_TRUE(I.call("Contains", {IV(K)}).Bool) << K;
+  EXPECT_FALSE(I.call("Contains", {IV(0)}).Bool);
+  EXPECT_FALSE(I.call("Contains", {IV(100)}).Bool);
+}
+
+TEST(InterpAlphonseTest, AvlIncrementalRebalanceIsLocal) {
+  auto C = compile(testing::avlProgram());
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  I.call("InitTree");
+  for (int K = 0; K < 128; ++K)
+    I.call("Insert", {IV(K * 10)});
+  I.call("Rebalance");
+  I.call("Rebalance"); // Settle self-invalidated instances.
+  I.call("Rebalance");
+  I.runtime().resetStats();
+  I.call("Insert", {IV(5555)});
+  I.call("Rebalance");
+  ASSERT_FALSE(I.failed()) << I.errorMessage();
+  EXPECT_TRUE(I.call("IsBalanced").Bool);
+  // One insert must not re-run balance for all ~128 subtrees.
+  EXPECT_LT(I.runtime().stats().ProcExecutions, 150u);
+}
+
+TEST(InterpAlphonseTest, EagerMethodUpdatesAtPump) {
+  auto C = compile(R"(
+TYPE Counter = OBJECT
+  n : INTEGER;
+METHODS
+  (*MAINTAINED EAGER*) doubled() : INTEGER := Doubled;
+END;
+VAR c : Counter;
+PROCEDURE Doubled(o : Counter) : INTEGER = BEGIN RETURN o.n * 2; END Doubled;
+PROCEDURE Init() = BEGIN c := NEW(Counter); c.n := 1; END Init;
+PROCEDURE Get() : INTEGER = BEGIN RETURN c.doubled(); END Get;
+PROCEDURE Set(v : INTEGER) = BEGIN c.n := v; END Set;
+)");
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  I.call("Init");
+  EXPECT_EQ(I.call("Get").Int, 2);
+  uint64_t Before = I.runtime().stats().ProcExecutions;
+  I.call("Set", {IV(5)});
+  EXPECT_EQ(I.runtime().stats().ProcExecutions, Before);
+  I.pump(); // Eager update happens at the pump.
+  EXPECT_EQ(I.runtime().stats().ProcExecutions, Before + 1);
+  EXPECT_EQ(I.call("Get").Int, 10); // Cache hit.
+  EXPECT_EQ(I.runtime().stats().ProcExecutions, Before + 1);
+}
+
+TEST(InterpAlphonseTest, UncheckedSuppressesDependence) {
+  auto C = compile(R"(
+VAR a : INTEGER := 1; b : INTEGER := 10;
+TYPE D = OBJECT
+METHODS
+  (*MAINTAINED*) calc() : INTEGER := Calc;
+END;
+VAR d : D;
+PROCEDURE Calc(o : D) : INTEGER =
+BEGIN
+  RETURN a + (*UNCHECKED*) b;
+END Calc;
+PROCEDURE Init() = BEGIN d := NEW(D); END Init;
+PROCEDURE Get() : INTEGER = BEGIN RETURN d.calc(); END Get;
+)");
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  I.call("Init");
+  EXPECT_EQ(I.call("Get").Int, 11);
+  I.setGlobal("b", IV(100));
+  EXPECT_EQ(I.call("Get").Int, 11); // Stale by programmer's assertion.
+  I.setGlobal("a", IV(2));
+  EXPECT_EQ(I.call("Get").Int, 102); // Re-execution sees the new b too.
+}
+
+TEST(InterpAlphonseTest, QuiescentWriteTriggersNothing) {
+  auto C = compile(R"(
+VAR x : INTEGER := 5;
+(*CACHED*) PROCEDURE F(k : INTEGER) : INTEGER = BEGIN RETURN x + k; END F;
+)");
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  EXPECT_EQ(I.call("F", {IV(1)}).Int, 6);
+  I.setGlobal("x", IV(7));
+  I.setGlobal("x", IV(5)); // Written back before any demand.
+  EXPECT_EQ(I.call("F", {IV(1)}).Int, 6);
+  EXPECT_EQ(I.runtime().stats().ProcExecutions, 1u);
+}
+
+TEST(InterpAlphonseTest, MaintainedMethodPerReceiverInstances) {
+  auto C = compile(R"(
+TYPE Box = OBJECT
+  v : INTEGER;
+METHODS
+  (*MAINTAINED*) squared() : INTEGER := Squared;
+END;
+VAR b1, b2 : Box;
+PROCEDURE Squared(o : Box) : INTEGER = BEGIN RETURN o.v * o.v; END Squared;
+PROCEDURE Init() =
+BEGIN
+  b1 := NEW(Box);
+  b1.v := 3;
+  b2 := NEW(Box);
+  b2.v := 4;
+END Init;
+PROCEDURE Sum() : INTEGER = BEGIN RETURN b1.squared() + b2.squared(); END Sum;
+PROCEDURE Bump1() = BEGIN b1.v := b1.v + 1; END Bump1;
+)");
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  I.call("Init");
+  EXPECT_EQ(I.call("Sum").Int, 25);
+  I.runtime().resetStats();
+  I.call("Bump1");
+  EXPECT_EQ(I.call("Sum").Int, 32); // 16 + 16.
+  // Only b1's instance re-ran; b2.squared() was a cache hit.
+  EXPECT_EQ(I.runtime().stats().ProcExecutions, 1u);
+  EXPECT_GE(I.runtime().stats().CacheHits, 1u);
+}
+
+TEST(InterpAlphonseTest, ConservativeTransformStillCorrect) {
+  transform::TransformOptions Opts;
+  Opts.OptimizeLocalAccesses = false;
+  Opts.OptimizeCallChecks = false;
+  auto C = compile(testing::heightTreeProgram(), true, Opts);
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  I.call("BuildChain", {IV(12)});
+  EXPECT_EQ(I.call("RootHeight").Int, 12);
+  I.call("GrowLeft", {IV(3)});
+  EXPECT_EQ(I.call("RootHeight").Int, 15);
+  EXPECT_FALSE(I.failed()) << I.errorMessage();
+}
+
+} // namespace
+} // namespace alphonse::interp

@@ -1,0 +1,174 @@
+//===- LangPropertyTest.cpp - Randomized Alphonse-L properties ------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style suites over the Alphonse-L pipeline: the Algorithm 11
+/// program against a std::set oracle under long randomized operation
+/// streams (parameterized by seed), invariants of the dependency graph
+/// across a session, and the conservative-transformation / partitioning
+/// ablations producing identical observable behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "lang/CompileTestHelper.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace alphonse::interp {
+namespace {
+
+using testing::compile;
+
+static Value IV(long X) { return Value::integer(X); }
+
+class AvlLangPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AvlLangPropertyTest, MatchesStdSetOracle) {
+  auto C = compile(testing::avlProgram());
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  I.call("InitTree");
+  std::mt19937 Rng(GetParam());
+  std::set<long> Oracle;
+  for (int Step = 0; Step < 400; ++Step) {
+    long K = static_cast<long>(Rng() % 300);
+    if (Rng() % 2 == 0) {
+      I.call("Insert", {IV(K)});
+      Oracle.insert(K);
+    } else {
+      bool Got = I.call("Contains", {IV(K)}).Bool;
+      ASSERT_EQ(Got, Oracle.count(K) != 0)
+          << "step " << Step << " key " << K;
+    }
+    ASSERT_FALSE(I.failed()) << I.errorMessage();
+  }
+  // The property holds *after* a balancing demand (Contains rebalances
+  // from the root first) — the structure is self-balancing on demand,
+  // not eagerly.
+  I.call("Contains", {IV(0)});
+  EXPECT_TRUE(I.call("IsBalanced").Bool);
+  // Sweep: every key answers correctly at the end.
+  for (long K = 0; K < 300; ++K)
+    ASSERT_EQ(I.call("Contains", {IV(K)}).Bool, Oracle.count(K) != 0) << K;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvlLangPropertyTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(LangGraphInvariantTest, CountersStayCoherentAcrossSession) {
+  auto C = compile(testing::avlProgram());
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  I.call("InitTree");
+  std::mt19937 Rng(7);
+  for (int Step = 0; Step < 200; ++Step) {
+    if (Rng() % 3 != 0)
+      I.call("Insert", {IV(static_cast<long>(Rng() % 500))});
+    else
+      I.call("Contains", {IV(static_cast<long>(Rng() % 500))});
+    ASSERT_FALSE(I.failed());
+  }
+  const Statistics &S = I.runtime().stats();
+  DepGraph &G = I.runtime().graph();
+  EXPECT_EQ(S.NodesCreated - S.NodesDestroyed, G.numLiveNodes());
+  EXPECT_EQ(S.EdgesCreated - S.EdgesRemoved, G.numLiveEdges());
+  // Quiescent state after a final settle: no pending work remains.
+  I.call("Contains", {IV(0)});
+  I.call("Contains", {IV(0)});
+  EXPECT_EQ(G.numPending(), 0u);
+}
+
+/// The ablations must never change observable results — only costs.
+class AblationEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(AblationEquivalenceTest, SameAnswersUnderAllConfigurations) {
+  auto [Conservative, Partitioning, VariableCutoff] = GetParam();
+  transform::TransformOptions TOpts;
+  TOpts.OptimizeLocalAccesses = !Conservative;
+  TOpts.OptimizeCallChecks = !Conservative;
+  auto C = compile(testing::avlProgram(), /*DoTransform=*/true, TOpts);
+  ASSERT_TRUE(C->ok());
+  DepGraph::Config Cfg;
+  Cfg.Partitioning = Partitioning;
+  Cfg.VariableCutoff = VariableCutoff;
+  Interp I(C->M, C->Info, ExecMode::Alphonse, Cfg);
+  I.call("InitTree");
+  std::mt19937 Rng(99);
+  std::set<long> Oracle;
+  for (int Step = 0; Step < 150; ++Step) {
+    long K = static_cast<long>(Rng() % 100);
+    if (Rng() % 2 == 0) {
+      I.call("Insert", {IV(K)});
+      Oracle.insert(K);
+    } else {
+      ASSERT_EQ(I.call("Contains", {IV(K)}).Bool, Oracle.count(K) != 0);
+    }
+    ASSERT_FALSE(I.failed()) << I.errorMessage();
+  }
+  I.call("Contains", {IV(0)}); // Rebalance before checking the invariant.
+  EXPECT_TRUE(I.call("IsBalanced").Bool);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, AblationEquivalenceTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool()));
+
+TEST(LangEagerPropertyTest, EagerHeightStaysFreshAcrossPumps) {
+  // Height maintained EAGERly: after each mutation + pump, the cached
+  // heights must already be correct (zero executions at demand time).
+  auto C = compile(R"(
+TYPE Tree = OBJECT
+  left, right : Tree;
+METHODS
+  (*MAINTAINED EAGER*) height() : INTEGER := Height;
+END;
+TYPE TreeNil = Tree OBJECT
+OVERRIDES
+  (*MAINTAINED EAGER*) height := HeightNil;
+END;
+VAR nil : Tree; root : Tree;
+PROCEDURE Height(t : Tree) : INTEGER =
+BEGIN
+  RETURN max(t.left.height(), t.right.height()) + 1;
+END Height;
+PROCEDURE HeightNil(t : Tree) : INTEGER = BEGIN RETURN 0; END HeightNil;
+PROCEDURE Init() = BEGIN nil := NEW(TreeNil); root := NEW(Tree);
+  root.left := nil; root.right := nil; END Init;
+PROCEDURE Grow() =
+VAR t, p : Tree;
+BEGIN
+  t := root;
+  WHILE t.left # nil DO t := t.left; END;
+  p := NEW(Tree);
+  p.left := nil;
+  p.right := nil;
+  t.left := p;
+END Grow;
+PROCEDURE Demand() : INTEGER = BEGIN RETURN root.height(); END Demand;
+)");
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  I.call("Init");
+  EXPECT_EQ(I.call("Demand").Int, 1);
+  for (int Step = 2; Step <= 12; ++Step) {
+    I.call("Grow");
+    I.pump(); // Eager update happens here.
+    uint64_t Before = I.runtime().stats().ProcExecutions;
+    EXPECT_EQ(I.call("Demand").Int, Step);
+    EXPECT_EQ(I.runtime().stats().ProcExecutions, Before)
+        << "demand after pump should be a pure cache hit at step " << Step;
+  }
+}
+
+} // namespace
+} // namespace alphonse::interp

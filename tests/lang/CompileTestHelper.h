@@ -1,0 +1,297 @@
+//===- CompileTestHelper.h - Shared test utilities --------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Test helper running the full Alphonse-L pipeline (lex, parse, analyze,
+/// transform) and owning all of its artifacts, plus the canonical test
+/// programs: the paper's Algorithm 1 (maintained-height tree) and
+/// Algorithm 11 (self-balancing AVL tree) written in Alphonse-L.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_TESTS_COMPILETESTHELPER_H
+#define ALPHONSE_TESTS_COMPILETESTHELPER_H
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "transform/Transform.h"
+
+#include <memory>
+#include <string>
+
+namespace alphonse::testing {
+
+/// Owns one compiled module and everything that points into it.
+struct Compiled {
+  lang::Module M;
+  lang::SemaInfo Info;
+  DiagnosticEngine Diags;
+  transform::TransformStats TStats;
+
+  bool ok() const { return !Diags.hasErrors(); }
+};
+
+/// Lex + parse + analyze (+ transform) one source buffer.
+inline std::unique_ptr<Compiled>
+compile(const std::string &Source, bool DoTransform = true,
+        transform::TransformOptions Opts = transform::TransformOptions()) {
+  auto C = std::make_unique<Compiled>();
+  C->M = lang::parseModule(Source, C->Diags);
+  if (C->Diags.hasErrors())
+    return C;
+  C->Info = lang::analyze(C->M, C->Diags);
+  if (C->Diags.hasErrors())
+    return C;
+  if (DoTransform)
+    C->TStats = transform::transform(C->M, C->Info, Opts);
+  return C;
+}
+
+/// The paper's Algorithm 1: a binary tree with a maintained height method,
+/// plus driver procedures for building and growing chains.
+inline const char *heightTreeProgram() {
+  return R"(
+TYPE Tree = OBJECT
+  left, right : Tree;
+METHODS
+  (*MAINTAINED*) height() : INTEGER := Height;
+END;
+
+TYPE TreeNil = Tree OBJECT
+OVERRIDES
+  (*MAINTAINED*) height := HeightNil;
+END;
+
+VAR
+  nil : Tree;
+  root : Tree;
+
+PROCEDURE Height(t : Tree) : INTEGER =
+BEGIN
+  RETURN max(t.left.height(), t.right.height()) + 1;
+END Height;
+
+PROCEDURE HeightNil(t : Tree) : INTEGER =
+BEGIN
+  RETURN 0;
+END HeightNil;
+
+PROCEDURE MakeNode() : Tree =
+VAR t : Tree;
+BEGIN
+  t := NEW(Tree);
+  t.left := nil;
+  t.right := nil;
+  RETURN t;
+END MakeNode;
+
+PROCEDURE BuildChain(n : INTEGER) : Tree =
+VAR t, p : Tree; i : INTEGER;
+BEGIN
+  nil := NEW(TreeNil);
+  t := nil;
+  FOR i := 1 TO n DO
+    p := MakeNode();
+    p.left := t;
+    t := p;
+  END;
+  root := t;
+  RETURN t;
+END BuildChain;
+
+PROCEDURE GrowLeft(n : INTEGER) =
+VAR t, p : Tree; i : INTEGER;
+BEGIN
+  t := root;
+  WHILE t.left # nil DO
+    t := t.left;
+  END;
+  FOR i := 1 TO n DO
+    p := MakeNode();
+    t.left := p;
+    t := p;
+  END;
+END GrowLeft;
+
+PROCEDURE RootHeight() : INTEGER =
+BEGIN
+  RETURN root.height();
+END RootHeight;
+)";
+}
+
+/// The paper's Algorithm 11: AVL trees whose balancing is a maintained
+/// method; insert/contains are plain unbalanced-BST mutator code.
+inline const char *avlProgram() {
+  return R"(
+TYPE Tree = OBJECT
+  left, right : Tree;
+  key : INTEGER;
+METHODS
+  (*MAINTAINED*) height() : INTEGER := Height;
+  (*MAINTAINED*) balance() : Tree := Balance;
+END;
+
+TYPE TreeNil = Tree OBJECT
+OVERRIDES
+  (*MAINTAINED*) height := HeightNil;
+  (*MAINTAINED*) balance := BalanceNil;
+END;
+
+VAR
+  nil : Tree;
+  root : Tree;
+
+PROCEDURE Height(t : Tree) : INTEGER =
+BEGIN
+  RETURN max(t.left.height(), t.right.height()) + 1;
+END Height;
+
+PROCEDURE HeightNil(t : Tree) : INTEGER =
+BEGIN
+  RETURN 0;
+END HeightNil;
+
+PROCEDURE Diff(t : Tree) : INTEGER =
+BEGIN
+  RETURN t.left.height() - t.right.height();
+END Diff;
+
+PROCEDURE RotateRight(t : Tree) : Tree =
+VAR s, b : Tree;
+BEGIN
+  s := t.left;
+  b := s.right;
+  s.right := t;
+  t.left := b;
+  RETURN s;
+END RotateRight;
+
+PROCEDURE RotateLeft(t : Tree) : Tree =
+VAR s, b : Tree;
+BEGIN
+  s := t.right;
+  b := s.left;
+  s.left := t;
+  t.right := b;
+  RETURN s;
+END RotateLeft;
+
+PROCEDURE Balance(t : Tree) : Tree =
+VAR u : Tree;
+BEGIN
+  t.left := t.left.balance();
+  t.right := t.right.balance();
+  u := t;
+  IF Diff(u) > 1 THEN
+    IF Diff(u.left) < 0 THEN
+      u.left := RotateLeft(u.left);
+    END;
+    u := RotateRight(u);
+    RETURN u.balance();
+  ELSIF Diff(u) < -1 THEN
+    IF Diff(u.right) > 0 THEN
+      u.right := RotateRight(u.right);
+    END;
+    u := RotateLeft(u);
+    RETURN u.balance();
+  END;
+  RETURN u;
+END Balance;
+
+PROCEDURE BalanceNil(t : Tree) : Tree =
+BEGIN
+  RETURN t;
+END BalanceNil;
+
+PROCEDURE InitTree() =
+BEGIN
+  nil := NEW(TreeNil);
+  root := nil;
+END InitTree;
+
+PROCEDURE Insert(k : INTEGER) =
+VAR t, p : Tree;
+BEGIN
+  p := NEW(Tree);
+  p.key := k;
+  p.left := nil;
+  p.right := nil;
+  IF root = nil THEN
+    root := p;
+    RETURN;
+  END;
+  t := root;
+  WHILE TRUE DO
+    IF k = t.key THEN
+      RETURN;
+    END;
+    IF k < t.key THEN
+      IF t.left = nil THEN
+        t.left := p;
+        RETURN;
+      END;
+      t := t.left;
+    ELSE
+      IF t.right = nil THEN
+        t.right := p;
+        RETURN;
+      END;
+      t := t.right;
+    END;
+  END;
+END Insert;
+
+PROCEDURE Rebalance() =
+BEGIN
+  root := root.balance();
+END Rebalance;
+
+PROCEDURE Contains(k : INTEGER) : BOOLEAN =
+VAR t : Tree;
+BEGIN
+  root := root.balance();
+  t := root;
+  WHILE t # nil DO
+    IF k = t.key THEN
+      RETURN TRUE;
+    END;
+    IF k < t.key THEN
+      t := t.left;
+    ELSE
+      t := t.right;
+    END;
+  END;
+  RETURN FALSE;
+END Contains;
+
+PROCEDURE CheckBalanced(t : Tree) : BOOLEAN =
+BEGIN
+  IF t = nil THEN
+    RETURN TRUE;
+  END;
+  IF Diff(t) > 1 OR Diff(t) < -1 THEN
+    RETURN FALSE;
+  END;
+  RETURN CheckBalanced(t.left) AND CheckBalanced(t.right);
+END CheckBalanced;
+
+PROCEDURE IsBalanced() : BOOLEAN =
+BEGIN
+  RETURN CheckBalanced(root);
+END IsBalanced;
+
+PROCEDURE TreeHeight() : INTEGER =
+BEGIN
+  RETURN root.height();
+END TreeHeight;
+)";
+}
+
+} // namespace alphonse::testing
+
+#endif // ALPHONSE_TESTS_COMPILETESTHELPER_H

@@ -1,0 +1,125 @@
+//===- LexerTest.cpp - Alphonse-L lexer tests -----------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace alphonse::lang {
+namespace {
+
+static std::vector<Token> lex(const std::string &Src,
+                              DiagnosticEngine *DiagsOut = nullptr) {
+  DiagnosticEngine Diags;
+  Lexer L(Src, Diags);
+  std::vector<Token> Tokens = L.run();
+  if (DiagsOut)
+    *DiagsOut = Diags;
+  else
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::End));
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Tokens = lex("TYPE Tree OBJECT height Height END");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::KwType));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Identifier));
+  EXPECT_EQ(Tokens[1].Text, "Tree");
+  EXPECT_TRUE(Tokens[2].is(TokenKind::KwObject));
+  EXPECT_TRUE(Tokens[3].is(TokenKind::Identifier)); // lowercase 'height'
+  EXPECT_TRUE(Tokens[5].is(TokenKind::KwEnd));
+}
+
+TEST(LexerTest, NumbersAndOperators) {
+  auto Tokens = lex("x := 42 + 7 * 3 DIV 2 MOD 5;");
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Assign));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::IntLiteral));
+  EXPECT_EQ(Tokens[2].IntValue, 42);
+  EXPECT_TRUE(Tokens[3].is(TokenKind::Plus));
+  EXPECT_TRUE(Tokens[5].is(TokenKind::Star));
+  EXPECT_TRUE(Tokens[7].is(TokenKind::KwDiv));
+  EXPECT_TRUE(Tokens[9].is(TokenKind::KwMod));
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto Tokens = lex("= # < <= > >= :=");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Equal));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::NotEqual));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::Less));
+  EXPECT_TRUE(Tokens[3].is(TokenKind::LessEq));
+  EXPECT_TRUE(Tokens[4].is(TokenKind::Greater));
+  EXPECT_TRUE(Tokens[5].is(TokenKind::GreaterEq));
+  EXPECT_TRUE(Tokens[6].is(TokenKind::Assign));
+}
+
+TEST(LexerTest, TextLiterals) {
+  auto Tokens = lex("\"hello world\" & \"!\"");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::TextLiteral));
+  EXPECT_EQ(Tokens[0].Text, "hello world");
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Ampersand));
+  EXPECT_EQ(Tokens[2].Text, "!");
+}
+
+TEST(LexerTest, UnterminatedTextIsAnError) {
+  DiagnosticEngine Diags;
+  lex("\"oops", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, PragmasBecomeTokens) {
+  auto Tokens = lex("(*MAINTAINED*) height (*CACHED EAGER*) (*UNCHECKED*)");
+  ASSERT_GE(Tokens.size(), 4u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Pragma));
+  EXPECT_EQ(Tokens[0].Text, "MAINTAINED");
+  EXPECT_TRUE(Tokens[2].is(TokenKind::Pragma));
+  EXPECT_EQ(Tokens[2].Text, "CACHED EAGER");
+  EXPECT_TRUE(Tokens[3].is(TokenKind::Pragma));
+  EXPECT_EQ(Tokens[3].Text, "UNCHECKED");
+}
+
+TEST(LexerTest, OrdinaryCommentsAreSkipped) {
+  auto Tokens = lex("a (* just a note *) b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, NestedCommentsAreSkipped) {
+  auto Tokens = lex("a (* outer (* inner *) still outer *) b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, UnterminatedCommentIsAnError) {
+  DiagnosticEngine Diags;
+  lex("a (* never closed", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto Tokens = lex("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsAnError) {
+  DiagnosticEngine Diags;
+  lex("a @ b", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+} // namespace
+} // namespace alphonse::lang

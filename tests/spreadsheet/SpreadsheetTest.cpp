@@ -1,0 +1,223 @@
+//===- SpreadsheetTest.cpp - Spreadsheet tests ----------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the Section 7.2 spreadsheet: cell formulas, cross-cell references
+/// (Algorithm 10's CellExp), incremental recalculation, dependency chains,
+/// cycles, and randomized equivalence with the exhaustive oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "spreadsheet/Spreadsheet.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace alphonse::spreadsheet {
+namespace {
+
+TEST(SpreadsheetTest, EmptyCellsAreZero) {
+  Runtime RT;
+  Spreadsheet S(RT, 3, 3);
+  EXPECT_EQ(S.value(0, 0), 0);
+  EXPECT_EQ(S.value(2, 2), 0);
+}
+
+TEST(SpreadsheetTest, LiteralAndArithmetic) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  ASSERT_TRUE(S.setFormula(0, 0, "21 * 2"));
+  EXPECT_EQ(S.value(0, 0), 42);
+}
+
+TEST(SpreadsheetTest, CrossCellReference) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  ASSERT_TRUE(S.setFormula(0, 0, "7"));
+  ASSERT_TRUE(S.setFormula(0, 1, "cell(0,0) * 3"));
+  EXPECT_EQ(S.value(0, 1), 21);
+}
+
+TEST(SpreadsheetTest, EditPropagatesThroughReferences) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(0, 0, "7");
+  S.setFormula(0, 1, "cell(0,0) * 3");
+  S.setFormula(1, 0, "cell(0,1) + 1");
+  EXPECT_EQ(S.value(1, 0), 22);
+  S.setLiteral(0, 0, 10);
+  EXPECT_EQ(S.value(1, 0), 31);
+  EXPECT_EQ(S.value(0, 1), 30);
+}
+
+TEST(SpreadsheetTest, UnrelatedCellsStayCached) {
+  Runtime RT;
+  Spreadsheet S(RT, 4, 4);
+  S.setFormula(0, 0, "1");
+  S.setFormula(0, 1, "cell(0,0) + 1");
+  S.setFormula(3, 3, "1000");
+  S.setFormula(3, 2, "cell(3,3) + 1");
+  EXPECT_EQ(S.value(0, 1), 2);
+  EXPECT_EQ(S.value(3, 2), 1001);
+  RT.resetStats();
+  S.setLiteral(0, 0, 5);
+  EXPECT_EQ(S.value(3, 2), 1001); // Untouched chain: no re-execution...
+  EXPECT_EQ(RT.stats().ProcExecutions, 0u);
+  EXPECT_EQ(S.value(0, 1), 6); // ...while the edited chain updates.
+  EXPECT_GT(RT.stats().ProcExecutions, 0u);
+}
+
+TEST(SpreadsheetTest, FormulaReplacementInvalidates) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(0, 0, "1 + 1");
+  EXPECT_EQ(S.value(0, 0), 2);
+  S.setFormula(0, 0, "let x = 5 in x * x ni");
+  EXPECT_EQ(S.value(0, 0), 25);
+}
+
+TEST(SpreadsheetTest, ClearCellInvalidatesDependents) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(0, 0, "9");
+  S.setFormula(0, 1, "cell(0,0) + 1");
+  EXPECT_EQ(S.value(0, 1), 10);
+  S.clearCell(0, 0);
+  EXPECT_EQ(S.value(0, 1), 1);
+}
+
+TEST(SpreadsheetTest, ParseErrorKeepsOldFormula) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(0, 0, "5");
+  EXPECT_FALSE(S.setFormula(0, 0, "5 +"));
+  EXPECT_TRUE(S.diagnostics().hasErrors());
+  EXPECT_EQ(S.value(0, 0), 5);
+}
+
+TEST(SpreadsheetTest, OutOfRangeCellRefIsAnError) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  EXPECT_FALSE(S.setFormula(0, 0, "cell(5,5)"));
+  EXPECT_TRUE(S.diagnostics().hasErrors());
+}
+
+TEST(SpreadsheetTest, DirectCycleEvaluatesToZeroWithFlag) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(0, 0, "cell(0,0) + 1");
+  EXPECT_EQ(S.value(0, 0), 1); // Inner reference sees 0.
+  EXPECT_TRUE(S.cycleDetected());
+}
+
+TEST(SpreadsheetTest, MutualCycleDetected) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(0, 0, "cell(0,1)");
+  S.setFormula(0, 1, "cell(0,0)");
+  S.value(0, 0);
+  EXPECT_TRUE(S.cycleDetected());
+  // Breaking the cycle clears things up.
+  S.clearCycleFlag();
+  S.setFormula(0, 1, "8");
+  EXPECT_EQ(S.value(0, 0), 8);
+  EXPECT_FALSE(S.cycleDetected());
+}
+
+TEST(SpreadsheetTest, LetFormulasWork) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(1, 1, "6");
+  S.setFormula(0, 0, "let x = cell(1,1) in x * x + x ni");
+  EXPECT_EQ(S.value(0, 0), 42);
+  S.setLiteral(1, 1, 2);
+  EXPECT_EQ(S.value(0, 0), 6);
+}
+
+TEST(SpreadsheetTest, RunningTotalsColumn) {
+  // A classic sheet: column 1 keeps running totals of column 0.
+  Runtime RT;
+  constexpr int N = 16;
+  Spreadsheet S(RT, N, 2);
+  S.setFormula(0, 1, "cell(0,0)");
+  for (int R = 0; R < N; ++R) {
+    S.setLiteral(R, 0, R + 1);
+    if (R > 0)
+      S.setFormula(R, 1,
+                   "cell(" + std::to_string(R - 1) + ",1) + cell(" +
+                       std::to_string(R) + ",0)");
+  }
+  EXPECT_EQ(S.value(N - 1, 1), N * (N + 1) / 2);
+  // Editing row 0 ripples through every total.
+  S.setLiteral(0, 0, 101);
+  EXPECT_EQ(S.value(N - 1, 1), N * (N + 1) / 2 + 100);
+  // Editing the last row touches only the last total.
+  RT.resetStats();
+  S.setLiteral(N - 1, 0, N + 100);
+  EXPECT_EQ(S.value(N - 1, 1), N * (N + 1) / 2 + 200);
+  EXPECT_LE(RT.stats().ProcExecutions, 6u);
+}
+
+TEST(SpreadsheetTest, ExhaustiveBaselineAgrees) {
+  Runtime RT;
+  Spreadsheet S(RT, 4, 4);
+  S.setFormula(0, 0, "2");
+  S.setFormula(0, 1, "cell(0,0) * 10");
+  S.setFormula(1, 0, "cell(0,1) + cell(0,0)");
+  S.setFormula(1, 1, "let s = cell(1,0) in s + s ni");
+  long long Exhaustive = S.recomputeAllExhaustive();
+  long long Incremental = 0;
+  for (int R = 0; R < 4; ++R)
+    for (int C = 0; C < 4; ++C)
+      Incremental += S.value(R, C);
+  EXPECT_EQ(Exhaustive, Incremental);
+}
+
+/// Parameterized random-sheet equivalence: random formulas with
+/// back-references (acyclic by construction), random edits, oracle checks.
+class SpreadsheetRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpreadsheetRandomTest, RandomEditsMatchOracle) {
+  int Dim = GetParam();
+  std::mt19937 Rng(static_cast<unsigned>(Dim * 17));
+  Runtime RT;
+  Spreadsheet S(RT, Dim, Dim);
+  // Fill in raster order; formulas may reference strictly earlier cells,
+  // so the sheet is acyclic.
+  auto RandomRef = [&](int Upto) {
+    int I = static_cast<int>(Rng() % static_cast<unsigned>(Upto));
+    return "cell(" + std::to_string(I / Dim) + "," + std::to_string(I % Dim) +
+           ")";
+  };
+  for (int I = 0; I < Dim * Dim; ++I) {
+    int R = I / Dim, C = I % Dim;
+    if (I == 0 || Rng() % 3 == 0) {
+      S.setLiteral(R, C, static_cast<int>(Rng() % 50));
+      continue;
+    }
+    std::string F = RandomRef(I) + " + " + RandomRef(I);
+    if (Rng() % 4 == 0)
+      F = "let t = " + RandomRef(I) + " in t * 2 + " + F + " ni";
+    ASSERT_TRUE(S.setFormula(R, C, F)) << S.diagnostics().str();
+  }
+  for (int Edit = 0; Edit < 30; ++Edit) {
+    int R = static_cast<int>(Rng() % Dim), C = static_cast<int>(Rng() % Dim);
+    S.setLiteral(R, C, static_cast<int>(Rng() % 50));
+    long long Inc = 0;
+    for (int I = 0; I < Dim * Dim; ++I)
+      Inc += S.value(I / Dim, I % Dim);
+    ASSERT_EQ(Inc, S.recomputeAllExhaustive()) << "edit " << Edit;
+  }
+  EXPECT_FALSE(S.cycleDetected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SpreadsheetRandomTest,
+                         ::testing::Values(2, 4, 8));
+
+} // namespace
+} // namespace alphonse::spreadsheet

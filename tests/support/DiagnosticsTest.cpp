@@ -1,0 +1,62 @@
+//===- DiagnosticsTest.cpp - Diagnostics engine tests ---------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+namespace alphonse {
+namespace {
+
+TEST(DiagnosticsTest, StartsClean) {
+  DiagnosticEngine DE;
+  EXPECT_FALSE(DE.hasErrors());
+  EXPECT_EQ(DE.errorCount(), 0u);
+  EXPECT_TRUE(DE.str().empty());
+}
+
+TEST(DiagnosticsTest, ErrorsAreCounted) {
+  DiagnosticEngine DE;
+  DE.error(SourceLocation(1, 2), "unexpected token");
+  DE.warning(SourceLocation(3, 4), "unused variable");
+  DE.error(SourceLocation(5, 6), "type mismatch");
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_EQ(DE.errorCount(), 2u);
+  EXPECT_EQ(DE.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticsTest, WarningsDoNotSetErrorFlag) {
+  DiagnosticEngine DE;
+  DE.warning(SourceLocation(1, 1), "something mild");
+  EXPECT_FALSE(DE.hasErrors());
+}
+
+TEST(DiagnosticsTest, RendersLocationsAndKinds) {
+  DiagnosticEngine DE;
+  DE.error(SourceLocation(7, 3), "expected ';'");
+  DE.note(SourceLocation(6, 1), "to match this BEGIN");
+  std::string Out = DE.str();
+  EXPECT_NE(Out.find("7:3: error: expected ';'"), std::string::npos);
+  EXPECT_NE(Out.find("6:1: note: to match this BEGIN"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, InvalidLocationRendersUnknown) {
+  DiagnosticEngine DE;
+  DE.error(SourceLocation(), "no position");
+  EXPECT_NE(DE.str().find("<unknown>: error"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, ClearResets) {
+  DiagnosticEngine DE;
+  DE.error(SourceLocation(1, 1), "boom");
+  DE.clear();
+  EXPECT_FALSE(DE.hasErrors());
+  EXPECT_TRUE(DE.diagnostics().empty());
+}
+
+} // namespace
+} // namespace alphonse

@@ -1,0 +1,105 @@
+//===- UnionFindTest.cpp - Disjoint-set forest tests ----------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace alphonse {
+namespace {
+
+TEST(UnionFindTest, SingletonsAreDistinct) {
+  UnionFind UF;
+  UnionFind::Id A = UF.makeSet();
+  UnionFind::Id B = UF.makeSet();
+  EXPECT_NE(A, B);
+  EXPECT_EQ(UF.find(A), A);
+  EXPECT_EQ(UF.find(B), B);
+  EXPECT_FALSE(UF.connected(A, B));
+  EXPECT_EQ(UF.numSets(), 2u);
+}
+
+TEST(UnionFindTest, UniteMergesSets) {
+  UnionFind UF;
+  UnionFind::Id A = UF.makeSet();
+  UnionFind::Id B = UF.makeSet();
+  UnionFind::Id C = UF.makeSet();
+  UF.unite(A, B);
+  EXPECT_TRUE(UF.connected(A, B));
+  EXPECT_FALSE(UF.connected(A, C));
+  EXPECT_EQ(UF.numSets(), 2u);
+  UF.unite(B, C);
+  EXPECT_TRUE(UF.connected(A, C));
+  EXPECT_EQ(UF.numSets(), 1u);
+}
+
+TEST(UnionFindTest, UniteIsIdempotent) {
+  UnionFind UF;
+  UnionFind::Id A = UF.makeSet();
+  UnionFind::Id B = UF.makeSet();
+  UnionFind::Id R1 = UF.unite(A, B);
+  UnionFind::Id R2 = UF.unite(A, B);
+  EXPECT_EQ(R1, R2);
+  EXPECT_EQ(UF.numSets(), 1u);
+}
+
+TEST(UnionFindTest, UniteReturnsRepresentative) {
+  UnionFind UF;
+  UnionFind::Id A = UF.makeSet();
+  UnionFind::Id B = UF.makeSet();
+  UnionFind::Id Root = UF.unite(A, B);
+  EXPECT_EQ(UF.find(A), Root);
+  EXPECT_EQ(UF.find(B), Root);
+}
+
+TEST(UnionFindTest, ChainUnionKeepsOneRepresentative) {
+  UnionFind UF;
+  std::vector<UnionFind::Id> Ids;
+  for (int I = 0; I < 100; ++I)
+    Ids.push_back(UF.makeSet());
+  for (int I = 1; I < 100; ++I)
+    UF.unite(Ids[I - 1], Ids[I]);
+  UnionFind::Id Root = UF.find(Ids[0]);
+  for (UnionFind::Id Id : Ids)
+    EXPECT_EQ(UF.find(Id), Root);
+  EXPECT_EQ(UF.numSets(), 1u);
+}
+
+/// Property check against a brute-force connectivity oracle.
+TEST(UnionFindTest, MatchesBruteForceOracle) {
+  std::mt19937 Rng(12345);
+  constexpr int N = 64;
+  UnionFind UF;
+  std::vector<UnionFind::Id> Ids;
+  for (int I = 0; I < N; ++I)
+    Ids.push_back(UF.makeSet());
+  // Oracle: component labels, merged by relabeling.
+  std::vector<int> Label(N);
+  std::iota(Label.begin(), Label.end(), 0);
+  for (int Step = 0; Step < 200; ++Step) {
+    int A = static_cast<int>(Rng() % N);
+    int B = static_cast<int>(Rng() % N);
+    UF.unite(Ids[A], Ids[B]);
+    int From = Label[B], To = Label[A];
+    for (int &L : Label)
+      if (L == From)
+        L = To;
+    // Spot-check a few pairs.
+    for (int Check = 0; Check < 8; ++Check) {
+      int X = static_cast<int>(Rng() % N);
+      int Y = static_cast<int>(Rng() % N);
+      EXPECT_EQ(UF.connected(Ids[X], Ids[Y]), Label[X] == Label[Y]);
+    }
+  }
+}
+
+} // namespace
+} // namespace alphonse

@@ -1,0 +1,153 @@
+//===- RoundTripTest.cpp - Unparser round-trip tests ----------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's implementation is a source-to-source translator
+/// (Section 8). For *untransformed* modules our unparser emits valid
+/// Alphonse-L, so unparse -> parse -> analyze -> execute must reproduce
+/// the original program's behaviour exactly; and unparsing is a fixpoint
+/// (unparse(parse(unparse(M))) == unparse(M)).
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "lang/CompileTestHelper.h"
+#include "transform/Unparser.h"
+
+#include <gtest/gtest.h>
+
+namespace alphonse::transform {
+namespace {
+
+using interp::ExecMode;
+using interp::Interp;
+using interp::Value;
+using testing::compile;
+
+static void checkRoundTrip(const char *Source) {
+  auto C1 = compile(Source, /*DoTransform=*/false);
+  ASSERT_TRUE(C1->ok()) << C1->Diags.str();
+  std::string Emitted = unparse(C1->M);
+  auto C2 = compile(Emitted, /*DoTransform=*/false);
+  ASSERT_TRUE(C2->ok()) << "re-parse failed:\n"
+                        << C2->Diags.str() << "\nsource was:\n"
+                        << Emitted;
+  // Unparsing must be a fixpoint after one round.
+  EXPECT_EQ(unparse(C2->M), Emitted);
+}
+
+TEST(RoundTripTest, HeightTreeProgram) {
+  checkRoundTrip(testing::heightTreeProgram());
+}
+
+TEST(RoundTripTest, AvlProgram) { checkRoundTrip(testing::avlProgram()); }
+
+TEST(RoundTripTest, AllStatementAndExpressionForms) {
+  checkRoundTrip(R"(
+TYPE Base = OBJECT
+  v : INTEGER;
+  t : TEXT;
+  flag : BOOLEAN;
+METHODS
+  (*MAINTAINED*) m(x : INTEGER) : INTEGER := MImpl;
+  (*MAINTAINED EAGER*) e() : INTEGER := EImpl;
+END;
+TYPE Sub = Base OBJECT
+  link : Base;
+OVERRIDES
+  m := MSub;
+END;
+VAR g : Base; count : INTEGER := 3 * (2 + 1);
+PROCEDURE MImpl(o : Base; x : INTEGER) : INTEGER =
+BEGIN
+  RETURN o.v + x;
+END MImpl;
+PROCEDURE EImpl(o : Base) : INTEGER =
+BEGIN
+  RETURN (*UNCHECKED*) o.v;
+END EImpl;
+PROCEDURE MSub(o : Base; x : INTEGER) : INTEGER =
+BEGIN
+  RETURN o.v - x;
+END MSub;
+(*CACHED*) PROCEDURE Tri(n : INTEGER) : INTEGER =
+BEGIN
+  IF n <= 0 THEN
+    RETURN 0;
+  END;
+  RETURN n + Tri(n - 1);
+END Tri;
+PROCEDURE Drive(n : INTEGER) : INTEGER =
+VAR s, i : INTEGER; o : Base;
+BEGIN
+  o := NEW(Sub);
+  o.v := 5;
+  o.t := "hi" & "!";
+  o.flag := TRUE AND NOT FALSE OR 1 < 2;
+  g := o;
+  s := 0;
+  FOR i := 1 TO n DO
+    s := s + o.m(i) * 2;
+  END;
+  WHILE s > 100 DO
+    s := s DIV 2;
+  END;
+  IF s MOD 2 = 0 THEN
+    s := s + Tri(n);
+  ELSIF s # 7 THEN
+    s := -s;
+  ELSE
+    s := abs(s);
+  END;
+  print(fmt(s));
+  RETURN s + max(count, min(0, 5));
+END Drive;
+)");
+}
+
+TEST(RoundTripTest, RoundTrippedProgramBehavesIdentically) {
+  const char *Source = testing::avlProgram();
+  auto C1 = compile(Source, /*DoTransform=*/false);
+  ASSERT_TRUE(C1->ok());
+  std::string Emitted = unparse(C1->M);
+  // Run the original and the round-tripped module (both transformed) in
+  // Alphonse mode with the same script; results must agree.
+  auto A = compile(Source, /*DoTransform=*/true);
+  auto B = compile(Emitted, /*DoTransform=*/true);
+  ASSERT_TRUE(A->ok());
+  ASSERT_TRUE(B->ok()) << B->Diags.str();
+  Interp IA(A->M, A->Info, ExecMode::Alphonse);
+  Interp IB(B->M, B->Info, ExecMode::Alphonse);
+  IA.call("InitTree");
+  IB.call("InitTree");
+  for (long K : {9, 3, 14, 1, 5, 2, 11, 8, 20, 17}) {
+    IA.call("Insert", {Value::integer(K)});
+    IB.call("Insert", {Value::integer(K)});
+  }
+  for (long K = 0; K <= 21; ++K) {
+    Value VA = IA.call("Contains", {Value::integer(K)});
+    Value VB = IB.call("Contains", {Value::integer(K)});
+    EXPECT_TRUE(VA == VB) << "key " << K;
+  }
+  EXPECT_EQ(IA.call("TreeHeight").Int, IB.call("TreeHeight").Int);
+  EXPECT_TRUE(IA.call("IsBalanced").Bool);
+  EXPECT_TRUE(IB.call("IsBalanced").Bool);
+  EXPECT_FALSE(IA.failed());
+  EXPECT_FALSE(IB.failed());
+}
+
+TEST(RoundTripTest, TransformedOutputShowsOperations) {
+  auto C = compile(testing::heightTreeProgram(), /*DoTransform=*/true);
+  ASSERT_TRUE(C->ok());
+  std::string Out = unparse(C->M);
+  EXPECT_NE(Out.find("access("), std::string::npos);
+  EXPECT_NE(Out.find("modify("), std::string::npos);
+  EXPECT_NE(Out.find("call("), std::string::npos);
+}
+
+} // namespace
+} // namespace alphonse::transform

@@ -1,0 +1,245 @@
+//===- TransformTest.cpp - Section 5 transformation tests -----------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the Section 5 transformation rules and the Section 6.1 static
+/// check elimination, using both the AST flags and the unparsed output
+/// (which should show access/modify/call exactly like Algorithm 2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/CompileTestHelper.h"
+#include "transform/StaticPartition.h"
+#include "transform/Unparser.h"
+
+#include <gtest/gtest.h>
+
+namespace alphonse::transform {
+namespace {
+
+using lang::AssignStmt;
+using lang::ExprKind;
+using lang::NameRefExpr;
+using lang::ReturnStmt;
+using testing::compile;
+
+/// Algorithm 2's shape: a procedure mixing a local, a global, and a
+/// parameter in calls and assignments.
+static const char *algorithm2Program() {
+  return R"(
+VAR b : INTEGER; p : INTEGER; y : INTEGER;
+(*CACHED*) PROCEDURE p2(x : INTEGER; z : INTEGER) : INTEGER =
+BEGIN
+  RETURN x + z;
+END p2;
+PROCEDURE p1(c : INTEGER) : INTEGER =
+VAR a : INTEGER;
+BEGIN
+  FOR a := 1 TO 10 DO
+    p := p2(a + b + c, y);
+  END;
+  RETURN p;
+END p1;
+)";
+}
+
+TEST(TransformTest, GlobalReadsAreWrappedLocalsAreNot) {
+  auto C = compile(algorithm2Program());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  const lang::ProcDecl *P1 = C->M.findProc("p1");
+  // Inside the FOR body: p := p2(a + b + c, y)
+  const auto &For = static_cast<const lang::ForStmt &>(*P1->Body[0]);
+  const auto &Assign = static_cast<const AssignStmt &>(*For.Body[0]);
+  EXPECT_TRUE(Assign.TrackedModify); // p is top-level.
+  const auto &Call = static_cast<const lang::CallExpr &>(*Assign.Value);
+  EXPECT_TRUE(Call.CheckedCall); // p2 is cached.
+  const auto &Sum = static_cast<const lang::BinaryExpr &>(*Call.Args[0]);
+  const auto &Inner = static_cast<const lang::BinaryExpr &>(*Sum.Lhs);
+  const auto &ARef = static_cast<const NameRefExpr &>(*Inner.Lhs);
+  const auto &BRef = static_cast<const NameRefExpr &>(*Inner.Rhs);
+  const auto &CRef = static_cast<const NameRefExpr &>(*Sum.Rhs);
+  EXPECT_FALSE(ARef.TrackedAccess); // a: local.
+  EXPECT_TRUE(BRef.TrackedAccess);  // b: top-level.
+  EXPECT_FALSE(CRef.TrackedAccess); // c: parameter.
+  const auto &YRef = static_cast<const NameRefExpr &>(*Call.Args[1]);
+  EXPECT_TRUE(YRef.TrackedAccess);
+}
+
+TEST(TransformTest, UnparseShowsAlgorithm2Operations) {
+  auto C = compile(algorithm2Program());
+  ASSERT_TRUE(C->ok());
+  std::string Out = unparse(C->M);
+  // modify(p, call(p2, ((a + access(b)) + c), access(y)))
+  EXPECT_NE(Out.find("modify(p, call(p2, ((a + access(b)) + c), access(y)))"),
+            std::string::npos)
+      << Out;
+  // The trailing RETURN reads the global p.
+  EXPECT_NE(Out.find("RETURN access(p);"), std::string::npos) << Out;
+}
+
+TEST(TransformTest, FieldAccessesAlwaysWrapped) {
+  auto C = compile(R"(
+TYPE T = OBJECT v : INTEGER; next : T; END;
+PROCEDURE P(t : T) : INTEGER =
+BEGIN
+  RETURN t.next.v;
+END P;
+)");
+  ASSERT_TRUE(C->ok());
+  std::string Out = unparse(C->M);
+  // Both the pointer field and the data field are accessed: "pointers must
+  // be accessed twice, once for the pointer, once for the location".
+  EXPECT_NE(Out.find("access(access(t.next).v)"), std::string::npos) << Out;
+}
+
+TEST(TransformTest, FieldWriteBaseIsReadTargetIsModified) {
+  auto C = compile(R"(
+TYPE T = OBJECT v : INTEGER; END;
+VAR g : T;
+PROCEDURE P() = BEGIN g.v := 3; END P;
+)");
+  ASSERT_TRUE(C->ok());
+  std::string Out = unparse(C->M);
+  EXPECT_NE(Out.find("modify(access(g).v, 3)"), std::string::npos) << Out;
+}
+
+TEST(TransformTest, StatsCountWrappedOperations) {
+  auto C = compile(algorithm2Program());
+  ASSERT_TRUE(C->ok());
+  // Reads: p2 body (x, z: locals, unwrapped), p1: a, b, c, y, p — of which
+  // b, y, p are wrapped.
+  EXPECT_EQ(C->TStats.ReadsWrapped, 3u);
+  EXPECT_GT(C->TStats.ReadsTotal, C->TStats.ReadsWrapped);
+  EXPECT_EQ(C->TStats.WritesWrapped, 1u); // p := ...
+  EXPECT_EQ(C->TStats.CallsChecked, 1u);  // p2 (cached).
+}
+
+TEST(TransformTest, ConservativeModeWrapsEverything) {
+  transform::TransformOptions Opts;
+  Opts.OptimizeLocalAccesses = false;
+  Opts.OptimizeCallChecks = false;
+  auto C = compile(algorithm2Program(), /*DoTransform=*/true, Opts);
+  ASSERT_TRUE(C->ok());
+  EXPECT_EQ(C->TStats.ReadsWrapped, C->TStats.ReadsTotal);
+  EXPECT_EQ(C->TStats.WritesWrapped, C->TStats.WritesTotal);
+  EXPECT_EQ(C->TStats.CallsChecked, C->TStats.CallsTotal);
+}
+
+TEST(TransformTest, CallsToPlainProceduresAreNotChecked) {
+  auto C = compile(R"(
+PROCEDURE Helper(x : INTEGER) : INTEGER = BEGIN RETURN x; END Helper;
+PROCEDURE P() : INTEGER = BEGIN RETURN Helper(1); END P;
+)");
+  ASSERT_TRUE(C->ok());
+  EXPECT_EQ(C->TStats.CallsChecked, 0u);
+}
+
+TEST(TransformTest, MethodCallsCheckedWhenAnyMaintainedBindingExists) {
+  auto C = compile(testing::heightTreeProgram());
+  ASSERT_TRUE(C->ok());
+  std::string Out = unparse(C->M);
+  EXPECT_NE(Out.find("call(access(t.left).height)"), std::string::npos)
+      << Out;
+}
+
+TEST(TransformTest, MethodCallsUncheckedWhenNoMaintainedBindings) {
+  auto C = compile(R"(
+TYPE T = OBJECT METHODS m() : INTEGER := P; END;
+PROCEDURE P(o : T) : INTEGER = BEGIN RETURN 1; END P;
+PROCEDURE Q(o : T) : INTEGER = BEGIN RETURN o.m(); END Q;
+)");
+  ASSERT_TRUE(C->ok());
+  EXPECT_EQ(C->TStats.CallsChecked, 0u);
+}
+
+TEST(TransformTest, PaperProgramsTransformCleanly) {
+  auto C1 = compile(testing::heightTreeProgram());
+  EXPECT_TRUE(C1->ok()) << C1->Diags.str();
+  auto C2 = compile(testing::avlProgram());
+  EXPECT_TRUE(C2->ok()) << C2->Diags.str();
+  EXPECT_GT(C2->TStats.ReadsWrapped, 0u);
+  EXPECT_GT(C2->TStats.WritesWrapped, 0u);
+  EXPECT_GT(C2->TStats.CallsChecked, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Static partitioning (Section 6.3)
+//===----------------------------------------------------------------------===//
+
+TEST(StaticPartitionTest, DisjointClustersSeparate) {
+  auto C = compile(R"(
+TYPE TreeA = OBJECT left : TreeA; END;
+TYPE TreeB = OBJECT next : TreeB; END;
+VAR rootA : TreeA; rootB : TreeB;
+PROCEDURE PA() : TreeA = BEGIN RETURN rootA; END PA;
+PROCEDURE PB() : TreeB = BEGIN RETURN rootB; END PB;
+)");
+  ASSERT_TRUE(C->ok());
+  StaticPartitionResult R = computeStaticPartitions(C->M, C->Info);
+  EXPECT_GE(R.NumComponents, 2);
+  EXPECT_FALSE(R.sameComponent(C->M.findProc("PA"), C->M.findProc("PB")));
+  EXPECT_NE(R.TypeComponent.at(C->Info.lookupType("TreeA")),
+            R.TypeComponent.at(C->Info.lookupType("TreeB")));
+}
+
+TEST(StaticPartitionTest, FieldPointersConnectTypes) {
+  auto C = compile(R"(
+TYPE A = OBJECT b : B; END;
+TYPE B = OBJECT END;
+)");
+  ASSERT_TRUE(C->ok());
+  StaticPartitionResult R = computeStaticPartitions(C->M, C->Info);
+  EXPECT_EQ(R.TypeComponent.at(C->Info.lookupType("A")),
+            R.TypeComponent.at(C->Info.lookupType("B")));
+}
+
+TEST(StaticPartitionTest, InheritanceConnectsTypes) {
+  auto C = compile(R"(
+TYPE Base = OBJECT END;
+TYPE Sub = Base OBJECT END;
+)");
+  ASSERT_TRUE(C->ok());
+  StaticPartitionResult R = computeStaticPartitions(C->M, C->Info);
+  EXPECT_EQ(R.TypeComponent.at(C->Info.lookupType("Base")),
+            R.TypeComponent.at(C->Info.lookupType("Sub")));
+}
+
+TEST(StaticPartitionTest, CallsConnectProcedures) {
+  auto C = compile(R"(
+PROCEDURE Callee() : INTEGER = BEGIN RETURN 1; END Callee;
+PROCEDURE Caller() : INTEGER = BEGIN RETURN Callee(); END Caller;
+PROCEDURE Loner() : INTEGER = BEGIN RETURN 0; END Loner;
+)");
+  ASSERT_TRUE(C->ok());
+  StaticPartitionResult R = computeStaticPartitions(C->M, C->Info);
+  EXPECT_TRUE(R.sameComponent(C->M.findProc("Caller"),
+                              C->M.findProc("Callee")));
+  EXPECT_FALSE(R.sameComponent(C->M.findProc("Caller"),
+                               C->M.findProc("Loner")));
+}
+
+TEST(StaticPartitionTest, GlobalsConnectReferencingProcedures) {
+  auto C = compile(R"(
+VAR shared : INTEGER;
+PROCEDURE PA() : INTEGER = BEGIN RETURN shared; END PA;
+PROCEDURE PB() = BEGIN shared := 3; END PB;
+)");
+  ASSERT_TRUE(C->ok());
+  StaticPartitionResult R = computeStaticPartitions(C->M, C->Info);
+  EXPECT_TRUE(R.sameComponent(C->M.findProc("PA"), C->M.findProc("PB")));
+}
+
+TEST(StaticPartitionTest, WholePaperProgramIsOneComponent) {
+  auto C = compile(testing::avlProgram());
+  ASSERT_TRUE(C->ok());
+  StaticPartitionResult R = computeStaticPartitions(C->M, C->Info);
+  // Every type/proc/global in Algorithm 11 touches the tree.
+  EXPECT_EQ(R.NumComponents, 1);
+}
+
+} // namespace
+} // namespace alphonse::transform

@@ -1,0 +1,230 @@
+//===- AvlTreeTest.cpp - Alphonse AVL tree tests --------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests Algorithm 11: self-balancing through a maintained balance method,
+/// on-line and off-line (batched) operation, BST delete, maintained
+/// lookups, the (*UNCHECKED*) lookup variant (Section 6.4), and randomized
+/// equivalence with std::set plus the hand-written ClassicAvl.
+///
+//===----------------------------------------------------------------------===//
+
+#include "trees/AvlTree.h"
+#include "trees/ClassicAvl.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace alphonse::trees {
+namespace {
+
+TEST(AvlTreeTest, EmptyTree) {
+  Runtime RT;
+  AvlTree T(RT);
+  EXPECT_EQ(T.height(), 0);
+  EXPECT_FALSE(T.contains(42));
+  EXPECT_TRUE(T.isAvlBalanced());
+}
+
+TEST(AvlTreeTest, AscendingInsertsStayBalanced) {
+  Runtime RT;
+  AvlTree T(RT);
+  for (int I = 1; I <= 64; ++I) {
+    T.insert(I);
+    T.rebalance();
+    EXPECT_TRUE(T.isAvlBalanced()) << "after insert " << I;
+    EXPECT_TRUE(T.isBst());
+  }
+  for (int I = 1; I <= 64; ++I)
+    EXPECT_TRUE(T.contains(I));
+  EXPECT_FALSE(T.contains(0));
+  EXPECT_FALSE(T.contains(65));
+  EXPECT_EQ(T.height(), 7); // 64 keys: AVL height 7.
+}
+
+TEST(AvlTreeTest, OfflineBatchRebalance) {
+  // The paper stresses that balance works off-line: arbitrary batches of
+  // mutations between rebalances.
+  Runtime RT;
+  AvlTree T(RT);
+  for (int I = 1; I <= 200; ++I)
+    T.insert(I); // A pure right spine: height 200 before balancing.
+  EXPECT_FALSE(T.isAvlBalanced());
+  T.rebalance();
+  EXPECT_TRUE(T.isAvlBalanced());
+  EXPECT_TRUE(T.isBst());
+  EXPECT_EQ(T.reachableSize(), 200u);
+}
+
+TEST(AvlTreeTest, DuplicateInsertsAreIgnored) {
+  Runtime RT;
+  AvlTree T(RT);
+  T.insert(5);
+  T.insert(5);
+  T.insert(5);
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(5));
+}
+
+TEST(AvlTreeTest, EraseLeafAndInternal) {
+  Runtime RT;
+  AvlTree T(RT);
+  for (int K : {50, 30, 70, 20, 40, 60, 80})
+    T.insert(K);
+  T.rebalance();
+  EXPECT_TRUE(T.erase(20)); // Leaf.
+  EXPECT_FALSE(T.contains(20));
+  EXPECT_TRUE(T.erase(30)); // One child remains.
+  EXPECT_FALSE(T.contains(30));
+  EXPECT_TRUE(T.erase(50)); // Two children (root).
+  EXPECT_FALSE(T.contains(50));
+  EXPECT_FALSE(T.erase(50)); // Already gone.
+  T.rebalance();
+  EXPECT_TRUE(T.isAvlBalanced());
+  EXPECT_TRUE(T.isBst());
+  for (int K : {40, 60, 70, 80})
+    EXPECT_TRUE(T.contains(K));
+  EXPECT_EQ(T.size(), 4u);
+}
+
+TEST(AvlTreeTest, RebalanceAfterNoChangeIsCheap) {
+  Runtime RT;
+  AvlTree T(RT);
+  for (int I = 0; I < 32; ++I)
+    T.insert(I);
+  // Balance writes cells it also reads (rotations), so instances that
+  // self-invalidated settle on the next demand; after that, rebalancing a
+  // balanced tree is a pure cache hit.
+  T.rebalance();
+  T.rebalance();
+  RT.resetStats();
+  T.rebalance();
+  EXPECT_EQ(RT.stats().ProcExecutions, 0u);
+}
+
+TEST(AvlTreeTest, LocalInsertReusesDistantSubtrees) {
+  Runtime RT;
+  AvlTree T(RT);
+  for (int I = 0; I < 256; ++I)
+    T.insert(I * 10);
+  T.rebalance();
+  RT.resetStats();
+  T.insert(1234567); // Far right.
+  T.rebalance();
+  uint64_t Execs = RT.stats().ProcExecutions;
+  // Re-balancing after one insert must not revisit all ~256 subtrees.
+  EXPECT_LT(Execs, 120u);
+  EXPECT_TRUE(T.isAvlBalanced());
+}
+
+TEST(AvlTreeTest, MaintainedLookupCaches) {
+  Runtime RT;
+  AvlTree T(RT);
+  for (int I = 0; I < 64; ++I)
+    T.insert(I);
+  EXPECT_TRUE(T.lookup(10));
+  EXPECT_TRUE(T.lookup(10)); // Settle self-invalidated balance instances.
+  RT.resetStats();
+  EXPECT_TRUE(T.lookup(10));
+  EXPECT_EQ(RT.stats().ProcExecutions, 0u); // Cached.
+  EXPECT_FALSE(T.lookup(1000));
+  T.insert(1000);
+  EXPECT_TRUE(T.lookup(1000)); // Insert invalidated the absence answer.
+}
+
+TEST(AvlTreeTest, UncheckedLookupHasConstantDependencies) {
+  Runtime RT1;
+  AvlTree Tracked(RT1, /*UncheckedLookups=*/false);
+  Runtime RT2;
+  AvlTree Unchecked(RT2, /*UncheckedLookups=*/true);
+  for (int I = 0; I < 128; ++I) {
+    Tracked.insert(I);
+    Unchecked.insert(I);
+  }
+  EXPECT_TRUE(Tracked.lookup(77));
+  EXPECT_TRUE(Unchecked.lookup(77));
+  size_t TrackedDeps = Tracked.lookupDependencyCount(77);
+  size_t UncheckedDeps = Unchecked.lookupDependencyCount(77);
+  // Section 6.4: the tracked walk records O(log n) locations; the
+  // unchecked walk depends on the found item (and the probe's few reads).
+  EXPECT_GE(TrackedDeps, 6u);
+  EXPECT_LE(UncheckedDeps, 2u);
+}
+
+TEST(AvlTreeTest, UncheckedLookupSurvivesUnrelatedChanges) {
+  Runtime RT;
+  AvlTree T(RT, /*UncheckedLookups=*/true);
+  for (int I = 0; I < 64; ++I)
+    T.insert(I);
+  EXPECT_TRUE(T.lookup(5));
+  RT.resetStats();
+  // Mutate far away from key 5; the unchecked lookup stays cached even
+  // though the descent path may have been rearranged.
+  T.insert(1000);
+  EXPECT_TRUE(T.lookup(5));
+  EXPECT_TRUE(T.lookup(5));
+}
+
+TEST(AvlTreeTest, RandomOperationsMatchStdSetAndClassic) {
+  std::mt19937 Rng(4242);
+  Runtime RT;
+  AvlTree T(RT);
+  ClassicAvl Classic;
+  std::set<int> Oracle;
+  for (int Step = 0; Step < 2000; ++Step) {
+    int Key = static_cast<int>(Rng() % 500);
+    int Op = static_cast<int>(Rng() % 3);
+    if (Op == 0) {
+      T.insert(Key);
+      Classic.insert(Key);
+      Oracle.insert(Key);
+    } else if (Op == 1) {
+      bool A = T.erase(Key);
+      bool B = Classic.erase(Key);
+      bool C = Oracle.erase(Key) != 0;
+      EXPECT_EQ(A, C);
+      EXPECT_EQ(B, C);
+    } else {
+      bool A = T.contains(Key);
+      bool B = Classic.contains(Key);
+      bool C = Oracle.count(Key) != 0;
+      EXPECT_EQ(A, C);
+      EXPECT_EQ(B, C);
+    }
+    if (Step % 100 == 99) {
+      T.rebalance();
+      ASSERT_TRUE(T.isAvlBalanced()) << "step " << Step;
+      ASSERT_TRUE(T.isBst()) << "step " << Step;
+      ASSERT_TRUE(Classic.isAvlBalanced());
+      ASSERT_EQ(T.reachableSize(), Oracle.size());
+    }
+  }
+}
+
+/// Parameterized batch-size sweep: insert a batch, rebalance once, verify
+/// the invariant — the off-line claim at several scales.
+class AvlBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AvlBatchTest, BatchedInsertsBalanceInOnePass) {
+  int N = GetParam();
+  std::mt19937 Rng(static_cast<unsigned>(N));
+  Runtime RT;
+  AvlTree T(RT);
+  for (int I = 0; I < N; ++I)
+    T.insert(static_cast<int>(Rng() % (N * 4)));
+  T.rebalance();
+  EXPECT_TRUE(T.isAvlBalanced());
+  EXPECT_TRUE(T.isBst());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AvlBatchTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 256, 1000));
+
+} // namespace
+} // namespace alphonse::trees

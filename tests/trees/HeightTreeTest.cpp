@@ -1,0 +1,230 @@
+//===- HeightTreeTest.cpp - Maintained-height tree tests ------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests Algorithm 1's cost/behaviour claims (Section 3.4): O(n) first
+/// demand, O(1) repeats, O(path) updates, batching of multiple changes,
+/// plus a randomized property check against the exhaustive oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "trees/HeightTree.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace alphonse::trees {
+namespace {
+
+/// Builds a perfect binary tree of \p Levels levels and returns the root
+/// plus every node in \p Nodes (level order).
+static HeightTree::Node *
+buildPerfect(HeightTree &T, int Levels,
+             std::vector<HeightTree::Node *> *Nodes = nullptr) {
+  size_t Count = (size_t{1} << Levels) - 1;
+  std::vector<HeightTree::Node *> All;
+  All.reserve(Count);
+  for (size_t I = 0; I < Count; ++I)
+    All.push_back(T.makeNode());
+  for (size_t I = 0; I < Count; ++I) {
+    size_t L = 2 * I + 1, R = 2 * I + 2;
+    if (L < Count)
+      T.setLeft(All[I], All[L]);
+    if (R < Count)
+      T.setRight(All[I], All[R]);
+  }
+  if (Nodes)
+    *Nodes = All;
+  return All[0];
+}
+
+TEST(HeightTreeTest, NilHasHeightZero) {
+  Runtime RT;
+  HeightTree T(RT);
+  EXPECT_EQ(T.height(T.nil()), 0);
+}
+
+TEST(HeightTreeTest, SingleNodeHasHeightOne) {
+  Runtime RT;
+  HeightTree T(RT);
+  EXPECT_EQ(T.height(T.makeNode()), 1);
+}
+
+TEST(HeightTreeTest, PerfectTreeHeights) {
+  Runtime RT;
+  HeightTree T(RT);
+  std::vector<HeightTree::Node *> Nodes;
+  HeightTree::Node *Root = buildPerfect(T, 4, &Nodes);
+  EXPECT_EQ(T.height(Root), 4);
+  // Every subtree height is now cached; check a few.
+  EXPECT_EQ(T.height(Nodes[1]), 3);
+  EXPECT_EQ(T.height(Nodes[3]), 2);
+  EXPECT_EQ(T.height(Nodes[7]), 1);
+}
+
+TEST(HeightTreeTest, FirstDemandIsLinearRepeatIsConstant) {
+  Runtime RT;
+  HeightTree T(RT);
+  HeightTree::Node *Root = buildPerfect(T, 6); // 63 nodes.
+  RT.resetStats();
+  T.height(Root);
+  // One execution per node plus the shared nil instance.
+  EXPECT_EQ(RT.stats().ProcExecutions, 64u);
+  RT.resetStats();
+  T.height(Root);
+  EXPECT_EQ(RT.stats().ProcExecutions, 0u);
+  EXPECT_EQ(RT.stats().CacheHits, 1u);
+}
+
+TEST(HeightTreeTest, DescendantQueriesHitTheCache) {
+  Runtime RT;
+  HeightTree T(RT);
+  std::vector<HeightTree::Node *> Nodes;
+  HeightTree::Node *Root = buildPerfect(T, 5, &Nodes);
+  T.height(Root);
+  RT.resetStats();
+  for (HeightTree::Node *N : Nodes)
+    T.height(N);
+  EXPECT_EQ(RT.stats().ProcExecutions, 0u);
+}
+
+TEST(HeightTreeTest, PointerChangeUpdatesAlongRootPath) {
+  // Section 3.4: a child-pointer change costs O(height) height updates.
+  Runtime RT;
+  HeightTree T(RT);
+  std::vector<HeightTree::Node *> Nodes;
+  HeightTree::Node *Root = buildPerfect(T, 6, &Nodes);
+  EXPECT_EQ(T.height(Root), 6);
+  // Extend under the leftmost leaf (node index 31 is the first leaf of a
+  // 6-level perfect tree... leaves start at 2^5 - 1 = 31).
+  HeightTree::Node *Leaf = Nodes[31];
+  RT.resetStats();
+  T.setLeft(Leaf, T.makeNode());
+  EXPECT_EQ(T.height(Root), 7);
+  // The change re-executes the leaf-to-root path (6 nodes) and the new
+  // node; allow the new node's nil reads too, but it must stay far below
+  // the 63-node full recomputation.
+  EXPECT_LE(RT.stats().ProcExecutions, 10u);
+  EXPECT_GE(RT.stats().ProcExecutions, 6u);
+}
+
+TEST(HeightTreeTest, QuiescentRelinkStopsEarly) {
+  // Swapping a subtree for one of equal height changes heights nowhere
+  // above the relink point.
+  Runtime RT;
+  HeightTree T(RT);
+  std::vector<HeightTree::Node *> Nodes;
+  HeightTree::Node *Root = buildPerfect(T, 6, &Nodes);
+  EXPECT_EQ(T.height(Root), 6);
+  // Detach the left child of node 1 (a 4-level subtree) and replace it by
+  // a fresh perfect 4-level subtree.
+  HeightTree::Node *Fresh = buildPerfect(T, 4);
+  RT.resetStats();
+  T.setLeft(Nodes[1], Fresh);
+  EXPECT_EQ(T.height(Root), 6);
+  // Node 1's height re-runs (new subtree pointer), finds the same value;
+  // the fresh subtree computes its own heights (15 + nil reuse). The root
+  // need not re-run, but a conservative bound still excludes full
+  // recomputation of the original 63 nodes.
+  EXPECT_LE(RT.stats().ProcExecutions, 20u);
+}
+
+TEST(HeightTreeTest, BatchedChangesAreSharedAtCommonAncestors) {
+  // Section 3.4: many changes cost O(|AFFECTED|), not sum of path lengths.
+  Runtime RT;
+  HeightTree T(RT);
+  std::vector<HeightTree::Node *> Nodes;
+  HeightTree::Node *Root = buildPerfect(T, 7, &Nodes); // 127 nodes.
+  EXPECT_EQ(T.height(Root), 7);
+  // Grow a new level under every leaf (64 leaves), then demand once.
+  size_t FirstLeaf = 63;
+  RT.resetStats();
+  for (size_t I = FirstLeaf; I < Nodes.size(); ++I)
+    T.setLeft(Nodes[I], T.makeNode());
+  EXPECT_EQ(T.height(Root), 8);
+  uint64_t Batched = RT.stats().ProcExecutions;
+  // AFFECTED = all 127 original nodes (every height changed) + 64 new
+  // nodes = 191. Without batching it would be 64 paths * 7 = 448 stale
+  // ancestor updates plus the new nodes.
+  EXPECT_LE(Batched, 200u);
+}
+
+TEST(HeightTreeTest, DiscardInvalidatesAncestors) {
+  Runtime RT;
+  HeightTree T(RT);
+  HeightTree::Node *Root = T.makeNode();
+  HeightTree::Node *Child = T.makeNode();
+  HeightTree::Node *Grand = T.makeNode();
+  T.setLeft(Root, Child);
+  T.setLeft(Child, Grand);
+  EXPECT_EQ(T.height(Root), 3);
+  T.setLeft(Child, T.nil());
+  T.discard(Grand);
+  EXPECT_EQ(T.height(Root), 2);
+}
+
+TEST(HeightTreeTest, MatchesExhaustiveOracleUnderRandomMutation) {
+  std::mt19937 Rng(99);
+  Runtime RT;
+  HeightTree T(RT);
+  // Maintain a forest: Slots[i] is a detached subtree root. We randomly
+  // attach detached roots under random leaves-of-attachment and re-check
+  // against the oracle.
+  std::vector<HeightTree::Node *> All;
+  for (int I = 0; I < 80; ++I)
+    All.push_back(T.makeNode());
+  std::vector<HeightTree::Node *> Detached(All);
+  HeightTree::Node *Root = Detached.back();
+  Detached.pop_back();
+
+  auto RandomDescend = [&](HeightTree::Node *From) {
+    // Walk to a random node with a free slot.
+    while (true) {
+      bool LeftFree = From->Left.peek() == T.nil();
+      bool RightFree = From->Right.peek() == T.nil();
+      if ((LeftFree || RightFree) && (Rng() % 2 == 0))
+        return From;
+      HeightTree::Node *Next =
+          (Rng() % 2 == 0) ? From->Left.peek() : From->Right.peek();
+      if (Next == T.nil())
+        return From;
+      From = Next;
+    }
+  };
+
+  while (!Detached.empty()) {
+    HeightTree::Node *Sub = Detached.back();
+    Detached.pop_back();
+    HeightTree::Node *At = RandomDescend(Root);
+    if (At->Left.peek() == T.nil())
+      T.setLeft(At, Sub);
+    else if (At->Right.peek() == T.nil())
+      T.setRight(At, Sub);
+    else
+      continue; // No slot; drop this subtree (keep it detached forever).
+    EXPECT_EQ(T.height(Root), HeightTree::exhaustiveHeight(Root, T.nil()));
+  }
+}
+
+TEST(HeightTreeTest, SubtreeMoveMatchesOracle) {
+  Runtime RT;
+  HeightTree T(RT);
+  std::vector<HeightTree::Node *> Nodes;
+  HeightTree::Node *Root = buildPerfect(T, 5, &Nodes);
+  T.height(Root);
+  // Move node 3's subtree under node 14 (a leaf-ish node on the other
+  // side): detach, then reattach.
+  T.setLeft(Nodes[1], T.nil());
+  EXPECT_EQ(T.height(Root), HeightTree::exhaustiveHeight(Root, T.nil()));
+  T.setLeft(Nodes[14], Nodes[3]);
+  EXPECT_EQ(T.height(Root), HeightTree::exhaustiveHeight(Root, T.nil()));
+}
+
+} // namespace
+} // namespace alphonse::trees

@@ -1,0 +1,220 @@
+//===- alphonsec.cpp - Alphonse-L compiler driver -------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line driver for the Alphonse transformation system:
+//
+//   alphonsec FILE.alf [options]
+//
+//   --emit-transformed      print the transformed program (default action)
+//   --emit-source           print the unparsed program without transforming
+//   --conservative          disable the Section 6.1 check elimination
+//   --analyze               report static partitions (Section 6.3) and
+//                           static referenced-argument sets (Section 6.2)
+//   --run PROC[,ARGS...]    execute PROC with integer arguments
+//   --mode alphonse|conventional   execution model for --run (default
+//                           alphonse)
+//   --stats                 print runtime statistics after --run
+//
+// Exit status: 0 on success, 1 on usage or compile errors, 2 on runtime
+// errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "transform/StaticPartition.h"
+#include "transform/StaticRefSets.h"
+#include "transform/Transform.h"
+#include "transform/Unparser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace alphonse;
+using namespace alphonse::lang;
+using namespace alphonse::interp;
+
+namespace {
+
+struct Options {
+  std::string InputPath;
+  bool EmitTransformed = false;
+  bool EmitSource = false;
+  bool Conservative = false;
+  bool Analyze = false;
+  bool Stats = false;
+  std::string RunSpec;
+  ExecMode Mode = ExecMode::Alphonse;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: alphonsec FILE.alf [--emit-transformed] [--emit-source]\n"
+      "                 [--conservative] [--analyze] [--run PROC[,INT...]]\n"
+      "                 [--mode alphonse|conventional] [--stats]\n");
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--emit-transformed") {
+      Opts.EmitTransformed = true;
+    } else if (Arg == "--emit-source") {
+      Opts.EmitSource = true;
+    } else if (Arg == "--conservative") {
+      Opts.Conservative = true;
+    } else if (Arg == "--analyze") {
+      Opts.Analyze = true;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg == "--run") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --run needs an argument\n");
+        return false;
+      }
+      Opts.RunSpec = Argv[I];
+    } else if (Arg == "--mode") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --mode needs an argument\n");
+        return false;
+      }
+      std::string M = Argv[I];
+      if (M == "alphonse") {
+        Opts.Mode = ExecMode::Alphonse;
+      } else if (M == "conventional") {
+        Opts.Mode = ExecMode::Conventional;
+      } else {
+        std::fprintf(stderr, "error: unknown mode '%s'\n", M.c_str());
+        return false;
+      }
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else if (Opts.InputPath.empty()) {
+      Opts.InputPath = Arg;
+    } else {
+      std::fprintf(stderr, "error: multiple input files\n");
+      return false;
+    }
+  }
+  if (Opts.InputPath.empty()) {
+    usage();
+    return false;
+  }
+  if (!Opts.EmitSource && !Opts.Analyze && Opts.RunSpec.empty())
+    Opts.EmitTransformed = true; // Default action.
+  return true;
+}
+
+int runProgram(const Options &Opts, const Module &M, const SemaInfo &Info) {
+  // RunSpec: "Proc" or "Proc,1,2,3"; several specs separated by ';'.
+  Interp I(M, Info, Opts.Mode);
+  std::stringstream Specs(Opts.RunSpec);
+  std::string OneSpec;
+  while (std::getline(Specs, OneSpec, ';')) {
+    std::stringstream Parts(OneSpec);
+    std::string Name;
+    std::getline(Parts, Name, ',');
+    std::vector<Value> Args;
+    std::string ArgText;
+    while (std::getline(Parts, ArgText, ','))
+      Args.push_back(Value::integer(std::stol(ArgText)));
+    Value Result = I.call(Name, std::move(Args));
+    if (I.failed()) {
+      std::fprintf(stderr, "runtime error: %s\n",
+                   I.errorMessage().c_str());
+      return 2;
+    }
+    std::printf("%s => %s\n", Name.c_str(), Result.render().c_str());
+  }
+  if (!I.output().empty())
+    std::printf("--- program output ---\n%s", I.output().c_str());
+  if (Opts.Stats) {
+    std::ostringstream OS;
+    OS << I.runtime().stats();
+    std::printf("--- runtime statistics ---\n%s", OS.str().c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+
+  std::ifstream In(Opts.InputPath);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n",
+                 Opts.InputPath.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  DiagnosticEngine Diags;
+  Module M = parseModule(Buffer.str(), Diags);
+  SemaInfo Info = analyze(M, Diags);
+  if (Diags.hasErrors()) {
+    Diags.print(std::cerr);
+    return 1;
+  }
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Kind == DiagKind::Warning)
+      std::cerr << D.Loc.str() << ": warning: " << D.Message << '\n';
+
+  if (Opts.EmitSource)
+    std::printf("%s", transform::unparse(M).c_str());
+
+  transform::TransformOptions TOpts;
+  TOpts.OptimizeLocalAccesses = !Opts.Conservative;
+  TOpts.OptimizeCallChecks = !Opts.Conservative;
+  transform::TransformStats TS = transform::transform(M, Info, TOpts);
+
+  if (Opts.EmitTransformed) {
+    std::printf("%s", transform::unparse(M).c_str());
+    std::printf("(* instrumentation: %llu/%llu reads, %llu/%llu writes, "
+                "%llu/%llu calls *)\n",
+                static_cast<unsigned long long>(TS.ReadsWrapped),
+                static_cast<unsigned long long>(TS.ReadsTotal),
+                static_cast<unsigned long long>(TS.WritesWrapped),
+                static_cast<unsigned long long>(TS.WritesTotal),
+                static_cast<unsigned long long>(TS.CallsChecked),
+                static_cast<unsigned long long>(TS.CallsTotal));
+  }
+
+  if (Opts.Analyze) {
+    transform::StaticPartitionResult SP =
+        transform::computeStaticPartitions(M, Info);
+    std::printf("static partitions: %d component(s)\n", SP.NumComponents);
+    for (const auto &P : M.Procs)
+      std::printf("  proc %-16s component %d\n", P->Name.c_str(),
+                  SP.ProcComponent.at(P.get()));
+    transform::StaticRefSetResult RS =
+        transform::analyzeStaticRefSets(M, Info);
+    std::printf("referenced-argument sets (Section 6.2):\n");
+    for (const auto &P : M.Procs) {
+      const transform::RefSetInfo *RI = RS.info(P.get());
+      if (RI->IsStatic)
+        std::printf("  proc %-16s static, |R(p)| <= %d\n",
+                    P->Name.c_str(), RI->Bound);
+      else
+        std::printf("  proc %-16s dynamic\n", P->Name.c_str());
+    }
+  }
+
+  if (!Opts.RunSpec.empty())
+    return runProgram(Opts, M, Info);
+  return 0;
+}
