@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attrgram.dir/bench_attrgram.cpp.o"
+  "CMakeFiles/bench_attrgram.dir/bench_attrgram.cpp.o.d"
+  "bench_attrgram"
+  "bench_attrgram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attrgram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_avl.dir/bench_avl.cpp.o"
+  "CMakeFiles/bench_avl.dir/bench_avl.cpp.o.d"
+  "bench_avl"
+  "bench_avl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_avl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_height_tree.dir/bench_height_tree.cpp.o"
+  "CMakeFiles/bench_height_tree.dir/bench_height_tree.cpp.o.d"
+  "bench_height_tree"
+  "bench_height_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_height_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spreadsheet.dir/bench_spreadsheet.cpp.o"
+  "CMakeFiles/bench_spreadsheet.dir/bench_spreadsheet.cpp.o.d"
+  "bench_spreadsheet"
+  "bench_spreadsheet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spreadsheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

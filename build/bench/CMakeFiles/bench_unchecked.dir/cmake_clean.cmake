@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unchecked.dir/bench_unchecked.cpp.o"
+  "CMakeFiles/bench_unchecked.dir/bench_unchecked.cpp.o.d"
+  "bench_unchecked"
+  "bench_unchecked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unchecked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_lang_demo.dir/alphonse_lang_demo.cpp.o"
+  "CMakeFiles/alphonse_lang_demo.dir/alphonse_lang_demo.cpp.o.d"
+  "alphonse_lang_demo"
+  "alphonse_lang_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_lang_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/attribute_grammar_demo.cpp" "examples/CMakeFiles/attribute_grammar_demo.dir/attribute_grammar_demo.cpp.o" "gcc" "examples/CMakeFiles/attribute_grammar_demo.dir/attribute_grammar_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attrgram/CMakeFiles/alphonse_attrgram.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/alphonse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alphonse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_grammar_demo.dir/attribute_grammar_demo.cpp.o"
+  "CMakeFiles/attribute_grammar_demo.dir/attribute_grammar_demo.cpp.o.d"
+  "attribute_grammar_demo"
+  "attribute_grammar_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_grammar_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avl_demo.dir/avl_demo.cpp.o"
+  "CMakeFiles/avl_demo.dir/avl_demo.cpp.o.d"
+  "avl_demo"
+  "avl_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avl_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

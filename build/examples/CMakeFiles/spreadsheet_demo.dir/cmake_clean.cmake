@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spreadsheet_demo.dir/spreadsheet_demo.cpp.o"
+  "CMakeFiles/spreadsheet_demo.dir/spreadsheet_demo.cpp.o.d"
+  "spreadsheet_demo"
+  "spreadsheet_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spreadsheet_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spreadsheet_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_attrgram.dir/ExprTree.cpp.o"
+  "CMakeFiles/alphonse_attrgram.dir/ExprTree.cpp.o.d"
+  "CMakeFiles/alphonse_attrgram.dir/FormulaParser.cpp.o"
+  "CMakeFiles/alphonse_attrgram.dir/FormulaParser.cpp.o.d"
+  "libalphonse_attrgram.a"
+  "libalphonse_attrgram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_attrgram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_graph.dir/DebugDump.cpp.o"
+  "CMakeFiles/alphonse_graph.dir/DebugDump.cpp.o.d"
+  "CMakeFiles/alphonse_graph.dir/DepGraph.cpp.o"
+  "CMakeFiles/alphonse_graph.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/alphonse_graph.dir/InconsistentSet.cpp.o"
+  "CMakeFiles/alphonse_graph.dir/InconsistentSet.cpp.o.d"
+  "libalphonse_graph.a"
+  "libalphonse_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalphonse_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_interp.dir/Interp.cpp.o"
+  "CMakeFiles/alphonse_interp.dir/Interp.cpp.o.d"
+  "libalphonse_interp.a"
+  "libalphonse_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_lang.dir/AST.cpp.o"
+  "CMakeFiles/alphonse_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/alphonse_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/alphonse_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/alphonse_lang.dir/Parser.cpp.o"
+  "CMakeFiles/alphonse_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/alphonse_lang.dir/Sema.cpp.o"
+  "CMakeFiles/alphonse_lang.dir/Sema.cpp.o.d"
+  "libalphonse_lang.a"
+  "libalphonse_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_spreadsheet.dir/Spreadsheet.cpp.o"
+  "CMakeFiles/alphonse_spreadsheet.dir/Spreadsheet.cpp.o.d"
+  "libalphonse_spreadsheet.a"
+  "libalphonse_spreadsheet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_spreadsheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/alphonse_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/alphonse_support.dir/Statistics.cpp.o"
+  "CMakeFiles/alphonse_support.dir/Statistics.cpp.o.d"
+  "libalphonse_support.a"
+  "libalphonse_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

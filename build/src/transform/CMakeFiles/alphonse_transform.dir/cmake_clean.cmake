@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_transform.dir/StaticPartition.cpp.o"
+  "CMakeFiles/alphonse_transform.dir/StaticPartition.cpp.o.d"
+  "CMakeFiles/alphonse_transform.dir/StaticRefSets.cpp.o"
+  "CMakeFiles/alphonse_transform.dir/StaticRefSets.cpp.o.d"
+  "CMakeFiles/alphonse_transform.dir/Transform.cpp.o"
+  "CMakeFiles/alphonse_transform.dir/Transform.cpp.o.d"
+  "CMakeFiles/alphonse_transform.dir/Unparser.cpp.o"
+  "CMakeFiles/alphonse_transform.dir/Unparser.cpp.o.d"
+  "libalphonse_transform.a"
+  "libalphonse_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alphonse_transform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trees/AvlTree.cpp" "src/trees/CMakeFiles/alphonse_trees.dir/AvlTree.cpp.o" "gcc" "src/trees/CMakeFiles/alphonse_trees.dir/AvlTree.cpp.o.d"
+  "/root/repo/src/trees/ClassicAvl.cpp" "src/trees/CMakeFiles/alphonse_trees.dir/ClassicAvl.cpp.o" "gcc" "src/trees/CMakeFiles/alphonse_trees.dir/ClassicAvl.cpp.o.d"
+  "/root/repo/src/trees/HeightTree.cpp" "src/trees/CMakeFiles/alphonse_trees.dir/HeightTree.cpp.o" "gcc" "src/trees/CMakeFiles/alphonse_trees.dir/HeightTree.cpp.o.d"
+  "/root/repo/src/trees/ManualHeightTree.cpp" "src/trees/CMakeFiles/alphonse_trees.dir/ManualHeightTree.cpp.o" "gcc" "src/trees/CMakeFiles/alphonse_trees.dir/ManualHeightTree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/alphonse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alphonse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_trees.dir/AvlTree.cpp.o"
+  "CMakeFiles/alphonse_trees.dir/AvlTree.cpp.o.d"
+  "CMakeFiles/alphonse_trees.dir/ClassicAvl.cpp.o"
+  "CMakeFiles/alphonse_trees.dir/ClassicAvl.cpp.o.d"
+  "CMakeFiles/alphonse_trees.dir/HeightTree.cpp.o"
+  "CMakeFiles/alphonse_trees.dir/HeightTree.cpp.o.d"
+  "CMakeFiles/alphonse_trees.dir/ManualHeightTree.cpp.o"
+  "CMakeFiles/alphonse_trees.dir/ManualHeightTree.cpp.o.d"
+  "libalphonse_trees.a"
+  "libalphonse_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

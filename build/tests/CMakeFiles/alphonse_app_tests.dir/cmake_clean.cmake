@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_app_tests.dir/attrgram/ExprTreeTest.cpp.o"
+  "CMakeFiles/alphonse_app_tests.dir/attrgram/ExprTreeTest.cpp.o.d"
+  "CMakeFiles/alphonse_app_tests.dir/spreadsheet/SpreadsheetTest.cpp.o"
+  "CMakeFiles/alphonse_app_tests.dir/spreadsheet/SpreadsheetTest.cpp.o.d"
+  "alphonse_app_tests"
+  "alphonse_app_tests.pdb"
+  "alphonse_app_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_app_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/CellTest.cpp" "tests/CMakeFiles/alphonse_core_tests.dir/core/CellTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_core_tests.dir/core/CellTest.cpp.o.d"
+  "/root/repo/tests/core/MaintainedTest.cpp" "tests/CMakeFiles/alphonse_core_tests.dir/core/MaintainedTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_core_tests.dir/core/MaintainedTest.cpp.o.d"
+  "/root/repo/tests/core/PropagationTest.cpp" "tests/CMakeFiles/alphonse_core_tests.dir/core/PropagationTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_core_tests.dir/core/PropagationTest.cpp.o.d"
+  "/root/repo/tests/graph/DebugDumpTest.cpp" "tests/CMakeFiles/alphonse_core_tests.dir/graph/DebugDumpTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_core_tests.dir/graph/DebugDumpTest.cpp.o.d"
+  "/root/repo/tests/graph/DepGraphTest.cpp" "tests/CMakeFiles/alphonse_core_tests.dir/graph/DepGraphTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_core_tests.dir/graph/DepGraphTest.cpp.o.d"
+  "/root/repo/tests/support/DiagnosticsTest.cpp" "tests/CMakeFiles/alphonse_core_tests.dir/support/DiagnosticsTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_core_tests.dir/support/DiagnosticsTest.cpp.o.d"
+  "/root/repo/tests/support/UnionFindTest.cpp" "tests/CMakeFiles/alphonse_core_tests.dir/support/UnionFindTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_core_tests.dir/support/UnionFindTest.cpp.o.d"
+  "/root/repo/tests/trees/AvlTreeTest.cpp" "tests/CMakeFiles/alphonse_core_tests.dir/trees/AvlTreeTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_core_tests.dir/trees/AvlTreeTest.cpp.o.d"
+  "/root/repo/tests/trees/HeightTreeTest.cpp" "tests/CMakeFiles/alphonse_core_tests.dir/trees/HeightTreeTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_core_tests.dir/trees/HeightTreeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trees/CMakeFiles/alphonse_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/alphonse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alphonse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

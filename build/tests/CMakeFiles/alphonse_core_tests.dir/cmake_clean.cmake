@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_core_tests.dir/core/CellTest.cpp.o"
+  "CMakeFiles/alphonse_core_tests.dir/core/CellTest.cpp.o.d"
+  "CMakeFiles/alphonse_core_tests.dir/core/MaintainedTest.cpp.o"
+  "CMakeFiles/alphonse_core_tests.dir/core/MaintainedTest.cpp.o.d"
+  "CMakeFiles/alphonse_core_tests.dir/core/PropagationTest.cpp.o"
+  "CMakeFiles/alphonse_core_tests.dir/core/PropagationTest.cpp.o.d"
+  "CMakeFiles/alphonse_core_tests.dir/graph/DebugDumpTest.cpp.o"
+  "CMakeFiles/alphonse_core_tests.dir/graph/DebugDumpTest.cpp.o.d"
+  "CMakeFiles/alphonse_core_tests.dir/graph/DepGraphTest.cpp.o"
+  "CMakeFiles/alphonse_core_tests.dir/graph/DepGraphTest.cpp.o.d"
+  "CMakeFiles/alphonse_core_tests.dir/support/DiagnosticsTest.cpp.o"
+  "CMakeFiles/alphonse_core_tests.dir/support/DiagnosticsTest.cpp.o.d"
+  "CMakeFiles/alphonse_core_tests.dir/support/UnionFindTest.cpp.o"
+  "CMakeFiles/alphonse_core_tests.dir/support/UnionFindTest.cpp.o.d"
+  "CMakeFiles/alphonse_core_tests.dir/trees/AvlTreeTest.cpp.o"
+  "CMakeFiles/alphonse_core_tests.dir/trees/AvlTreeTest.cpp.o.d"
+  "CMakeFiles/alphonse_core_tests.dir/trees/HeightTreeTest.cpp.o"
+  "CMakeFiles/alphonse_core_tests.dir/trees/HeightTreeTest.cpp.o.d"
+  "alphonse_core_tests"
+  "alphonse_core_tests.pdb"
+  "alphonse_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

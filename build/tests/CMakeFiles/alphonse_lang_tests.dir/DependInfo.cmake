@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interp/EquivalenceTest.cpp" "tests/CMakeFiles/alphonse_lang_tests.dir/interp/EquivalenceTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_lang_tests.dir/interp/EquivalenceTest.cpp.o.d"
+  "/root/repo/tests/interp/InterpTest.cpp" "tests/CMakeFiles/alphonse_lang_tests.dir/interp/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_lang_tests.dir/interp/InterpTest.cpp.o.d"
+  "/root/repo/tests/interp/LangPropertyTest.cpp" "tests/CMakeFiles/alphonse_lang_tests.dir/interp/LangPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_lang_tests.dir/interp/LangPropertyTest.cpp.o.d"
+  "/root/repo/tests/lang/LexerTest.cpp" "tests/CMakeFiles/alphonse_lang_tests.dir/lang/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_lang_tests.dir/lang/LexerTest.cpp.o.d"
+  "/root/repo/tests/lang/ParserTest.cpp" "tests/CMakeFiles/alphonse_lang_tests.dir/lang/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_lang_tests.dir/lang/ParserTest.cpp.o.d"
+  "/root/repo/tests/lang/SemaTest.cpp" "tests/CMakeFiles/alphonse_lang_tests.dir/lang/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_lang_tests.dir/lang/SemaTest.cpp.o.d"
+  "/root/repo/tests/transform/RoundTripTest.cpp" "tests/CMakeFiles/alphonse_lang_tests.dir/transform/RoundTripTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_lang_tests.dir/transform/RoundTripTest.cpp.o.d"
+  "/root/repo/tests/transform/StaticRefSetsTest.cpp" "tests/CMakeFiles/alphonse_lang_tests.dir/transform/StaticRefSetsTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_lang_tests.dir/transform/StaticRefSetsTest.cpp.o.d"
+  "/root/repo/tests/transform/TransformTest.cpp" "tests/CMakeFiles/alphonse_lang_tests.dir/transform/TransformTest.cpp.o" "gcc" "tests/CMakeFiles/alphonse_lang_tests.dir/transform/TransformTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/alphonse_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/alphonse_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/alphonse_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/alphonse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alphonse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

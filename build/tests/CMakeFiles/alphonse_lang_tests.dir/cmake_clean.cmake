@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonse_lang_tests.dir/interp/EquivalenceTest.cpp.o"
+  "CMakeFiles/alphonse_lang_tests.dir/interp/EquivalenceTest.cpp.o.d"
+  "CMakeFiles/alphonse_lang_tests.dir/interp/InterpTest.cpp.o"
+  "CMakeFiles/alphonse_lang_tests.dir/interp/InterpTest.cpp.o.d"
+  "CMakeFiles/alphonse_lang_tests.dir/interp/LangPropertyTest.cpp.o"
+  "CMakeFiles/alphonse_lang_tests.dir/interp/LangPropertyTest.cpp.o.d"
+  "CMakeFiles/alphonse_lang_tests.dir/lang/LexerTest.cpp.o"
+  "CMakeFiles/alphonse_lang_tests.dir/lang/LexerTest.cpp.o.d"
+  "CMakeFiles/alphonse_lang_tests.dir/lang/ParserTest.cpp.o"
+  "CMakeFiles/alphonse_lang_tests.dir/lang/ParserTest.cpp.o.d"
+  "CMakeFiles/alphonse_lang_tests.dir/lang/SemaTest.cpp.o"
+  "CMakeFiles/alphonse_lang_tests.dir/lang/SemaTest.cpp.o.d"
+  "CMakeFiles/alphonse_lang_tests.dir/transform/RoundTripTest.cpp.o"
+  "CMakeFiles/alphonse_lang_tests.dir/transform/RoundTripTest.cpp.o.d"
+  "CMakeFiles/alphonse_lang_tests.dir/transform/StaticRefSetsTest.cpp.o"
+  "CMakeFiles/alphonse_lang_tests.dir/transform/StaticRefSetsTest.cpp.o.d"
+  "CMakeFiles/alphonse_lang_tests.dir/transform/TransformTest.cpp.o"
+  "CMakeFiles/alphonse_lang_tests.dir/transform/TransformTest.cpp.o.d"
+  "alphonse_lang_tests"
+  "alphonse_lang_tests.pdb"
+  "alphonse_lang_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonse_lang_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

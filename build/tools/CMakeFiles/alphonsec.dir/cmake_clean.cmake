@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphonsec.dir/alphonsec.cpp.o"
+  "CMakeFiles/alphonsec.dir/alphonsec.cpp.o.d"
+  "alphonsec"
+  "alphonsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphonsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
