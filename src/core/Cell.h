@@ -23,6 +23,7 @@
 #define ALPHONSE_CORE_CELL_H
 
 #include "core/Runtime.h"
+#include "support/FaultInjector.h"
 
 #include <memory>
 #include <string>
@@ -104,8 +105,10 @@ private:
           Snapshot(Owner.Live) {}
 
     /// Reconciles the snapshot with live storage; the return value drives
-    /// the quiescence cutoff in the evaluator.
+    /// the quiescence cutoff in the evaluator. A fault injected here (test
+    /// harness) quarantines the storage node like any other refresh failure.
     bool refreshStorage() override {
+      faultInjectionPoint(name());
       bool Changed = !(Owner->Live == Snapshot);
       Snapshot = Owner->Live;
       return Changed;

@@ -30,6 +30,7 @@
 #define ALPHONSE_CORE_MAINTAINED_H
 
 #include "core/Runtime.h"
+#include "support/FaultInjector.h"
 #include "support/HashCombine.h"
 
 #include <cassert>
@@ -93,17 +94,25 @@ public:
     }
     if (RT->inIncrementalCall())
       RT->recordAccess(*N);
+    if (N->isQuarantined()) {
+      // The last recompute failed; surface the original fault to the
+      // caller (an incremental caller is itself quarantined by its own
+      // execute() frame, cascading the poison) instead of serving a stale
+      // or missing cache entry.
+      throw QuarantinedError(*RT->graph().fault(*N));
+    }
     if (N->isExecuting()) {
       // Re-entrant call: the instance is already running further down the
       // stack (Algorithm 11's balance() does this after a rotation). Run
       // the body conventionally, attributing its reads to the in-flight
       // instance *without* retracting the edges recorded so far — a sound
       // over-approximation of R(p). The in-flight execution caches its own
-      // final result when it completes.
-      RT->pushCall(N);
-      R Ret = std::apply(Fn, N->K);
-      RT->popCall();
-      return Ret;
+      // final result when it completes. ReentrantScope bounds the nesting:
+      // past Config::MaxReentrantDepth this is a dependency cycle (the
+      // value demands itself) and its constructor throws CycleError.
+      ReentrantScope Reentrant(RT->graph(), *N);
+      Runtime::CallScope Call(*RT, N);
+      return std::apply(Fn, N->K);
     }
     if (N->isConsistent()) {
       assert(N->Cached && "consistent instance with no cached value");
@@ -177,17 +186,30 @@ private:
 
   /// The execution half of Algorithm 5: retract the old referenced-argument
   /// set, push this instance on the call stack, run the body with the
-  /// stored arguments, cache and return the result.
+  /// stored arguments, cache and return the result. The protocol frames are
+  /// RAII so a throwing body unwinds with the graph and call stack
+  /// coherent; the instance is quarantined with the captured fault and the
+  /// exception continues to the caller (cascading through incremental
+  /// callers, which quarantine in their own frames).
   R execute(InstanceNode &N) {
     DepGraph &G = RT->graph();
     G.removePredEdges(N);
-    G.beginExecution(N);
-    RT->pushCall(&N);
-    R Ret = std::apply(Fn, N.K);
-    RT->popCall();
-    G.endExecution(N);
-    N.Cached = Ret;
-    return Ret;
+    ExecutionScope Exec(G, N);
+    Runtime::CallScope Call(*RT, &N);
+    try {
+      // Inject *inside* the protocol so a forced throw exercises the same
+      // unwind path as a real body failure. A Diverge action re-marks the
+      // node inconsistent mid-run, as if it wrote storage it reads.
+      auto Inject = faultInjectionPoint(N.name());
+      R Ret = std::apply(Fn, N.K);
+      if (Inject == FaultInjector::Action::Diverge)
+        G.selfInvalidate(N);
+      N.Cached = Ret;
+      return Ret;
+    } catch (...) {
+      G.quarantine(N, captureCurrentFault(N.name()));
+      throw;
+    }
   }
 
   void touchLRU(InstanceNode &N) {

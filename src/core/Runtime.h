@@ -52,9 +52,13 @@ public:
   /// unchecked region (Section 6.4) in which accesses record nothing.
   void pushCall(DepNode *Proc) { CallStack.push_back(Proc); }
 
-  /// Pops the innermost execution frame.
+  /// Pops the innermost execution frame. Underflow means dependency
+  /// recording has already been attributed to the wrong procedure, so it
+  /// is a hard failure even in release builds (not just an assert).
   void popCall() {
-    assert(!CallStack.empty() && "call stack underflow");
+    if (CallStack.empty())
+      fatalError("incremental call stack underflow: popCall() without a "
+                 "matching pushCall()");
     CallStack.pop_back();
   }
 
@@ -80,6 +84,21 @@ public:
   /// "the evaluation routine should be called whenever cycles are
   /// available").
   void pump() { Graph.evaluateAll(); }
+
+  /// RAII form of pushCall/popCall: the frame is popped even when the
+  /// procedure body throws, keeping dependency attribution balanced
+  /// through exception unwinding.
+  class CallScope {
+  public:
+    CallScope(Runtime &RT, DepNode *Proc) : RT(RT) { RT.pushCall(Proc); }
+    ~CallScope() { RT.popCall(); }
+
+    CallScope(const CallScope &) = delete;
+    CallScope &operator=(const CallScope &) = delete;
+
+  private:
+    Runtime &RT;
+  };
 
 private:
   Statistics Stats;

@@ -21,6 +21,8 @@ std::string describeNode(const DepNode &N) {
     if (N.isExecuting())
       Out += " executing";
   }
+  if (N.isQuarantined())
+    Out += " QUARANTINED";
   Out += " L" + std::to_string(N.level()) + "]";
   return Out;
 }

@@ -67,30 +67,49 @@ DepGraph::~DepGraph() {
 
 void DepGraph::registerNode(DepNode &N) {
   N.Partition = Partitions.makeSet();
+  // Link into the all-nodes registry (verify() iterates it).
+  N.NextAll = AllNodes;
+  if (AllNodes)
+    AllNodes->PrevAll = &N;
+  AllNodes = &N;
   ++NumLiveNodes;
   ++Stats.NodesCreated;
 }
 
+void DepGraph::eraseFromPendingSets(DepNode &N) {
+  if (!N.InQueue)
+    return;
+  setFor(N).erase(&N);
+  if (!N.InQueue) {
+    --TotalPending;
+    return;
+  }
+  // The entry can sit in a stale set if partitions merged after it was
+  // queued; fall back to scanning every set.
+  for (auto &KV : SetMap) {
+    KV.second.erase(&N);
+    if (!N.InQueue)
+      break;
+  }
+  if (!N.InQueue)
+    --TotalPending;
+  GlobalSet.erase(&N);
+  assert(!N.InQueue && "queued node not found in any inconsistent set");
+}
+
 void DepGraph::unregisterNode(DepNode &N) {
   // Drop any pending entry for the dying node.
-  if (N.InQueue) {
-    setFor(N).erase(&N);
-    if (!N.InQueue) {
-      --TotalPending;
-    } else {
-      // The entry can sit in a stale set if partitions merged after it was
-      // queued; fall back to scanning every set.
-      for (auto &KV : SetMap) {
-        KV.second.erase(&N);
-        if (!N.InQueue)
-          break;
-      }
-      if (!N.InQueue)
-        --TotalPending;
-      GlobalSet.erase(&N);
-      assert(!N.InQueue && "queued node not found in any inconsistent set");
-    }
-  }
+  eraseFromPendingSets(N);
+  Quarantine.erase(&N);
+
+  // Unlink from the all-nodes registry.
+  if (N.PrevAll)
+    N.PrevAll->NextAll = N.NextAll;
+  else
+    AllNodes = N.NextAll;
+  if (N.NextAll)
+    N.NextAll->PrevAll = N.PrevAll;
+  N.PrevAll = N.NextAll = nullptr;
 
   removePredEdges(N);
 
@@ -258,6 +277,9 @@ InconsistentSet &DepGraph::setFor(DepNode &N) {
 }
 
 void DepGraph::markInconsistent(DepNode &N) {
+  // Quarantined nodes take no further part in propagation until reset.
+  if (N.Quarantined)
+    return;
   // A demand procedure that is already inconsistent has already notified its
   // dependents; queueing it again would be a no-op at processing time.
   if (N.isProcedure() && N.Strategy == EvalStrategy::Demand && !N.Consistent &&
@@ -286,15 +308,43 @@ void DepGraph::enqueueSuccessors(DepNode &N) {
     markInconsistent(*E->Sink);
 }
 
+bool DepGraph::tripsReexecutionLimit(DepNode &N) {
+  if (Cfg.MaxReexecutions == 0)
+    return false;
+  if (N.ReexecEpoch != EvalEpoch) {
+    N.ReexecEpoch = EvalEpoch;
+    N.ReexecCount = 0;
+  }
+  return ++N.ReexecCount > Cfg.MaxReexecutions;
+}
+
 void DepGraph::processNode(DepNode &N) {
   ++Stats.EvalSteps;
   ++EvalSteps;
-  assert((Cfg.EvalStepLimit == 0 || EvalSteps <= Cfg.EvalStepLimit) &&
-         "change propagation did not converge; an incremental procedure "
-         "likely violates the DET restriction (Section 3.5)");
+  if (Cfg.EvalStepLimit != 0 && EvalSteps > Cfg.EvalStepLimit) {
+    // Global backstop: propagation did not converge. Quarantine the node
+    // in hand (so the next pump makes progress past it) and unwind the
+    // drain, leaving the remaining pending work queued.
+    ++Stats.StepLimitTrips;
+    DrainAborted = true;
+    quarantine(N, {FaultKind::StepLimit, N.name(),
+                   "propagation exceeded EvalStepLimit (" +
+                       std::to_string(Cfg.EvalStepLimit) +
+                       " steps) without converging; an incremental "
+                       "procedure likely violates the DET restriction "
+                       "(Section 3.5)",
+                   nullptr});
+    return;
+  }
 
   if (N.isStorage()) {
-    bool Changed = N.refreshStorage();
+    bool Changed = true;
+    try {
+      Changed = N.refreshStorage();
+    } catch (...) {
+      quarantine(N, captureCurrentFault(N.name()));
+      return;
+    }
     if (!Cfg.VariableCutoff)
       Changed = true;
     if (Changed) {
@@ -315,9 +365,36 @@ void DepGraph::processNode(DepNode &N) {
     return;
   }
 
+  // Divergence guard: a node that keeps re-entering the pending set within
+  // one propagation is invalidating itself (a DET violation) and would
+  // re-execute forever.
+  if (tripsReexecutionLimit(N)) {
+    ++Stats.DivergenceTrips;
+    quarantine(N, {FaultKind::Divergence, N.name(),
+                   "re-executed more than MaxReexecutions (" +
+                       std::to_string(Cfg.MaxReexecutions) +
+                       ") times in one propagation; the procedure keeps "
+                       "invalidating itself and violates the DET "
+                       "restriction (Section 3.5)",
+                   nullptr});
+    return;
+  }
+
   // Idle eager procedure: re-execute through the call protocol; propagate
   // only if the cached value changed (quiescence propagation, Section 2).
-  if (N.reexecute()) {
+  // A throwing body quarantines the node; the drain continues with the
+  // partition's remaining work.
+  bool Changed;
+  try {
+    Changed = N.reexecute();
+  } catch (...) {
+    // The typed layer usually quarantines the node itself (with the most
+    // precise fault kind) before rethrowing; this is the backstop for
+    // hooks without that wrapping. quarantine() keeps the first fault.
+    quarantine(N, captureCurrentFault(N.name()));
+    return;
+  }
+  if (Changed) {
     enqueueSuccessors(N);
   } else {
     ++Stats.QuiescenceCutoffs;
@@ -331,10 +408,13 @@ void DepGraph::evaluateFor(DepNode &N) {
   }
   ++Stats.PartitionScopedEvals;
   ++EvalDepth;
-  if (EvalDepth == 1)
+  if (EvalDepth == 1) {
     EvalSteps = 0;
+    ++EvalEpoch;
+    DrainAborted = false;
+  }
   // Re-resolve the set each round: processing can merge partitions.
-  while (true) {
+  while (!DrainAborted) {
     auto It = SetMap.find(Partitions.find(N.Partition));
     if (It == SetMap.end() || It->second.empty())
       break;
@@ -343,40 +423,247 @@ void DepGraph::evaluateFor(DepNode &N) {
     processNode(*U);
   }
   --EvalDepth;
+  if (EvalDepth == 0 && Cfg.AuditAfterEvaluate)
+    for (const std::string &V : verify())
+      Diags.error(SourceLocation(), "audit: " + V);
 }
 
 void DepGraph::evaluateAll() {
   ++EvalDepth;
-  if (EvalDepth == 1)
+  if (EvalDepth == 1) {
     EvalSteps = 0;
+    ++EvalEpoch;
+    DrainAborted = false;
+  }
   if (!Cfg.Partitioning) {
-    while (!GlobalSet.empty()) {
+    while (!GlobalSet.empty() && !DrainAborted) {
       DepNode *U = GlobalSet.pop();
       --TotalPending;
       processNode(*U);
     }
-    --EvalDepth;
-    return;
-  }
-  while (TotalPending > 0) {
-    if (DirtyRoots.empty()) {
-      // Rebuild from the live sets (roots can go stale across merges).
-      for (auto &KV : SetMap)
-        if (!KV.second.empty())
-          DirtyRoots.push_back(KV.first);
-      assert(!DirtyRoots.empty() && "pending count desynchronized");
+  } else {
+    while (TotalPending > 0 && !DrainAborted) {
+      if (DirtyRoots.empty()) {
+        // Rebuild from the live sets (roots can go stale across merges).
+        for (auto &KV : SetMap)
+          if (!KV.second.empty())
+            DirtyRoots.push_back(KV.first);
+        assert(!DirtyRoots.empty() && "pending count desynchronized");
+      }
+      UnionFind::Id Raw = DirtyRoots.back();
+      DirtyRoots.pop_back();
+      auto It = SetMap.find(Partitions.find(Raw));
+      if (It == SetMap.end() || It->second.empty())
+        continue;
+      DepNode *U = It->second.pop();
+      --TotalPending;
+      processNode(*U);
+      DirtyRoots.push_back(It->first);
     }
-    UnionFind::Id Raw = DirtyRoots.back();
-    DirtyRoots.pop_back();
-    auto It = SetMap.find(Partitions.find(Raw));
-    if (It == SetMap.end() || It->second.empty())
-      continue;
-    DepNode *U = It->second.pop();
-    --TotalPending;
-    processNode(*U);
-    DirtyRoots.push_back(It->first);
   }
   --EvalDepth;
+  if (EvalDepth == 0 && Cfg.AuditAfterEvaluate)
+    for (const std::string &V : verify())
+      Diags.error(SourceLocation(), "audit: " + V);
+}
+
+//===----------------------------------------------------------------------===//
+// Failure model: quarantine, divergence, cycles (see DESIGN.md)
+//===----------------------------------------------------------------------===//
+
+const FaultInfo *DepGraph::fault(const DepNode &N) const {
+  auto It = Quarantine.find(const_cast<DepNode *>(&N));
+  return It == Quarantine.end() ? nullptr : &It->second;
+}
+
+std::vector<std::pair<DepNode *, const FaultInfo *>>
+DepGraph::quarantined() const {
+  std::vector<std::pair<DepNode *, const FaultInfo *>> Out;
+  Out.reserve(Quarantine.size());
+  for (const auto &KV : Quarantine)
+    Out.emplace_back(KV.first, &KV.second);
+  return Out;
+}
+
+void DepGraph::quarantine(DepNode &N, FaultInfo FI) {
+  if (N.Quarantined)
+    return; // First fault wins.
+  assert(N.Graph == this && "quarantining a node of another graph");
+  eraseFromPendingSets(N);
+  N.Quarantined = true;
+  N.Consistent = false;
+  ++Stats.NodesQuarantined;
+  Diags.error(SourceLocation(),
+              "quarantined node '" +
+                  (FI.NodeName.empty() ? std::string("<anon>") : FI.NodeName) +
+                  "' [" + faultKindName(FI.Kind) + "]: " + FI.Message);
+  // Dependents hold values computed from this node; queue them so they
+  // discover the fault at their next recompute instead of silently
+  // serving stale data (a recompute that calls a quarantined node throws
+  // QuarantinedError and cascades).
+  enqueueSuccessors(N);
+  Quarantine.emplace(&N, std::move(FI));
+}
+
+bool DepGraph::resetQuarantined(DepNode &N) {
+  auto It = Quarantine.find(&N);
+  if (It == Quarantine.end())
+    return false;
+  Quarantine.erase(It);
+  N.Quarantined = false;
+  N.ReexecCount = 0;
+  N.ReexecEpoch = 0;
+  ++Stats.QuarantineResets;
+  // Leave the node inconsistent; storage and eager nodes re-queue so the
+  // next pump refreshes them, demand nodes recompute at their next call.
+  if (N.isStorage() || N.Strategy == EvalStrategy::Eager)
+    markInconsistent(N);
+  return true;
+}
+
+size_t DepGraph::resetAllQuarantined() {
+  size_t Count = 0;
+  while (!Quarantine.empty()) {
+    resetQuarantined(*Quarantine.begin()->first);
+    ++Count;
+  }
+  return Count;
+}
+
+void DepGraph::beginReentrant(DepNode &N) {
+  assert(N.Executing && "re-entrant run of an idle instance");
+  if (Cfg.MaxReentrantDepth != 0 && N.ReentrantDepth >= Cfg.MaxReentrantDepth) {
+    ++Stats.CycleFaults;
+    throw CycleError("re-entrant call depth limit (" +
+                     std::to_string(Cfg.MaxReentrantDepth) + ") reached on '" +
+                     (N.name().empty() ? std::string("<anon>") : N.name()) +
+                     "': the value depends on its own in-flight computation "
+                     "(dependency cycle)");
+  }
+  ++N.ReentrantDepth;
+}
+
+void DepGraph::endReentrant(DepNode &N) {
+  assert(N.ReentrantDepth > 0 && "endReentrant without beginReentrant");
+  --N.ReentrantDepth;
+}
+
+void DepGraph::selfInvalidate(DepNode &Proc) {
+  assert(Proc.Executing && "selfInvalidate outside an execution");
+  Proc.Consistent = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Invariant audit
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> DepGraph::verify() const {
+  std::vector<std::string> Bad;
+  auto Name = [](const DepNode &N) {
+    return N.name().empty() ? std::string("<anon>") : N.name();
+  };
+
+  // Nodes: registry count, per-node flag sanity, edge linkage and levels.
+  size_t Nodes = 0, SuccEdges = 0, PredEdges = 0, Queued = 0, Marked = 0;
+  for (const DepNode *N = AllNodes; N; N = N->NextAll) {
+    ++Nodes;
+    if (N->Graph != this)
+      Bad.push_back("node '" + Name(*N) + "' registered here but points at "
+                    "another graph");
+    if (N->InQueue)
+      ++Queued;
+    if (N->Quarantined) {
+      ++Marked;
+      if (Quarantine.find(const_cast<DepNode *>(N)) == Quarantine.end())
+        Bad.push_back("node '" + Name(*N) +
+                      "' flagged quarantined but has no recorded fault");
+      if (N->InQueue)
+        Bad.push_back("quarantined node '" + Name(*N) +
+                      "' still sits in a pending set");
+      if (N->Executing)
+        Bad.push_back("quarantined node '" + Name(*N) + "' marked executing");
+      if (N->Consistent)
+        Bad.push_back("quarantined node '" + Name(*N) + "' marked consistent");
+    }
+    for (const Edge *E = N->FirstSucc; E; E = E->NextSucc) {
+      ++SuccEdges;
+      if (E->Source != N)
+        Bad.push_back("successor edge of '" + Name(*N) +
+                      "' has a different source");
+      if (!E->Sink || !E->Sink->isProcedure())
+        Bad.push_back("edge from '" + Name(*N) +
+                      "' sinks into a non-procedure node");
+      if (E->NextSucc && E->NextSucc->PrevSucc != E)
+        Bad.push_back("successor list of '" + Name(*N) +
+                      "' has a broken back link");
+      // Level monotonicity: an edge records sink-depends-on-source during
+      // the sink's execution, which raises the sink's level above the
+      // source's. The source's level can only move by a later execution of
+      // the source (which advances its stamp past the sink's), so for
+      // edges whose source has not re-executed since, sink > source holds.
+      if (E->Sink && E->Source->ExecStamp < E->Sink->ExecStamp &&
+          E->Sink->Level <= E->Source->Level)
+        Bad.push_back("level inversion on up-to-date edge '" +
+                      Name(*E->Source) + "' -> '" + Name(*E->Sink) + "' (" +
+                      std::to_string(E->Source->Level) + " >= " +
+                      std::to_string(E->Sink->Level) + ")");
+    }
+    for (const Edge *E = N->FirstPred; E; E = E->NextPred) {
+      ++PredEdges;
+      if (E->Sink != N)
+        Bad.push_back("predecessor edge of '" + Name(*N) +
+                      "' has a different sink");
+      if (E->NextPred && E->NextPred->PrevPred != E)
+        Bad.push_back("predecessor list of '" + Name(*N) +
+                      "' has a broken back link");
+    }
+  }
+  if (Nodes != NumLiveNodes)
+    Bad.push_back("live node count " + std::to_string(NumLiveNodes) +
+                  " != " + std::to_string(Nodes) + " registered nodes");
+  if (SuccEdges != NumLiveEdges)
+    Bad.push_back("live edge count " + std::to_string(NumLiveEdges) +
+                  " != " + std::to_string(SuccEdges) + " successor edges");
+  if (PredEdges != NumLiveEdges)
+    Bad.push_back("live edge count " + std::to_string(NumLiveEdges) +
+                  " != " + std::to_string(PredEdges) + " predecessor edges");
+
+  // Pending sets: entry flags, set sizes, and the global count agree.
+  size_t SetEntries = GlobalSet.size();
+  auto CheckSet = [&](const InconsistentSet &S) {
+    S.forEach([&](const DepNode &N) {
+      if (!N.InQueue)
+        Bad.push_back("pending-set entry '" + Name(N) +
+                      "' is not flagged InQueue");
+      if (N.Graph != this)
+        Bad.push_back("pending-set entry '" + Name(N) +
+                      "' belongs to another graph");
+    });
+  };
+  CheckSet(GlobalSet);
+  for (const auto &KV : SetMap) {
+    SetEntries += KV.second.size();
+    CheckSet(KV.second);
+  }
+  if (Cfg.Partitioning && !GlobalSet.empty())
+    Bad.push_back("global pending set in use while partitioning is enabled");
+  if (SetEntries != TotalPending)
+    Bad.push_back("pending count " + std::to_string(TotalPending) + " != " +
+                  std::to_string(SetEntries) + " queued set entries");
+  if (Queued != TotalPending)
+    Bad.push_back("pending count " + std::to_string(TotalPending) + " != " +
+                  std::to_string(Queued) + " nodes flagged InQueue");
+
+  // Quarantine set: disjoint from pending work, flags agree both ways.
+  if (Marked != Quarantine.size())
+    Bad.push_back("quarantine map holds " + std::to_string(Quarantine.size()) +
+                  " faults but " + std::to_string(Marked) +
+                  " nodes are flagged quarantined");
+  for (const auto &KV : Quarantine)
+    if (!KV.first->Quarantined)
+      Bad.push_back("fault recorded for node '" + Name(*KV.first) +
+                    "' that is not flagged quarantined");
+  return Bad;
 }
 
 } // namespace alphonse

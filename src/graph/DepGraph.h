@@ -19,10 +19,13 @@
 
 #include "graph/DepNode.h"
 #include "graph/InconsistentSet.h"
+#include "support/Diagnostics.h"
+#include "support/FaultInfo.h"
 #include "support/Statistics.h"
 #include "support/UnionFind.h"
 
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -48,10 +51,25 @@ public:
     /// Skip duplicate edges created by one execution reading one location
     /// repeatedly.
     bool DedupEdges = true;
-    /// Abort evaluation after this many steps (0 = unlimited). A generous
-    /// non-zero value guards against DET-violating user procedures that
-    /// never converge.
-    uint64_t EvalStepLimit = 0;
+    /// Run verify() after every top-level evaluation and record any
+    /// invariant violation in diagnostics() (debugging/testing aid).
+    bool AuditAfterEvaluate = false;
+    /// Abort a propagation after this many evaluator steps (0 = unlimited).
+    /// The node being processed when the limit trips is quarantined with a
+    /// StepLimit fault and the remaining pending work is left queued for a
+    /// later pump. A global backstop behind the per-node limits below; the
+    /// generous default only fires on runaway DET-violating programs.
+    uint64_t EvalStepLimit = 10'000'000;
+    /// Quarantine a node re-executed more than this many times within one
+    /// propagation (0 = unlimited): a DET-violating procedure that keeps
+    /// invalidating itself would otherwise loop forever.
+    uint32_t MaxReexecutions = 100'000;
+    /// Quarantine an instance whose re-entrant (in-flight) call chain
+    /// nests deeper than this (0 = unlimited): a dependency cycle demands
+    /// its own value while computing it and would otherwise recurse until
+    /// stack overflow. Legitimate re-entrancy (Algorithm 11's balance)
+    /// nests only a few frames.
+    uint32_t MaxReentrantDepth = 64;
   };
 
   explicit DepGraph(Statistics &Stats);
@@ -112,6 +130,57 @@ public:
   /// True when the given nodes are currently in the same partition.
   bool samePartition(DepNode &A, DepNode &B);
 
+  //===--------------------------------------------------------------------===//
+  // Failure model (quarantine, divergence, cycles) — see DESIGN.md
+  //===--------------------------------------------------------------------===//
+
+  /// Structured fault reports (one error per quarantine / aborted
+  /// propagation, plus audit findings when Config::AuditAfterEvaluate).
+  const DiagnosticEngine &diagnostics() const { return Diags; }
+  DiagnosticEngine &diagnostics() { return Diags; }
+
+  /// Number of nodes currently quarantined.
+  size_t numQuarantined() const { return Quarantine.size(); }
+
+  /// The captured fault of a quarantined node, or nullptr.
+  const FaultInfo *fault(const DepNode &N) const;
+
+  /// Every quarantined node with its fault (order unspecified).
+  std::vector<std::pair<DepNode *, const FaultInfo *>> quarantined() const;
+
+  /// Moves \p N to the quarantine set: it is pulled from its pending set,
+  /// flagged inconsistent, and ignored by markInconsistent() until reset.
+  /// Its dependents are queued so they discover the fault (and cascade)
+  /// at their next recompute instead of silently serving stale values.
+  /// No-op if already quarantined (the first fault wins).
+  void quarantine(DepNode &N, FaultInfo FI);
+
+  /// Returns a quarantined node to service: the fault is dropped and the
+  /// node is left inconsistent (eager nodes re-queue) so its next
+  /// call/pump recomputes it. \returns false if \p N was not quarantined.
+  bool resetQuarantined(DepNode &N);
+
+  /// Resets every quarantined node. \returns how many were reset.
+  size_t resetAllQuarantined();
+
+  /// Opens a bounded re-entrant (conventional) run of the in-flight
+  /// instance \p N. Throws CycleError when Config::MaxReentrantDepth is
+  /// exceeded — the generic in-flight dependency-cycle detector.
+  void beginReentrant(DepNode &N);
+  void endReentrant(DepNode &N);
+
+  /// Flags the executing node \p Proc inconsistent mid-run, as if it wrote
+  /// storage it reads (endExecution then re-queues eager nodes). Used by
+  /// the fault-injection harness to force divergence.
+  void selfInvalidate(DepNode &Proc);
+
+  /// Invariant audit over the whole graph: live node/edge counts, edge
+  /// linkage, level monotonicity across up-to-date edges, pending-set and
+  /// partition agreement, and quarantine disjointness. \returns one
+  /// message per violation (empty = healthy). Runnable any time the
+  /// evaluator is not mid-step; also wired to Config::AuditAfterEvaluate.
+  std::vector<std::string> verify() const;
+
 private:
   friend class DepNode;
 
@@ -122,15 +191,26 @@ private:
   void freeEdge(Edge *E);
   void unlinkEdge(Edge *E);
 
-  /// Processes one popped node per the Section 4.5 case analysis.
+  /// Processes one popped node per the Section 4.5 case analysis. Never
+  /// throws: a failing recompute quarantines the node and the drain
+  /// continues with the partition's remaining pending work.
   void processNode(DepNode &N);
   void enqueueSuccessors(DepNode &N);
+
+  /// Removes a queued node from whichever pending set holds it and fixes
+  /// the TotalPending count (used by unregisterNode and quarantine).
+  void eraseFromPendingSets(DepNode &N);
+
+  /// True when the per-propagation divergence counter of \p N trips
+  /// Config::MaxReexecutions (counter is maintained here).
+  bool tripsReexecutionLimit(DepNode &N);
 
   InconsistentSet &setFor(DepNode &N);
   void drainSetOf(DepNode &N);
 
   Statistics &Stats;
   Config Cfg;
+  DiagnosticEngine Diags;
 
   UnionFind Partitions;
   /// Pending sets keyed by current union-find root. With partitioning
@@ -143,12 +223,59 @@ private:
   std::deque<Edge> EdgePool;
   Edge *FreeEdges = nullptr;
 
+  /// Quarantined nodes and their captured faults.
+  std::unordered_map<DepNode *, FaultInfo> Quarantine;
+  /// Head of the intrusive all-nodes registry (verify() iterates it).
+  DepNode *AllNodes = nullptr;
+
   size_t NumLiveNodes = 0;
   size_t NumLiveEdges = 0;
   size_t TotalPending = 0;
   uint64_t StampCounter = 0;
   uint64_t EvalSteps = 0;
+  /// Stamp of the current top-level propagation (divergence counters are
+  /// scoped to one epoch).
+  uint64_t EvalEpoch = 0;
   int EvalDepth = 0;
+  /// Set when EvalStepLimit trips; every drain loop unwinds, leaving the
+  /// remaining pending work queued. Cleared at the next top-level entry.
+  bool DrainAborted = false;
+};
+
+/// RAII pair for beginExecution/endExecution: the execution protocol is
+/// correctly closed even when the procedure body throws, so a failing
+/// recompute unwinds with the graph's flags and queues coherent.
+class ExecutionScope {
+public:
+  ExecutionScope(DepGraph &G, DepNode &Proc) : G(G), Proc(Proc) {
+    G.beginExecution(Proc);
+  }
+  ~ExecutionScope() { G.endExecution(Proc); }
+
+  ExecutionScope(const ExecutionScope &) = delete;
+  ExecutionScope &operator=(const ExecutionScope &) = delete;
+
+private:
+  DepGraph &G;
+  DepNode &Proc;
+};
+
+/// RAII pair for beginReentrant/endReentrant around a re-entrant
+/// (conventional) run of an in-flight instance. The constructor throws
+/// CycleError when the nesting exceeds Config::MaxReentrantDepth.
+class ReentrantScope {
+public:
+  ReentrantScope(DepGraph &G, DepNode &Proc) : G(G), Proc(Proc) {
+    G.beginReentrant(Proc); // May throw; the destructor then never runs.
+  }
+  ~ReentrantScope() { G.endReentrant(Proc); }
+
+  ReentrantScope(const ReentrantScope &) = delete;
+  ReentrantScope &operator=(const ReentrantScope &) = delete;
+
+private:
+  DepGraph &G;
+  DepNode &Proc;
 };
 
 } // namespace alphonse

@@ -93,6 +93,18 @@ public:
   /// True while this procedure instance is on the incremental call stack.
   bool isExecuting() const { return Executing; }
 
+  /// True while the node sits in the graph's quarantine set: its last
+  /// recompute threw, diverged, or cycled, and it takes no further part in
+  /// propagation until DepGraph::resetQuarantined() returns it to service.
+  bool isQuarantined() const { return Quarantined; }
+
+  /// Depth of re-entrant (conventional) runs of this instance currently on
+  /// the stack on top of its in-flight incremental execution. Nonzero
+  /// means the instance's own value is being demanded while it computes —
+  /// the generic in-flight cycle signal (bounded by
+  /// Config::MaxReentrantDepth).
+  uint32_t reentrantDepth() const { return ReentrantDepth; }
+
   /// Approximate topological height: 0 for storage, 1 + max source level
   /// for procedures, recorded during the last execution. Used only to order
   /// the evaluator's work; correctness never depends on it.
@@ -150,7 +162,14 @@ private:
   bool Consistent = false;
   bool InQueue = false;
   bool Executing = false;
+  bool Quarantined = false;
   uint32_t Level = 0;
+  /// Re-entrant conventional runs currently stacked on this instance.
+  uint32_t ReentrantDepth = 0;
+  /// Times the evaluator re-executed this node during the propagation
+  /// stamped by ReexecEpoch (divergence accounting).
+  uint32_t ReexecCount = 0;
+  uint64_t ReexecEpoch = 0;
   /// Heap position within the owning inconsistent set (valid iff InQueue).
   uint32_t QueuePos = 0;
   /// Union-find element id in the partition manager (Section 6.3).
@@ -164,6 +183,10 @@ private:
   DepNode *DedupSink = nullptr;
   Edge *FirstPred = nullptr;
   Edge *FirstSucc = nullptr;
+  /// Intrusive links in the graph's all-nodes registry (DepGraph::verify()
+  /// and the audit pass iterate every live node through these).
+  DepNode *PrevAll = nullptr;
+  DepNode *NextAll = nullptr;
   DepGraph *Graph = nullptr;
   std::string DebugName;
 };

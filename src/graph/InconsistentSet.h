@@ -47,6 +47,12 @@ public:
   /// Moves every entry of \p Other into this set, leaving \p Other empty.
   void mergeFrom(InconsistentSet &Other);
 
+  /// Invokes \p F on every queued node (heap order; for audits).
+  template <typename Fn> void forEach(Fn F) const {
+    for (const Entry &E : Heap)
+      F(*E.Node);
+  }
+
 private:
   struct Entry {
     DepNode *Node;

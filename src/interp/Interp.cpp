@@ -8,6 +8,7 @@
 #include "interp/Interp.h"
 
 #include "lang/Types.h"
+#include "support/FaultInjector.h"
 
 using namespace alphonse::lang;
 
@@ -128,15 +129,16 @@ Interp::Interp(const Module &M, const SemaInfo &Info, ExecMode Mode,
       GlobalIndex[G.Name] = G.Index;
   // Run initializers in declaration order. They execute as mutator code
   // (empty call stack), so no dependencies are recorded.
-  Frame F;
-  for (const GlobalDecl &G : M.Globals) {
-    if (!G.Init || G.Index < 0)
-      continue;
-    Value V = evalExpr(G.Init.get(), F);
-    if (Failed)
-      break;
-    Globals[static_cast<size_t>(G.Index)]->Live = std::move(V);
-  }
+  guarded([&] {
+    Frame F;
+    for (const GlobalDecl &G : M.Globals) {
+      if (!G.Init || G.Index < 0)
+        continue;
+      Globals[static_cast<size_t>(G.Index)]->Live =
+          evalExpr(G.Init.get(), F);
+    }
+    return Value();
+  });
 }
 
 Interp::~Interp() = default;
@@ -163,10 +165,26 @@ HeapObject *Interp::allocate(const ObjectTypeInfo *Ty) {
 }
 
 void Interp::fail(SourceLocation Loc, const std::string &Message) {
-  if (Failed)
-    return;
-  Failed = true;
-  ErrorMessage = Loc.str() + ": " + Message;
+  // Thrown, not flagged: the error unwinds through the incremental call
+  // protocol (quarantining any in-flight instances) and is converted back
+  // to the failed()/errorMessage() state at the public API boundary.
+  throw RuntimeError(Loc, Message);
+}
+
+void Interp::noteFailure() {
+  try {
+    throw;
+  } catch (const std::exception &E) {
+    if (!Failed) { // The first failure wins, as with the old flag.
+      Failed = true;
+      ErrorMessage = E.what();
+    }
+  } catch (...) {
+    if (!Failed) {
+      Failed = true;
+      ErrorMessage = "unknown runtime failure";
+    }
+  }
 }
 
 std::string Interp::renderForPrint(const Value &V) const { return V.render(); }
@@ -238,13 +256,19 @@ Value Interp::incrementalCall(const ProcDecl *P, const PragmaInfo &Pragma,
   }
   if (RT.inIncrementalCall())
     RT.recordAccess(*N);
+  if (N->isQuarantined()) {
+    // The last recompute failed; resurface the original fault instead of
+    // serving a stale or missing cache entry.
+    throw QuarantinedError(*RT.graph().fault(*N));
+  }
   if (N->isExecuting()) {
     // Re-entrant call to an in-flight instance: run conventionally,
     // attributing reads to the instance (sound over-approximation).
-    RT.pushCall(N);
-    Value V = runBody(P, N->Key);
-    RT.popCall();
-    return V;
+    // ReentrantScope bounds the nesting; past Config::MaxReentrantDepth
+    // this is a dependency cycle and its constructor throws CycleError.
+    ReentrantScope Reentrant(RT.graph(), *N);
+    Runtime::CallScope Call(RT, N);
+    return runBody(P, N->Key);
   }
   if (N->isConsistent()) {
     assert(N->Cached && "consistent instance with no cached value");
@@ -257,13 +281,22 @@ Value Interp::incrementalCall(const ProcDecl *P, const PragmaInfo &Pragma,
 Value Interp::executeInstance(InterpProcNode &N) {
   DepGraph &G = RT.graph();
   G.removePredEdges(N);
-  G.beginExecution(N);
-  RT.pushCall(&N);
-  Value Ret = runBody(N.Proc, N.Key);
-  RT.popCall();
-  G.endExecution(N);
-  N.Cached = Ret;
-  return Ret;
+  // RAII protocol frames: a throwing body (runtime error, poisoned callee,
+  // injected fault) unwinds with the graph and call stack coherent; the
+  // instance is quarantined and the exception continues to the caller.
+  ExecutionScope Exec(G, N);
+  Runtime::CallScope Call(RT, &N);
+  try {
+    auto Inject = faultInjectionPoint(N.name());
+    Value Ret = runBody(N.Proc, N.Key);
+    if (Inject == FaultInjector::Action::Diverge)
+      G.selfInvalidate(N);
+    N.Cached = Ret;
+    return Ret;
+  } catch (...) {
+    G.quarantine(N, captureCurrentFault(N.name()));
+    throw;
+  }
 }
 
 bool Interp::reexecuteInstance(InterpProcNode &N) {
@@ -277,108 +310,119 @@ bool Interp::reexecuteInstance(InterpProcNode &N) {
 //===----------------------------------------------------------------------===//
 
 Value Interp::call(const std::string &ProcName, std::vector<Value> Args) {
-  const ProcDecl *P = M.findProc(ProcName);
-  if (!P) {
-    fail(SourceLocation(), "unknown procedure '" + ProcName + "'");
-    return Value();
-  }
-  return dispatch(P, P->Pragma, /*Checked=*/true, std::move(Args));
+  if (Failed)
+    return Value(); // Execution stays a no-op until clearError().
+  return guarded([&] {
+    const ProcDecl *P = M.findProc(ProcName);
+    if (!P)
+      fail(SourceLocation(), "unknown procedure '" + ProcName + "'");
+    return dispatch(P, P->Pragma, /*Checked=*/true, std::move(Args));
+  });
 }
 
 Value Interp::callMethod(Value Receiver, const std::string &Method,
                          std::vector<Value> Args) {
-  if (Receiver.K != Value::Kind::Object) {
-    fail(SourceLocation(), "method call on a non-object value");
+  if (Failed)
     return Value();
-  }
-  const ObjectTypeInfo *Ty = Receiver.Obj->type();
-  const MethodSig *Sig = Ty->findMethod(Method);
-  if (!Sig) {
-    fail(SourceLocation(),
-         "type '" + Ty->Name + "' has no method '" + Method + "'");
-    return Value();
-  }
-  const MethodImpl &MI = Ty->VTable[static_cast<size_t>(Sig->Slot)];
-  if (!MI.Impl) {
-    fail(SourceLocation(), "method '" + Method + "' has no implementation");
-    return Value();
-  }
-  std::vector<Value> Full;
-  Full.reserve(Args.size() + 1);
-  Full.push_back(Receiver);
-  for (Value &A : Args)
-    Full.push_back(std::move(A));
-  return dispatch(MI.Impl, MI.Pragma, /*Checked=*/true, std::move(Full));
+  return guarded([&] {
+    if (Receiver.K != Value::Kind::Object)
+      fail(SourceLocation(), "method call on a non-object value");
+    const ObjectTypeInfo *Ty = Receiver.Obj->type();
+    const MethodSig *Sig = Ty->findMethod(Method);
+    if (!Sig)
+      fail(SourceLocation(),
+           "type '" + Ty->Name + "' has no method '" + Method + "'");
+    const MethodImpl &MI = Ty->VTable[static_cast<size_t>(Sig->Slot)];
+    if (!MI.Impl)
+      fail(SourceLocation(), "method '" + Method + "' has no implementation");
+    std::vector<Value> Full;
+    Full.reserve(Args.size() + 1);
+    Full.push_back(Receiver);
+    for (Value &A : Args)
+      Full.push_back(std::move(A));
+    return dispatch(MI.Impl, MI.Pragma, /*Checked=*/true, std::move(Full));
+  });
 }
 
 Value Interp::makeObject(const std::string &TypeName) {
-  const ObjectTypeInfo *Ty = Info.lookupType(TypeName);
-  if (!Ty) {
-    fail(SourceLocation(), "unknown type '" + TypeName + "'");
-    return Value();
-  }
-  return Value::object(allocate(Ty));
+  return guarded([&] {
+    const ObjectTypeInfo *Ty = Info.lookupType(TypeName);
+    if (!Ty)
+      fail(SourceLocation(), "unknown type '" + TypeName + "'");
+    return Value::object(allocate(Ty));
+  });
 }
 
 Value Interp::global(const std::string &Name) {
-  auto It = GlobalIndex.find(Name);
-  if (It == GlobalIndex.end()) {
-    fail(SourceLocation(), "unknown top-level variable '" + Name + "'");
-    return Value();
-  }
-  return Globals[static_cast<size_t>(It->second)]->Live;
+  return guarded([&] {
+    auto It = GlobalIndex.find(Name);
+    if (It == GlobalIndex.end())
+      fail(SourceLocation(), "unknown top-level variable '" + Name + "'");
+    return Globals[static_cast<size_t>(It->second)]->Live;
+  });
 }
 
 void Interp::setGlobal(const std::string &Name, Value V) {
-  auto It = GlobalIndex.find(Name);
-  if (It == GlobalIndex.end()) {
-    fail(SourceLocation(), "unknown top-level variable '" + Name + "'");
-    return;
-  }
-  trackedWrite(*Globals[static_cast<size_t>(It->second)], std::move(V),
-               /*Tracked=*/true);
+  guarded([&] {
+    auto It = GlobalIndex.find(Name);
+    if (It == GlobalIndex.end())
+      fail(SourceLocation(), "unknown top-level variable '" + Name + "'");
+    trackedWrite(*Globals[static_cast<size_t>(It->second)], std::move(V),
+                 /*Tracked=*/true);
+    return Value();
+  });
 }
 
 Value Interp::field(Value Receiver, const std::string &Field) {
-  if (Receiver.K != Value::Kind::Object) {
-    fail(SourceLocation(), "field access on a non-object value");
-    return Value();
-  }
-  const FieldInfo *FI = Receiver.Obj->type()->findField(Field);
-  if (!FI) {
-    fail(SourceLocation(), "no field '" + Field + "'");
-    return Value();
-  }
-  return Receiver.Obj->slot(static_cast<size_t>(FI->Index)).Live;
+  return guarded([&] {
+    if (Receiver.K != Value::Kind::Object)
+      fail(SourceLocation(), "field access on a non-object value");
+    const FieldInfo *FI = Receiver.Obj->type()->findField(Field);
+    if (!FI)
+      fail(SourceLocation(), "no field '" + Field + "'");
+    return Receiver.Obj->slot(static_cast<size_t>(FI->Index)).Live;
+  });
 }
 
 void Interp::setField(Value Receiver, const std::string &Field, Value V) {
-  if (Receiver.K != Value::Kind::Object) {
-    fail(SourceLocation(), "field write on a non-object value");
-    return;
-  }
-  const FieldInfo *FI = Receiver.Obj->type()->findField(Field);
-  if (!FI) {
-    fail(SourceLocation(), "no field '" + Field + "'");
-    return;
-  }
-  trackedWrite(Receiver.Obj->slot(static_cast<size_t>(FI->Index)),
-               std::move(V), /*Tracked=*/true);
+  guarded([&] {
+    if (Receiver.K != Value::Kind::Object)
+      fail(SourceLocation(), "field write on a non-object value");
+    const FieldInfo *FI = Receiver.Obj->type()->findField(Field);
+    if (!FI)
+      fail(SourceLocation(), "no field '" + Field + "'");
+    trackedWrite(Receiver.Obj->slot(static_cast<size_t>(FI->Index)),
+                 std::move(V), /*Tracked=*/true);
+    return Value();
+  });
 }
 
 //===----------------------------------------------------------------------===//
 // Execution engine
 //===----------------------------------------------------------------------===//
 
+namespace {
+/// RAII depth counter: balanced even when a statement throws (a manual
+/// decrement would leak frames across exception unwinding and make the
+/// depth limit trip spuriously later).
+class DepthGuard {
+public:
+  explicit DepthGuard(int &Depth) : Depth(Depth) { ++Depth; }
+  ~DepthGuard() { --Depth; }
+
+  DepthGuard(const DepthGuard &) = delete;
+  DepthGuard &operator=(const DepthGuard &) = delete;
+
+private:
+  int &Depth;
+};
+} // namespace
+
 Value Interp::runBody(const ProcDecl *P, const std::vector<Value> &Args) {
-  if (Failed)
-    return Value();
-  if (++CallDepth > MaxCallDepth) {
+  if (CallDepth >= MaxCallDepth)
     fail(P->Loc, "call depth exceeded in '" + P->Name +
                      "' (runaway recursion?)");
-    --CallDepth;
-    return Value();
-  }
+  DepthGuard Depth(CallDepth);
   const ProcInfo *PI = Info.procInfo(P);
   assert(PI && "procedure was not analyzed");
   Frame F;
@@ -392,13 +436,9 @@ Value Interp::runBody(const ProcDecl *P, const std::vector<Value> &Args) {
   for (size_t I = 0; I < P->Locals.size(); ++I) {
     if (!P->Locals[I].Init)
       continue;
-    Value V = evalExpr(P->Locals[I].Init.get(), F);
-    if (Failed)
-      break;
-    F.Slots[Args.size() + I] = std::move(V);
+    F.Slots[Args.size() + I] = evalExpr(P->Locals[I].Init.get(), F);
   }
   execStmts(P->Body, F);
-  --CallDepth;
   if (F.Returning)
     return F.RetVal;
   return defaultValue(PI->RetType);
@@ -406,7 +446,7 @@ Value Interp::runBody(const ProcDecl *P, const std::vector<Value> &Args) {
 
 void Interp::execStmts(const std::vector<StmtPtr> &Stmts, Frame &F) {
   for (const StmtPtr &S : Stmts) {
-    if (Failed || F.Returning)
+    if (F.Returning)
       return;
     execStmt(S.get(), F);
   }
@@ -417,8 +457,6 @@ void Interp::execStmt(const Stmt *S, Frame &F) {
   case StmtKind::Assign: {
     const auto *A = static_cast<const AssignStmt *>(S);
     Value V = evalExpr(A->Value.get(), F);
-    if (Failed)
-      return;
     if (A->Target->Kind == ExprKind::NameRef) {
       const auto *N = static_cast<const NameRefExpr *>(A->Target.get());
       if (N->Binding == NameBinding::Global) {
@@ -431,12 +469,8 @@ void Interp::execStmt(const Stmt *S, Frame &F) {
     }
     const auto *FA = static_cast<const FieldAccessExpr *>(A->Target.get());
     Value Base = evalExpr(FA->Base.get(), F);
-    if (Failed)
-      return;
-    if (Base.K != Value::Kind::Object) {
+    if (Base.K != Value::Kind::Object)
       fail(FA->Loc, "NIL dereference writing field '" + FA->Field + "'");
-      return;
-    }
     trackedWrite(Base.Obj->slot(static_cast<size_t>(FA->FieldIndex)),
                  std::move(V), A->TrackedModify);
     return;
@@ -445,8 +479,6 @@ void Interp::execStmt(const Stmt *S, Frame &F) {
     const auto *I = static_cast<const IfStmt *>(S);
     for (const IfStmt::Arm &Arm : I->Arms) {
       Value C = evalExpr(Arm.Cond.get(), F);
-      if (Failed)
-        return;
       if (C.Bool) {
         execStmts(Arm.Body, F);
         return;
@@ -457,9 +489,9 @@ void Interp::execStmt(const Stmt *S, Frame &F) {
   }
   case StmtKind::While: {
     const auto *W = static_cast<const WhileStmt *>(S);
-    while (!Failed && !F.Returning) {
+    while (!F.Returning) {
       Value C = evalExpr(W->Cond.get(), F);
-      if (Failed || !C.Bool)
+      if (!C.Bool)
         return;
       execStmts(W->Body, F);
     }
@@ -469,9 +501,7 @@ void Interp::execStmt(const Stmt *S, Frame &F) {
     const auto *For = static_cast<const ForStmt *>(S);
     Value From = evalExpr(For->From.get(), F);
     Value To = evalExpr(For->To.get(), F);
-    if (Failed)
-      return;
-    for (long I = From.Int; I <= To.Int && !Failed && !F.Returning; ++I) {
+    for (long I = From.Int; I <= To.Int && !F.Returning; ++I) {
       F.Slots[static_cast<size_t>(For->VarIndex)] = Value::integer(I);
       execStmts(For->Body, F);
     }
@@ -479,11 +509,8 @@ void Interp::execStmt(const Stmt *S, Frame &F) {
   }
   case StmtKind::Return: {
     const auto *R = static_cast<const ReturnStmt *>(S);
-    if (R->Value) {
+    if (R->Value)
       F.RetVal = evalExpr(R->Value.get(), F);
-      if (Failed)
-        return;
-    }
     F.Returning = true;
     return;
   }
@@ -494,8 +521,6 @@ void Interp::execStmt(const Stmt *S, Frame &F) {
 }
 
 Value Interp::evalExpr(const Expr *E, Frame &F) {
-  if (Failed)
-    return Value();
   switch (E->Kind) {
   case ExprKind::IntLit:
     return Value::integer(static_cast<const IntLitExpr *>(E)->Value);
@@ -516,12 +541,8 @@ Value Interp::evalExpr(const Expr *E, Frame &F) {
   case ExprKind::FieldAccess: {
     const auto *FA = static_cast<const FieldAccessExpr *>(E);
     Value Base = evalExpr(FA->Base.get(), F);
-    if (Failed)
-      return Value();
-    if (Base.K != Value::Kind::Object) {
+    if (Base.K != Value::Kind::Object)
       fail(FA->Loc, "NIL dereference reading field '" + FA->Field + "'");
-      return Value();
-    }
     return trackedRead(Base.Obj->slot(static_cast<size_t>(FA->FieldIndex)),
                        FA->TrackedAccess);
   }
@@ -539,8 +560,6 @@ Value Interp::evalExpr(const Expr *E, Frame &F) {
   case ExprKind::Unary: {
     const auto *U = static_cast<const UnaryExpr *>(E);
     Value V = evalExpr(U->Sub.get(), F);
-    if (Failed)
-      return Value();
     if (U->Op == UnaryOp::Neg)
       return Value::integer(-V.Int);
     return Value::boolean(!V.Bool);
@@ -549,10 +568,10 @@ Value Interp::evalExpr(const Expr *E, Frame &F) {
     const auto *U = static_cast<const UncheckedExpr *>(E);
     if (Mode != ExecMode::Alphonse)
       return evalExpr(U->Sub.get(), F);
-    RT.pushCall(nullptr); // Null frame: accesses record nothing.
-    Value V = evalExpr(U->Sub.get(), F);
-    RT.popCall();
-    return V;
+    // RAII null frame: accesses record nothing; the frame pops even when
+    // the subexpression throws.
+    UncheckedScope Scope(RT);
+    return evalExpr(U->Sub.get(), F);
   }
   }
   return Value();
@@ -563,8 +582,7 @@ Value Interp::evalCall(const CallExpr *C, Frame &F) {
     switch (static_cast<Builtin>(C->BuiltinIndex)) {
     case Builtin::Print: {
       Value V = evalExpr(C->Args[0].get(), F);
-      if (!Failed)
-        Output += renderForPrint(V) + "\n";
+      Output += renderForPrint(V) + "\n";
       return Value();
     }
     case Builtin::Fmt: {
@@ -575,8 +593,6 @@ Value Interp::evalCall(const CallExpr *C, Frame &F) {
     case Builtin::Min: {
       Value A = evalExpr(C->Args[0].get(), F);
       Value B = evalExpr(C->Args[1].get(), F);
-      if (Failed)
-        return Value();
       bool IsMax = C->BuiltinIndex == static_cast<int>(Builtin::Max);
       return Value::integer(IsMax ? std::max(A.Int, B.Int)
                                   : std::min(A.Int, B.Int));
@@ -589,45 +605,32 @@ Value Interp::evalCall(const CallExpr *C, Frame &F) {
       break;
     }
     fail(C->Loc, "bad builtin index");
-    return Value();
   }
   assert(C->Resolved && "unresolved call survived Sema");
   std::vector<Value> Args;
   Args.reserve(C->Args.size());
-  for (const ExprPtr &A : C->Args) {
+  for (const ExprPtr &A : C->Args)
     Args.push_back(evalExpr(A.get(), F));
-    if (Failed)
-      return Value();
-  }
   return dispatch(C->Resolved, C->Resolved->Pragma, C->CheckedCall,
                   std::move(Args));
 }
 
 Value Interp::evalMethodCall(const MethodCallExpr *C, Frame &F) {
   Value Base = evalExpr(C->Base.get(), F);
-  if (Failed)
-    return Value();
-  if (Base.K != Value::Kind::Object) {
+  if (Base.K != Value::Kind::Object)
     fail(C->Loc, "NIL dereference calling method '" + C->Method + "'");
-    return Value();
-  }
   const auto &VTable = Base.Obj->type()->VTable;
   assert(C->MethodSlot >= 0 &&
          static_cast<size_t>(C->MethodSlot) < VTable.size() &&
          "bad method slot");
   const MethodImpl &MI = VTable[static_cast<size_t>(C->MethodSlot)];
-  if (!MI.Impl) {
+  if (!MI.Impl)
     fail(C->Loc, "method '" + C->Method + "' has no implementation");
-    return Value();
-  }
   std::vector<Value> Args;
   Args.reserve(C->Args.size() + 1);
   Args.push_back(Base);
-  for (const ExprPtr &A : C->Args) {
+  for (const ExprPtr &A : C->Args)
     Args.push_back(evalExpr(A.get(), F));
-    if (Failed)
-      return Value();
-  }
   return dispatch(MI.Impl, MI.Pragma, C->CheckedCall, std::move(Args));
 }
 
@@ -635,8 +638,6 @@ Value Interp::evalBinary(const BinaryExpr *B, Frame &F) {
   // AND / OR are short-circuit, like Modula-3.
   if (B->Op == BinaryOp::And || B->Op == BinaryOp::Or) {
     Value L = evalExpr(B->Lhs.get(), F);
-    if (Failed)
-      return Value();
     if (B->Op == BinaryOp::And && !L.Bool)
       return Value::boolean(false);
     if (B->Op == BinaryOp::Or && L.Bool)
@@ -646,8 +647,6 @@ Value Interp::evalBinary(const BinaryExpr *B, Frame &F) {
   }
   Value L = evalExpr(B->Lhs.get(), F);
   Value R = evalExpr(B->Rhs.get(), F);
-  if (Failed)
-    return Value();
   switch (B->Op) {
   case BinaryOp::Add:
     return Value::integer(L.Int + R.Int);
@@ -656,16 +655,12 @@ Value Interp::evalBinary(const BinaryExpr *B, Frame &F) {
   case BinaryOp::Mul:
     return Value::integer(L.Int * R.Int);
   case BinaryOp::Div:
-    if (R.Int == 0) {
+    if (R.Int == 0)
       fail(B->Loc, "division by zero");
-      return Value();
-    }
     return Value::integer(L.Int / R.Int);
   case BinaryOp::Mod:
-    if (R.Int == 0) {
+    if (R.Int == 0)
       fail(B->Loc, "modulo by zero");
-      return Value();
-    }
     return Value::integer(L.Int % R.Int);
   case BinaryOp::Concat:
     return Value::text(L.Text + R.Text);
@@ -686,7 +681,6 @@ Value Interp::evalBinary(const BinaryExpr *B, Frame &F) {
     break; // Handled above.
   }
   fail(B->Loc, "bad binary operator");
-  return Value();
 }
 
 } // namespace alphonse::interp

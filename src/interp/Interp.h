@@ -27,6 +27,13 @@
 /// (NIL dereference, division by zero, stack overflow) abort execution
 /// with a message instead of being language-defined.
 ///
+/// Runtime errors propagate internally as RuntimeError exceptions so they
+/// unwind cleanly through the incremental call protocol (the faulting
+/// instance is quarantined in its dependency graph); the public driver API
+/// catches them and presents the flag-based failed()/errorMessage()
+/// interface. clearError() (plus resetting quarantined nodes) resumes
+/// execution.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALPHONSE_INTERP_INTERP_H
@@ -48,6 +55,20 @@ namespace alphonse::interp {
 enum class ExecMode : uint8_t {
   Conventional,
   Alphonse,
+};
+
+/// An Alphonse-L runtime error (NIL dereference, division by zero, call
+/// depth exceeded, ...). Thrown by the execution engine, caught at the
+/// public driver API, which records it behind failed()/errorMessage().
+class RuntimeError : public IncrementalFault {
+public:
+  RuntimeError(SourceLocation Loc, const std::string &Message)
+      : IncrementalFault(Loc.str() + ": " + Message), Loc(Loc) {}
+
+  SourceLocation location() const { return Loc; }
+
+private:
+  SourceLocation Loc;
 };
 
 /// One tracked storage location: the live value plus its lazily created
@@ -101,9 +122,18 @@ public:
   const std::string &output() const { return Output; }
   void clearOutput() { Output.clear(); }
 
-  /// Set after a runtime error; execution becomes a no-op until reset.
+  /// Set after a runtime error; call()/callMethod() become no-ops until
+  /// the error is cleared.
   bool failed() const { return Failed; }
   const std::string &errorMessage() const { return ErrorMessage; }
+
+  /// Clears a recorded runtime error so execution can resume. Instances
+  /// quarantined by the failure stay quarantined until
+  /// runtime().graph().resetQuarantined()/resetAllQuarantined().
+  void clearError() {
+    Failed = false;
+    ErrorMessage.clear();
+  }
 
   /// Runs the eager evaluator ("cycles available").
   void pump() { RT.pump(); }
@@ -137,7 +167,21 @@ private:
 
   Value defaultValue(const lang::Type &Ty) const;
   HeapObject *allocate(const lang::ObjectTypeInfo *Ty);
-  void fail(SourceLocation Loc, const std::string &Message);
+  [[noreturn]] void fail(SourceLocation Loc, const std::string &Message);
+  /// Records the in-flight exception behind failed()/errorMessage() (the
+  /// first failure wins). Must be called from inside a catch block.
+  void noteFailure();
+  /// Runs \p Body, converting any escaping exception into the flag-based
+  /// error state. The boundary between throwing internals and the
+  /// non-throwing public driver API.
+  template <typename Fn> Value guarded(Fn &&Body) {
+    try {
+      return Body();
+    } catch (...) {
+      noteFailure();
+      return Value();
+    }
+  }
   std::string renderForPrint(const Value &V) const;
 
   const lang::Module &M;
@@ -159,7 +203,22 @@ private:
   bool Failed = false;
   std::string ErrorMessage;
   int CallDepth = 0;
+  // Each interpreter call level costs several C++ frames; under ASan the
+  // redzones inflate them past the 8 MiB default stack well before 2000
+  // levels, so the guard must trip earlier there to fail cleanly instead
+  // of overflowing.
+#if defined(__SANITIZE_ADDRESS__)
+#define ALPHONSE_INTERP_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ALPHONSE_INTERP_ASAN 1
+#endif
+#endif
+#ifdef ALPHONSE_INTERP_ASAN
+  static constexpr int MaxCallDepth = 500;
+#else
   static constexpr int MaxCallDepth = 2000;
+#endif
 };
 
 } // namespace alphonse::interp

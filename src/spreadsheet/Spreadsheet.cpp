@@ -97,18 +97,19 @@ void Spreadsheet::clearCell(int Row, int Col) {
 int Spreadsheet::value(int Row, int Col) { return CellVal(Row, Col); }
 
 int Spreadsheet::computeCellValue(int Row, int Col) {
-  size_t I = index(Row, Col);
-  if (InFlight[I]) {
-    // Reference cycle: evaluate to 0 and raise the flag (documented
-    // divergence from the paper, which leaves cycles undefined).
-    CycleFlag = true;
-    return 0;
-  }
-  InFlight[I] = 1;
-  Exp *Formula = Grid[I]->get();
-  int Result = Formula ? Tree.value(Formula) : 0;
-  InFlight[I] = 0;
-  return Result;
+  // Reference cycle: evaluate to 0 and raise the flag (documented
+  // divergence from the paper, which leaves cycles undefined). The signal
+  // comes from the dependency graph itself: a nonzero re-entrant depth on
+  // this cell's own instance node means its value is being demanded while
+  // it computes. No local in-flight bookkeeping, so a formula that throws
+  // (e.g. a quarantined reference) unwinds without leaking state.
+  if (DepNode *Self = CellVal.instanceNode(Row, Col))
+    if (Self->reentrantDepth() > 0) {
+      CycleFlag = true;
+      return 0;
+    }
+  Exp *Formula = Grid[index(Row, Col)]->get();
+  return Formula ? Tree.value(Formula) : 0;
 }
 
 int Spreadsheet::oracleValue(int Row, int Col) const {

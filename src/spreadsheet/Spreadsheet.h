@@ -18,8 +18,9 @@
 ///   "let x = cell(1,1) in x * x ni".
 ///
 /// Divergence from the paper (documented): reference cycles, which the
-/// paper leaves undefined (they would not terminate), are detected with an
-/// in-flight set and evaluate to 0 with a cycle flag raised.
+/// paper leaves undefined (they would not terminate), are detected via the
+/// dependency graph's re-entrant-depth signal (DepNode::reentrantDepth)
+/// and evaluate to 0 with a cycle flag raised.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -109,7 +110,10 @@ private:
   Maintained<int(int, int)> CellVal;
   /// Grid[i] holds the root of cell i's formula tree (nullptr = empty).
   std::vector<std::unique_ptr<Cell<attrgram::Exp *>>> Grid;
-  /// Cycle detection: cells currently being evaluated (incremental path).
+  /// Cycle detection for the *oracle* path only: cells currently being
+  /// evaluated exhaustively. The incremental path reads the re-entrant
+  /// depth of the cell's dependency-graph node instead (the graph's
+  /// generic in-flight-cycle signal).
   mutable std::vector<char> InFlight;
   /// Per-pass memo for recomputeAllExhaustive().
   mutable std::vector<int> PassMemo;

@@ -7,9 +7,17 @@
 
 #include "support/Diagnostics.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace alphonse {
+
+void fatalError(const char *Message) {
+  std::fprintf(stderr, "alphonse fatal error: %s\n", Message);
+  std::fflush(stderr);
+  std::abort();
+}
 
 static const char *kindName(DiagKind Kind) {
   switch (Kind) {

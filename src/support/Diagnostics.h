@@ -23,6 +23,12 @@
 
 namespace alphonse {
 
+/// Reports an unrecoverable runtime-invariant violation to stderr and
+/// aborts. Used where continuing would be undefined behaviour (e.g. a call
+/// stack underflow) so that release builds fail loudly instead of
+/// corrupting state silently.
+[[noreturn]] void fatalError(const char *Message);
+
 /// Severity of one diagnostic.
 enum class DiagKind : uint8_t {
   Error,

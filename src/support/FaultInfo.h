@@ -1,0 +1,139 @@
+//===- FaultInfo.h - Failure descriptors for the evaluator ------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The failure model of the incremental runtime. Hoover's correctness
+/// theorem (Section 5) only covers programs obeying the DET/TOP/OBS
+/// restrictions; behaviour outside them is undefined in the paper. This
+/// header defines what *this* implementation does instead: a failing node
+/// is quarantined with a FaultInfo describing what went wrong, and the
+/// rest of the graph keeps working. See the "Failure model" section of
+/// DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_SUPPORT_FAULTINFO_H
+#define ALPHONSE_SUPPORT_FAULTINFO_H
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace alphonse {
+
+/// Why a dependency-graph node was quarantined.
+enum class FaultKind : uint8_t {
+  /// The node's recompute threw an exception (user body, allocator, ...).
+  Exception,
+  /// The node re-executed more than Config::MaxReexecutions times within
+  /// one propagation: the procedure likely violates the DET restriction
+  /// (Section 3.5) and would never converge.
+  Divergence,
+  /// A re-entrant call chain on the node exceeded
+  /// Config::MaxReentrantDepth: an in-flight dependency cycle.
+  Cycle,
+  /// The evaluator hit Config::EvalStepLimit while this node was being
+  /// processed; propagation was aborted with work left pending.
+  StepLimit,
+  /// The node's recompute called another node that was already
+  /// quarantined; the fault cascaded.
+  Poisoned,
+};
+
+/// Short stable name for a FaultKind ("exception", "divergence", ...).
+inline const char *faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::Exception:
+    return "exception";
+  case FaultKind::Divergence:
+    return "divergence";
+  case FaultKind::Cycle:
+    return "cycle";
+  case FaultKind::StepLimit:
+    return "step-limit";
+  case FaultKind::Poisoned:
+    return "poisoned";
+  }
+  return "unknown";
+}
+
+/// Everything the runtime captured about one quarantined node.
+struct FaultInfo {
+  FaultKind Kind = FaultKind::Exception;
+  /// Debug name of the faulting node at quarantine time.
+  std::string NodeName;
+  /// Human-readable description of the failure.
+  std::string Message;
+  /// The original exception, when the fault was a throw (null otherwise).
+  /// Rethrowable with std::rethrow_exception for callers that want the
+  /// concrete type back.
+  std::exception_ptr Nested;
+};
+
+/// Base class of the exceptions the incremental runtime itself throws.
+class IncrementalFault : public std::runtime_error {
+public:
+  explicit IncrementalFault(const std::string &Msg)
+      : std::runtime_error(Msg) {}
+};
+
+/// Thrown when a re-entrant call chain exceeds Config::MaxReentrantDepth:
+/// the demanded value (transitively) depends on its own in-flight
+/// computation. Unwinds through every in-flight frame on the cycle,
+/// quarantining each one.
+class CycleError : public IncrementalFault {
+public:
+  explicit CycleError(const std::string &Msg) : IncrementalFault(Msg) {}
+};
+
+/// Thrown when a call demands the value of a quarantined node. Carries the
+/// original fault so callers can diagnose (or rethrow) the root cause.
+class QuarantinedError : public IncrementalFault {
+public:
+  QuarantinedError(const FaultInfo &FI)
+      : IncrementalFault("call to quarantined node '" + FI.NodeName +
+                         "' (" + faultKindName(FI.Kind) + ": " + FI.Message +
+                         ")"),
+        OriginalKind(FI.Kind), Nested(FI.Nested) {}
+
+  FaultKind originalKind() const { return OriginalKind; }
+  std::exception_ptr nested() const { return Nested; }
+
+private:
+  FaultKind OriginalKind;
+  std::exception_ptr Nested;
+};
+
+/// Builds a FaultInfo for the in-flight exception. Must be called from
+/// inside a catch block; classifies runtime-internal exception types into
+/// the corresponding FaultKind.
+inline FaultInfo captureCurrentFault(std::string NodeName) {
+  FaultInfo FI;
+  FI.NodeName = std::move(NodeName);
+  FI.Nested = std::current_exception();
+  try {
+    throw;
+  } catch (const CycleError &E) {
+    FI.Kind = FaultKind::Cycle;
+    FI.Message = E.what();
+  } catch (const QuarantinedError &E) {
+    FI.Kind = FaultKind::Poisoned;
+    FI.Message = E.what();
+  } catch (const std::exception &E) {
+    FI.Kind = FaultKind::Exception;
+    FI.Message = E.what();
+  } catch (...) {
+    FI.Kind = FaultKind::Exception;
+    FI.Message = "non-std::exception thrown";
+  }
+  return FI;
+}
+
+} // namespace alphonse
+
+#endif // ALPHONSE_SUPPORT_FAULTINFO_H

@@ -1,0 +1,14 @@
+//===- FaultInjector.cpp - Deterministic fault injection ------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+namespace alphonse {
+
+FaultInjector *FaultInjector::Active = nullptr;
+
+} // namespace alphonse

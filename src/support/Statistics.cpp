@@ -22,7 +22,12 @@ std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
      << "eval.steps           " << S.EvalSteps << '\n'
      << "eval.cutoffs         " << S.QuiescenceCutoffs << '\n'
      << "partition.unions     " << S.PartitionUnions << '\n'
-     << "partition.scopedEval " << S.PartitionScopedEvals << '\n';
+     << "partition.scopedEval " << S.PartitionScopedEvals << '\n'
+     << "fault.quarantined    " << S.NodesQuarantined << '\n'
+     << "fault.resets         " << S.QuarantineResets << '\n'
+     << "fault.divergence     " << S.DivergenceTrips << '\n'
+     << "fault.cycles         " << S.CycleFaults << '\n'
+     << "fault.stepLimit      " << S.StepLimitTrips << '\n';
   return OS;
 }
 

@@ -54,6 +54,16 @@ struct Statistics {
   uint64_t PartitionUnions = 0;
   /// Evaluations that were scoped to a single partition (Section 6.3).
   uint64_t PartitionScopedEvals = 0;
+  /// Nodes moved to the quarantine set (threw, diverged, or cycled).
+  uint64_t NodesQuarantined = 0;
+  /// Quarantined nodes explicitly returned to service.
+  uint64_t QuarantineResets = 0;
+  /// Nodes that tripped Config::MaxReexecutions in one propagation.
+  uint64_t DivergenceTrips = 0;
+  /// Re-entrant call chains that tripped Config::MaxReentrantDepth.
+  uint64_t CycleFaults = 0;
+  /// Propagations aborted by Config::EvalStepLimit.
+  uint64_t StepLimitTrips = 0;
 
   /// Resets every counter to zero.
   void reset() { *this = Statistics(); }

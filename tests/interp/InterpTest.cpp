@@ -179,6 +179,55 @@ PROCEDURE Loop(n : INTEGER) : INTEGER = BEGIN RETURN Loop(n); END Loop;
   EXPECT_NE(I.errorMessage().find("call depth"), std::string::npos);
 }
 
+TEST(InterpConventionalTest, ClearErrorResumesExecution) {
+  auto C = compile(R"(
+PROCEDURE Boom(n : INTEGER) : INTEGER = BEGIN RETURN 1 DIV n; END Boom;
+PROCEDURE Ok() : INTEGER = BEGIN RETURN 42; END Ok;
+)");
+  ASSERT_TRUE(C->ok());
+  Interp I(C->M, C->Info, ExecMode::Conventional);
+  I.call("Boom", {IV(0)});
+  EXPECT_TRUE(I.failed());
+  // While failed, execution is a no-op; the first error is preserved.
+  EXPECT_EQ(I.call("Ok").K, Value::Kind::Nil);
+  EXPECT_NE(I.errorMessage().find("division by zero"), std::string::npos);
+  I.clearError();
+  EXPECT_FALSE(I.failed());
+  EXPECT_EQ(I.call("Ok").Int, 42);
+}
+
+TEST(InterpAlphonseTest, RuntimeErrorQuarantinesInstanceAndRecovers) {
+  auto C = compile(R"(
+VAR d : INTEGER := 1;
+(*CACHED*) PROCEDURE Inv(n : INTEGER) : INTEGER =
+BEGIN
+  RETURN n DIV d;
+END Inv;
+)");
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  EXPECT_EQ(I.call("Inv", {IV(10)}).Int, 10);
+
+  // The failing recompute unwinds through the incremental call protocol:
+  // the instance is quarantined, the call stack is balanced, and the
+  // driver sees the flag-based error.
+  I.setGlobal("d", IV(0));
+  I.call("Inv", {IV(10)});
+  EXPECT_TRUE(I.failed());
+  EXPECT_NE(I.errorMessage().find("division by zero"), std::string::npos);
+  EXPECT_EQ(I.runtime().callDepth(), 0u);
+  EXPECT_EQ(I.runtime().graph().numQuarantined(), 1u);
+  EXPECT_TRUE(I.runtime().graph().verify().empty());
+
+  // Recovery: fix the data, clear the error, reset the quarantined
+  // instance, and the cache works again.
+  I.clearError();
+  I.setGlobal("d", IV(2));
+  I.runtime().graph().resetAllQuarantined();
+  EXPECT_EQ(I.call("Inv", {IV(10)}).Int, 5);
+  EXPECT_FALSE(I.failed());
+}
+
 TEST(InterpConventionalTest, ShortCircuitEvaluation) {
   auto C = compile(R"(
 TYPE T = OBJECT v : INTEGER; END;
