@@ -60,6 +60,15 @@ public:
   /// location has a dependency-graph node and the new value differs from
   /// the snapshot dependents last saw, queues the node for propagation.
   void set(T V) {
+    // Inside a batch every write is journaled — even untracked ones,
+    // since the location may become tracked later in the same batch and
+    // rollback must still restore the value written before it.
+    if (RT->inBatch())
+      RT->graph().logUndo([this, Old = Live]() {
+        Live = Old;
+        if (Node)
+          Node->Snapshot = Old;
+      });
     if (!Node) {
       // Never examined by an incremental procedure: plain store. This is
       // the fast path Section 6.1 wants for mutator-only data.
@@ -124,6 +133,11 @@ private:
       return;
     Node = std::make_unique<StorageNode>(RT->graph(), *this);
     Node->setName(Name.empty() ? "cell" : Name);
+    // A node created inside a batch is destroyed again on rollback (its
+    // edges and journal references are undone first — they were recorded
+    // later).
+    if (RT->inBatch())
+      RT->graph().logUndo([this]() { Node.reset(); });
   }
 
   Runtime *RT;

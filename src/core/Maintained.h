@@ -84,6 +84,11 @@ public:
       N->setName(Name.empty() ? "proc" : Name);
       Table.emplace(std::move(K), std::move(Owned));
       touchLRU(*N);
+      // A cache entry inserted inside a batch is dropped again on
+      // rollback (journal entries touching the node were recorded later
+      // and are undone first).
+      if (RT->inBatch())
+        RT->graph().logUndo([this, DeadKey = N->K]() { eraseByKey(DeadKey); });
       enforceCapacity();
     } else {
       N = It->second.get();
@@ -141,16 +146,9 @@ public:
 
   /// Drops the instance for these arguments, if any. The instance must not
   /// be depended upon or executing. Use when an argument (say, a destroyed
-  /// object) will never be passed again.
-  void erase(Args... A) {
-    auto It = Table.find(Key(A...));
-    if (It == Table.end())
-      return;
-    assert(!It->second->isExecuting() && "erasing an executing instance");
-    if (It->second->InLRU)
-      LRU.erase(It->second->LRUSlot);
-    Table.erase(It);
-  }
+  /// object) will never be passed again. Not transactional: do not call
+  /// while a batch is open (undo closures may reference the instance).
+  void erase(Args... A) { eraseByKey(Key(A...)); }
 
   /// Bounds the argument table (the pragma's cache-size argument); the
   /// least recently used instances that nothing depends on are evicted.
@@ -193,6 +191,11 @@ private:
   /// callers, which quarantine in their own frames).
   R execute(InstanceNode &N) {
     DepGraph &G = RT->graph();
+    // The graph journals the structural half of a re-execution itself
+    // (edges, flags, stamps); the cached value lives out here in the
+    // typed layer, so its restore is an Action entry.
+    if (G.inBatch())
+      G.logUndo([&N, Old = N.Cached]() { N.Cached = Old; });
     G.removePredEdges(N);
     ExecutionScope Exec(G, N);
     Runtime::CallScope Call(*RT, &N);
@@ -220,8 +223,23 @@ private:
     N.InLRU = true;
   }
 
+  void eraseByKey(const Key &K) {
+    auto It = Table.find(K);
+    if (It == Table.end())
+      return;
+    assert(!It->second->isExecuting() && "erasing an executing instance");
+    if (It->second->InLRU)
+      LRU.erase(It->second->LRUSlot);
+    Table.erase(It);
+  }
+
   void enforceCapacity() {
     if (Capacity == 0 || Table.size() <= Capacity)
+      return;
+    // Eviction is deferred while a batch is open: the journal holds
+    // closures over instance nodes, which must stay alive until the batch
+    // resolves. The next post-batch call (or setCapacity) trims the table.
+    if (RT->inBatch())
       return;
     // Scan from the cold end; skip instances that are pinned (depended
     // upon or executing).

@@ -22,6 +22,7 @@
 #include "graph/DepGraph.h"
 #include "support/Statistics.h"
 
+#include <cstdlib>
 #include <vector>
 
 namespace alphonse {
@@ -30,7 +31,7 @@ namespace alphonse {
 class Runtime {
 public:
   explicit Runtime(DepGraph::Config Cfg = DepGraph::Config())
-      : Graph(Stats, Cfg) {}
+      : Graph(Stats, applyEnvOverrides(Cfg)) {}
 
   DepGraph &graph() { return Graph; }
   Statistics &stats() { return Stats; }
@@ -85,6 +86,35 @@ public:
   /// available").
   void pump() { Graph.evaluateAll(); }
 
+  //===--------------------------------------------------------------------===//
+  // Transactional mutation batches (DESIGN.md "Transactions and recovery")
+  //===--------------------------------------------------------------------===//
+
+  /// Opens a mutation batch at a quiescent state: pumps any pending work
+  /// first (the batch's rollback point must itself be quiescent), then
+  /// starts journaling. Batches do not nest, and must not be opened from
+  /// inside an incremental call.
+  void beginBatch() {
+    assert(callDepth() == 0 && "beginBatch() inside an incremental call");
+    Graph.evaluateAll();
+    Graph.beginBatch();
+  }
+
+  /// Propagates the batch to quiescence and commits it. Any fault during
+  /// the batch or the propagation rolls the whole batch back; \returns
+  /// false then (graph().abortFault() tells why).
+  bool commitBatch() { return Graph.commitBatch(); }
+
+  /// Reverts every mutation since beginBatch(), restoring the pre-batch
+  /// quiescent state.
+  void rollbackBatch() { Graph.rollbackBatch(); }
+
+  /// True while a batch is open.
+  bool inBatch() const { return Graph.inBatch(); }
+
+  /// The graph's commit/rollback epoch (advances once per batch outcome).
+  uint64_t epoch() const { return Graph.epoch(); }
+
   /// RAII form of pushCall/popCall: the frame is popped even when the
   /// procedure body throws, keeping dependency attribution balanced
   /// through exception unwinding.
@@ -101,9 +131,63 @@ public:
   };
 
 private:
+  /// Environment overrides applied at construction so deployed binaries
+  /// can flip debug aids without recompiling. ALPHONSE_AUDIT (non-empty,
+  /// not "0") enables Config::AuditAfterEvaluate.
+  static DepGraph::Config applyEnvOverrides(DepGraph::Config Cfg) {
+    if (const char *V = std::getenv("ALPHONSE_AUDIT"))
+      if (V[0] != '\0' && !(V[0] == '0' && V[1] == '\0'))
+        Cfg.AuditAfterEvaluate = true;
+    return Cfg;
+  }
+
   Statistics Stats;
   DepGraph Graph;
   std::vector<DepNode *> CallStack;
+};
+
+/// RAII mutation batch: opens a batch on construction and rolls it back on
+/// destruction unless commit() succeeded (or rollback() already ran), so
+/// an exception thrown mid-batch cannot leave the graph half-updated.
+///
+///   Transaction Txn(RT);
+///   A.set(1);
+///   B.set(2);
+///   if (!Txn.commit())        // Fault during propagation: already rolled
+///     report(*RT.graph().abortFault()); // back, state is pre-batch.
+class Transaction {
+public:
+  explicit Transaction(Runtime &RT) : RT(RT) { RT.beginBatch(); }
+
+  ~Transaction() {
+    if (!Done)
+      RT.rollbackBatch();
+  }
+
+  Transaction(const Transaction &) = delete;
+  Transaction &operator=(const Transaction &) = delete;
+
+  /// Commits the batch; on a fault the batch is rolled back and this
+  /// returns false. Either way the transaction is finished.
+  bool commit() {
+    assert(!Done && "commit() on a finished transaction");
+    Done = true;
+    return RT.commitBatch();
+  }
+
+  /// Rolls the batch back explicitly (the destructor then does nothing).
+  void rollback() {
+    assert(!Done && "rollback() on a finished transaction");
+    Done = true;
+    RT.rollbackBatch();
+  }
+
+  /// True once commit() or rollback() ran.
+  bool finished() const { return Done; }
+
+private:
+  Runtime &RT;
+  bool Done = false;
 };
 
 /// RAII form of the (*UNCHECKED*) pragma (Section 6.4): inside the scope,

@@ -14,6 +14,8 @@
 
 #include "graph/DepGraph.h"
 
+#include "support/FaultInjector.h"
+
 #include <algorithm>
 
 namespace alphonse {
@@ -131,6 +133,13 @@ void DepGraph::unregisterNode(DepNode &N) {
   --NumLiveNodes;
   ++Stats.NodesDestroyed;
   N.Graph = nullptr;
+
+  // A node destroyed mid-batch by the mutator invalidates every journal
+  // entry pointing at it; drop them so a later rollback never touches the
+  // dead node. (Rollback itself destroys batch-created nodes through
+  // typed-layer closures; those run with TxnRollingBack set.)
+  if (journaling())
+    Journal.scrub(N);
 }
 
 //===----------------------------------------------------------------------===//
@@ -203,6 +212,15 @@ void DepGraph::addDependency(DepNode &Sink, DepNode &Source) {
   ++Stats.EdgesCreated;
   ++NumLiveEdges;
 
+  if (journaling()) {
+    UndoEntry U;
+    U.K = UndoEntry::Kind::EdgeAdded;
+    U.Sink = &Sink;
+    U.Source = &Source;
+    Journal.push(std::move(U));
+    ++Stats.TxnUndoEntries;
+  }
+
   if (!Cfg.Partitioning)
     return;
 
@@ -227,9 +245,13 @@ void DepGraph::addDependency(DepNode &Sink, DepNode &Source) {
 }
 
 void DepGraph::removePredEdges(DepNode &Sink) {
+  bool Log = journaling() && Sink.FirstPred != nullptr;
+  UndoEntry U;
   Edge *E = Sink.FirstPred;
   while (E) {
     Edge *Next = E->NextPred;
+    if (Log)
+      U.Sources.push_back(E->Source);
     unlinkEdge(E);
     freeEdge(E);
     ++Stats.EdgesRemoved;
@@ -237,6 +259,12 @@ void DepGraph::removePredEdges(DepNode &Sink) {
     E = Next;
   }
   assert(!Sink.FirstPred && "predecessor list not emptied");
+  if (Log) {
+    U.K = UndoEntry::Kind::PredsRemoved;
+    U.Sink = &Sink;
+    Journal.push(std::move(U));
+    ++Stats.TxnUndoEntries;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -248,12 +276,25 @@ void DepGraph::beginExecution(DepNode &Proc) {
   assert(!Proc.Executing && "recursive execution of one procedure instance; "
                             "a DET incremental procedure cannot call itself "
                             "with identical arguments");
+  if (journaling()) {
+    UndoEntry U;
+    U.K = UndoEntry::Kind::ExecSnapshot;
+    U.Sink = &Proc;
+    U.WasConsistent = Proc.Consistent;
+    U.OldLevel = Proc.Level;
+    U.OldStamp = Proc.ExecStamp;
+    U.OldVersion = Proc.Version;
+    Journal.push(std::move(U));
+    ++Stats.TxnUndoEntries;
+  }
   // Algorithm 5 sets consistent(n) := TRUE before running the body so that
   // invalidation during the run (e.g. a self-write) is observable afterward.
   Proc.Consistent = true;
   Proc.Executing = true;
   Proc.Level = 0;
   Proc.ExecStamp = ++StampCounter;
+  // Conservative: every execution may change the cached value.
+  Proc.Version = ++VersionCounter;
   ++Stats.ProcExecutions;
 }
 
@@ -348,6 +389,15 @@ void DepGraph::processNode(DepNode &N) {
     if (!Cfg.VariableCutoff)
       Changed = true;
     if (Changed) {
+      if (journaling()) {
+        UndoEntry U;
+        U.K = UndoEntry::Kind::VersionStamp;
+        U.Sink = &N;
+        U.OldVersion = N.Version;
+        Journal.push(std::move(U));
+        ++Stats.TxnUndoEntries;
+      }
+      N.Version = ++VersionCounter;
       enqueueSuccessors(N);
     } else {
       ++Stats.QuiescenceCutoffs;
@@ -359,6 +409,20 @@ void DepGraph::processNode(DepNode &N) {
   // eager ones re-queue themselves at endExecution.
   if (N.Strategy == EvalStrategy::Demand || N.Executing) {
     if (N.Consistent) {
+      if (journaling()) {
+        // Reuse ExecSnapshot: it captures the current Level / ExecStamp /
+        // Version (unchanged here, so restoring them is a no-op) along
+        // with the Consistent bit being cleared.
+        UndoEntry U;
+        U.K = UndoEntry::Kind::ExecSnapshot;
+        U.Sink = &N;
+        U.WasConsistent = true;
+        U.OldLevel = N.Level;
+        U.OldStamp = N.ExecStamp;
+        U.OldVersion = N.Version;
+        Journal.push(std::move(U));
+        ++Stats.TxnUndoEntries;
+      }
       N.Consistent = false;
       enqueueSuccessors(N);
     }
@@ -489,6 +553,20 @@ void DepGraph::quarantine(DepNode &N, FaultInfo FI) {
   if (N.Quarantined)
     return; // First fault wins.
   assert(N.Graph == this && "quarantining a node of another graph");
+  if (TxnActive && !TxnRollingBack) {
+    // A fault inside a batch poisons the whole batch: commitBatch() will
+    // roll back instead of committing. Journal the quarantine so rollback
+    // lifts it again (the pre-batch state had no such fault).
+    ++TxnNewFaults;
+    if (!AbortFault)
+      AbortFault = FI;
+    UndoEntry U;
+    U.K = UndoEntry::Kind::Quarantined;
+    U.Sink = &N;
+    U.WasConsistent = N.Consistent;
+    Journal.push(std::move(U));
+    ++Stats.TxnUndoEntries;
+  }
   eraseFromPendingSets(N);
   N.Quarantined = true;
   N.Consistent = false;
@@ -509,6 +587,14 @@ bool DepGraph::resetQuarantined(DepNode &N) {
   auto It = Quarantine.find(&N);
   if (It == Quarantine.end())
     return false;
+  if (journaling()) {
+    UndoEntry U;
+    U.K = UndoEntry::Kind::QuarantineCleared;
+    U.Sink = &N;
+    U.Saved = It->second;
+    Journal.push(std::move(U));
+    ++Stats.TxnUndoEntries;
+  }
   Quarantine.erase(It);
   N.Quarantined = false;
   N.ReexecCount = 0;
@@ -551,6 +637,168 @@ void DepGraph::endReentrant(DepNode &N) {
 void DepGraph::selfInvalidate(DepNode &Proc) {
   assert(Proc.Executing && "selfInvalidate outside an execution");
   Proc.Consistent = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Transactional mutation batches (see DESIGN.md "Transactions and recovery")
+//===----------------------------------------------------------------------===//
+
+void DepGraph::beginBatch() {
+  assert(!TxnActive && "transactional batches do not nest");
+  assert(!isEvaluating() && "beginBatch() inside the evaluator");
+  faultInjectionPoint("txn.begin");
+  if (TotalPending != 0)
+    Diags.warning(SourceLocation(),
+                  "txn: beginBatch() on a non-quiescent graph (" +
+                      std::to_string(TotalPending) +
+                      " pending); rollback restores this non-quiescent "
+                      "storage state but drops the pending queue");
+  TxnActive = true;
+  TxnNewFaults = 0;
+  AbortFault.reset();
+  ++Stats.TxnBegun;
+}
+
+void DepGraph::logUndo(std::function<void()> Undo) {
+  assert(TxnActive && "logUndo() outside a batch");
+  if (TxnRollingBack)
+    return;
+  UndoEntry U;
+  U.K = UndoEntry::Kind::Action;
+  U.Undo = std::move(Undo);
+  Journal.push(std::move(U));
+  ++Stats.TxnUndoEntries;
+}
+
+bool DepGraph::commitBatch() {
+  assert(TxnActive && "commitBatch() without beginBatch()");
+  assert(!isEvaluating() && "commitBatch() inside the evaluator");
+  try {
+    faultInjectionPoint("txn.commit");
+    // Quiescence propagation for the whole batch (the paper's Section 4.5
+    // loop; Section 3.4 observes updates batch naturally). Faults inside
+    // do not throw — they quarantine and bump TxnNewFaults.
+    evaluateAll();
+  } catch (...) {
+    ++TxnNewFaults;
+    if (!AbortFault)
+      AbortFault = captureCurrentFault("txn.commit");
+  }
+  if (TxnNewFaults != 0 || DrainAborted) {
+    const FaultInfo *FI = abortFault();
+    Diags.note(SourceLocation(),
+               "txn: commit aborted (" +
+                   std::string(FI ? faultKindName(FI->Kind) : "unknown") +
+                   (FI && !FI->NodeName.empty() ? " at '" + FI->NodeName + "'"
+                                                : std::string()) +
+                   "); batch rolled back");
+    rollbackBatch();
+    return false;
+  }
+  Journal.clear();
+  TxnActive = false;
+  ++Epoch;
+  ++Stats.TxnCommitted;
+  return true;
+}
+
+void DepGraph::rollbackBatch() {
+  assert(TxnActive && "rollbackBatch() without beginBatch()");
+  assert(!isEvaluating() && "rollbackBatch() inside the evaluator");
+  TxnRollingBack = true;
+  Journal.replayReverse([&](UndoEntry &E) { applyUndo(E); });
+  // The pre-batch state was quiescent (or its queue is unrecoverable, see
+  // the beginBatch warning); nothing journaled during the batch may stay
+  // pending.
+  clearAllPending();
+  Journal.clear();
+  TxnRollingBack = false;
+  TxnActive = false;
+  ++Epoch;
+  ++Stats.TxnRolledBack;
+  if (Cfg.VerifyOnRollback)
+    for (const std::string &V : verify())
+      Diags.error(SourceLocation(), "rollback audit: " + V);
+}
+
+void DepGraph::applyUndo(UndoEntry &E) {
+  switch (E.K) {
+  case UndoEntry::Kind::Action:
+    E.Undo();
+    break;
+  case UndoEntry::Kind::EdgeAdded:
+    unlinkOneEdge(*E.Source, *E.Sink);
+    break;
+  case UndoEntry::Kind::PredsRemoved:
+    // Relink in reverse so the sink's predecessor list (a push-front
+    // stack) recovers its original order.
+    for (auto It = E.Sources.rbegin(); It != E.Sources.rend(); ++It)
+      relinkEdge(**It, *E.Sink);
+    break;
+  case UndoEntry::Kind::ExecSnapshot:
+    E.Sink->Consistent = E.WasConsistent;
+    E.Sink->Level = E.OldLevel;
+    E.Sink->ExecStamp = E.OldStamp;
+    E.Sink->Version = E.OldVersion;
+    break;
+  case UndoEntry::Kind::VersionStamp:
+    E.Sink->Version = E.OldVersion;
+    break;
+  case UndoEntry::Kind::Quarantined:
+    Quarantine.erase(E.Sink);
+    E.Sink->Quarantined = false;
+    E.Sink->Consistent = E.WasConsistent;
+    break;
+  case UndoEntry::Kind::QuarantineCleared:
+    if (!E.Sink->Quarantined) {
+      eraseFromPendingSets(*E.Sink);
+      E.Sink->Quarantined = true;
+      E.Sink->Consistent = false;
+      Quarantine.emplace(E.Sink, std::move(E.Saved));
+    }
+    break;
+  }
+}
+
+void DepGraph::unlinkOneEdge(DepNode &Source, DepNode &Sink) {
+  for (Edge *E = Sink.FirstPred; E; E = E->NextPred) {
+    if (E->Source != &Source)
+      continue;
+    unlinkEdge(E);
+    freeEdge(E);
+    ++Stats.EdgesRemoved;
+    --NumLiveEdges;
+    return;
+  }
+  // No matching edge left; nothing to undo. (Later batch work that
+  // detached it was journaled and replayed before this entry, so this is
+  // only reachable through scrubbed teardown paths.)
+}
+
+void DepGraph::relinkEdge(DepNode &Source, DepNode &Sink) {
+  Edge *E = allocateEdge();
+  E->Source = &Source;
+  E->Sink = &Sink;
+  E->NextSucc = Source.FirstSucc;
+  if (Source.FirstSucc)
+    Source.FirstSucc->PrevSucc = E;
+  Source.FirstSucc = E;
+  E->NextPred = Sink.FirstPred;
+  if (Sink.FirstPred)
+    Sink.FirstPred->PrevPred = E;
+  Sink.FirstPred = E;
+  ++Stats.EdgesCreated;
+  ++NumLiveEdges;
+}
+
+void DepGraph::clearAllPending() {
+  while (!GlobalSet.empty())
+    GlobalSet.pop();
+  for (auto &KV : SetMap)
+    while (!KV.second.empty())
+      KV.second.pop();
+  TotalPending = 0;
+  DirtyRoots.clear();
 }
 
 //===----------------------------------------------------------------------===//

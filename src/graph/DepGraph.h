@@ -19,12 +19,15 @@
 
 #include "graph/DepNode.h"
 #include "graph/InconsistentSet.h"
+#include "graph/UndoLog.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInfo.h"
 #include "support/Statistics.h"
 #include "support/UnionFind.h"
 
 #include <deque>
+#include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -53,7 +56,13 @@ public:
     bool DedupEdges = true;
     /// Run verify() after every top-level evaluation and record any
     /// invariant violation in diagnostics() (debugging/testing aid).
+    /// Toggleable at runtime via the ALPHONSE_AUDIT environment variable
+    /// (honored by Runtime construction, not by DepGraph itself).
     bool AuditAfterEvaluate = false;
+    /// Run verify() after every transactional rollback and record any
+    /// invariant violation in diagnostics(). Rollback claims to restore
+    /// the exact pre-batch quiescent state; this audits the claim.
+    bool VerifyOnRollback = true;
     /// Abort a propagation after this many evaluator steps (0 = unlimited).
     /// The node being processed when the limit trips is quarantined with a
     /// StepLimit fault and the remaining pending work is left queued for a
@@ -129,6 +138,54 @@ public:
 
   /// True when the given nodes are currently in the same partition.
   bool samePartition(DepNode &A, DepNode &B);
+
+  //===--------------------------------------------------------------------===//
+  // Transactional mutation batches — see DESIGN.md "Transactions and
+  // recovery". Batches do not nest.
+  //===--------------------------------------------------------------------===//
+
+  /// True between beginBatch() and the matching commitBatch()/
+  /// rollbackBatch(). Typed layers consult this to decide whether to
+  /// journal their mutations.
+  bool inBatch() const { return TxnActive; }
+
+  /// Monotonic commit/rollback counter: advanced once per batch outcome
+  /// (either way), never reused. External state keyed to an epoch is
+  /// stale whenever the graph's epoch differs.
+  uint64_t epoch() const { return Epoch; }
+
+  /// Opens a batch. The graph should be quiescent (numPending() == 0);
+  /// callers normally pump first (Runtime::beginBatch does). Must not be
+  /// called while the evaluator is draining, and batches do not nest.
+  void beginBatch();
+
+  /// Runs quiescence propagation (evaluateAll) for the batch. If any node
+  /// faulted during the batch or the propagation — exception, divergence,
+  /// cycle, step limit — the whole batch is rolled back to the pre-batch
+  /// state and this returns false (abortFault() tells why). On success
+  /// the journal is discarded, the epoch advances, and this returns true.
+  bool commitBatch();
+
+  /// Replays the undo journal in reverse, restoring the pre-batch
+  /// quiescent state: storage snapshots, cached values, edges, levels,
+  /// execution stamps, versions, quarantine membership, and pending sets
+  /// (cleared — the pre-batch state was quiescent). Audited by verify()
+  /// under Config::VerifyOnRollback.
+  void rollbackBatch();
+
+  /// The first fault that aborted the last commitBatch(), or nullptr if
+  /// the last batch committed (or none ran).
+  const FaultInfo *abortFault() const {
+    return AbortFault ? &*AbortFault : nullptr;
+  }
+
+  /// Appends a typed-layer restore closure to the journal. Only valid
+  /// inside a batch; no-op while a rollback is replaying (the replay must
+  /// not journal its own restores).
+  void logUndo(std::function<void()> Undo);
+
+  /// Journal size of the current batch (test/stats visibility).
+  size_t undoLogSize() const { return Journal.size(); }
 
   //===--------------------------------------------------------------------===//
   // Failure model (quarantine, divergence, cycles) — see DESIGN.md
@@ -208,6 +265,21 @@ private:
   InconsistentSet &setFor(DepNode &N);
   void drainSetOf(DepNode &N);
 
+  /// True when mutations should be journaled: inside a batch, but not
+  /// while rollback itself is replaying.
+  bool journaling() const { return TxnActive && !TxnRollingBack; }
+  void applyUndo(UndoEntry &E);
+  /// Recreates one edge raw during rollback: links only, no level /
+  /// partition / dedup bookkeeping (levels and stamps are restored by
+  /// ExecSnapshot entries; partition unions are a sound over-merge).
+  void relinkEdge(DepNode &Source, DepNode &Sink);
+  /// Unlinks one Source -> Sink edge during rollback (no-op if none
+  /// remains, e.g. the sink re-executed later in the batch).
+  void unlinkOneEdge(DepNode &Source, DepNode &Sink);
+  /// Empties every pending set (rollback's final step: the pre-batch
+  /// state was quiescent, so nothing may stay queued).
+  void clearAllPending();
+
   Statistics &Stats;
   Config Cfg;
   DiagnosticEngine Diags;
@@ -227,6 +299,22 @@ private:
   std::unordered_map<DepNode *, FaultInfo> Quarantine;
   /// Head of the intrusive all-nodes registry (verify() iterates it).
   DepNode *AllNodes = nullptr;
+
+  /// Undo journal of the active batch (empty outside one).
+  UndoLog Journal;
+  /// A batch is open (beginBatch .. commit/rollback).
+  bool TxnActive = false;
+  /// rollbackBatch() is replaying; suppresses journaling and scrubbing.
+  bool TxnRollingBack = false;
+  /// Nodes quarantined since beginBatch(); any nonzero value aborts the
+  /// commit.
+  uint64_t TxnNewFaults = 0;
+  /// First in-batch fault (the abort reason surfaced by abortFault()).
+  std::optional<FaultInfo> AbortFault;
+  /// Commit/rollback epoch (see epoch()).
+  uint64_t Epoch = 1;
+  /// Source of DepNode::Version stamps; monotonic, never rolled back.
+  uint64_t VersionCounter = 0;
 
   size_t NumLiveNodes = 0;
   size_t NumLiveEdges = 0;

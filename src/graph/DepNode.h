@@ -110,6 +110,15 @@ public:
   /// the evaluator's work; correctness never depends on it.
   uint32_t level() const { return Level; }
 
+  /// Version stamp of this node's cached value: advanced (from a
+  /// graph-global monotonic counter) whenever the value may have changed —
+  /// at every procedure execution and at every storage refresh that
+  /// observed a real change. A transactional rollback restores the
+  /// pre-batch stamp, so external caches detect invalidation by comparing
+  /// stamps for *equality* (a rolled-back stamp moves backward), without
+  /// any O(graph) sweep. See DESIGN.md "Transactions and recovery".
+  uint64_t version() const { return Version; }
+
   DepGraph &graph() const {
     assert(Graph && "node not attached to a graph");
     return *Graph;
@@ -176,6 +185,8 @@ private:
   uint32_t Partition = 0;
   /// Stamp of this node's current/most recent execution (as a dependent).
   uint64_t ExecStamp = 0;
+  /// Value-version stamp (see version()).
+  uint64_t Version = 0;
   /// As a dependency source: the sink/stamp of the most recent edge created
   /// from this node, used to skip duplicate edges when one execution reads
   /// the same location repeatedly.

@@ -32,6 +32,9 @@ public:
 
   Value Live;
   std::unique_ptr<SlotNode> Node;
+  /// Debug label for the slot's node ("G.<name>" for globals, empty for
+  /// fields); doubles as the slot's fault-injection site.
+  std::string DebugName;
 };
 
 /// The dependency-graph node of a storage slot; Snapshot is the value
@@ -42,6 +45,7 @@ public:
       : DepNode(G, NodeKind::Storage), Owner(&Owner), Snapshot(Owner.Live) {}
 
   bool refreshStorage() override {
+    faultInjectionPoint(name());
     bool Changed = !(Owner->Live == Snapshot);
     Snapshot = Owner->Live;
     return Changed;
@@ -125,8 +129,10 @@ Interp::Interp(const Module &M, const SemaInfo &Info, ExecMode Mode,
     Globals.push_back(std::move(Slot));
   }
   for (const GlobalDecl &G : M.Globals)
-    if (G.Index >= 0)
+    if (G.Index >= 0) {
       GlobalIndex[G.Name] = G.Index;
+      Globals[static_cast<size_t>(G.Index)]->DebugName = "G." + G.Name;
+    }
   // Run initializers in declaration order. They execute as mutator code
   // (empty call stack), so no dependencies are recorded.
   guarded([&] {
@@ -196,13 +202,27 @@ std::string Interp::renderForPrint(const Value &V) const { return V.render(); }
 Value Interp::trackedRead(StorageSlot &S, bool Tracked) {
   if (Mode != ExecMode::Alphonse || !Tracked || !RT.inIncrementalCall())
     return S.Live;
-  if (!S.Node)
+  if (!S.Node) {
     S.Node = std::make_unique<SlotNode>(RT.graph(), S);
+    S.Node->setName(S.DebugName.empty() ? "slot" : S.DebugName);
+    // Slot nodes created inside a batch are destroyed again on rollback.
+    if (RT.inBatch())
+      RT.graph().logUndo([&S]() { S.Node.reset(); });
+  }
   RT.recordAccess(*S.Node);
   return S.Live;
 }
 
 void Interp::trackedWrite(StorageSlot &S, Value V, bool Tracked) {
+  // Journal every storage write inside a batch — untracked ones too,
+  // since the slot may gain a node later in the batch and rollback must
+  // restore the value written before it.
+  if (Mode == ExecMode::Alphonse && RT.inBatch())
+    RT.graph().logUndo([&S, Old = S.Live]() {
+      S.Live = Old;
+      if (S.Node)
+        S.Node->Snapshot = Old;
+    });
   if (Mode != ExecMode::Alphonse || !Tracked || !S.Node) {
     S.Live = std::move(V);
     return;
@@ -248,6 +268,12 @@ Value Interp::incrementalCall(const ProcDecl *P, const PragmaInfo &Pragma,
     N->setName(P->Name);
     N->Key = Args;
     Table.emplace(std::move(Args), std::move(Owned));
+    // Argument-table entries inserted inside a batch are dropped again on
+    // rollback (references to the node were journaled later, so they are
+    // undone first).
+    if (RT.inBatch())
+      RT.graph().logUndo(
+          [&Table, DeadKey = N->Key]() { Table.erase(DeadKey); });
   } else {
     N = It->second.get();
     // Algorithm 5: before reusing an existing instance, apply any batched
@@ -280,6 +306,10 @@ Value Interp::incrementalCall(const ProcDecl *P, const PragmaInfo &Pragma,
 
 Value Interp::executeInstance(InterpProcNode &N) {
   DepGraph &G = RT.graph();
+  // The graph journals the structural half of a re-execution; the cached
+  // value lives here in the interpreter, so restore it via an Action.
+  if (G.inBatch())
+    G.logUndo([&N, Old = N.Cached]() { N.Cached = Old; });
   G.removePredEdges(N);
   // RAII protocol frames: a throwing body (runtime error, poisoned callee,
   // injected fault) unwinds with the graph and call stack coherent; the

@@ -94,6 +94,49 @@ void Spreadsheet::clearCell(int Row, int Col) {
   Grid[index(Row, Col)]->set(nullptr);
 }
 
+bool Spreadsheet::setAll(const std::vector<CellEdit> &Edits) {
+  // CycleFlag is not a Cell, so the transaction cannot restore it; keep
+  // the pre-batch value aside and use the flag to detect cycles the batch
+  // itself introduces.
+  bool PriorCycle = CycleFlag;
+  Transaction Txn(RT);
+  CycleFlag = false;
+  auto Abort = [&]() {
+    if (!Txn.finished())
+      Txn.rollback();
+    CycleFlag = PriorCycle;
+    return false;
+  };
+  for (const CellEdit &E : Edits) {
+    if (!inRange(E.Row, E.Col)) {
+      Diags.error(SourceLocation(), "setAll: cell (" + std::to_string(E.Row) +
+                                        ", " + std::to_string(E.Col) +
+                                        ") is out of range");
+      return Abort();
+    }
+    if (E.Formula.empty()) {
+      clearCell(E.Row, E.Col);
+      continue;
+    }
+    if (!setFormula(E.Row, E.Col, E.Formula))
+      return Abort();
+  }
+  // Demand every edited cell inside the batch: faulting formulas and
+  // reference cycles surface now, while rollback can still revert them.
+  try {
+    for (const CellEdit &E : Edits)
+      value(E.Row, E.Col);
+  } catch (...) {
+    return Abort();
+  }
+  if (CycleFlag)
+    return Abort();
+  if (!Txn.commit())
+    return Abort();
+  CycleFlag = PriorCycle;
+  return true;
+}
+
 int Spreadsheet::value(int Row, int Col) { return CellVal(Row, Col); }
 
 int Spreadsheet::computeCellValue(int Row, int Col) {

@@ -59,6 +59,22 @@ public:
   /// Removes the formula; empty cells evaluate to 0.
   void clearCell(int Row, int Col);
 
+  /// One edit of an atomic batch (see setAll). An empty Formula clears
+  /// the cell.
+  struct CellEdit {
+    int Row;
+    int Col;
+    std::string Formula;
+  };
+
+  /// Applies every edit as one transactional batch: either all edits
+  /// commit together, or — on a parse error, an out-of-range target, a
+  /// reference cycle introduced by the batch, or a fault during
+  /// recalculation — none do, and every cell value is exactly as before
+  /// the call. \returns true iff the batch committed. cycleDetected() is
+  /// left unchanged by a rolled-back batch.
+  bool setAll(const std::vector<CellEdit> &Edits);
+
   /// The maintained value of a cell (Algorithm 10's Cell.value()).
   int value(int Row, int Col);
 

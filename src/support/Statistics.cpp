@@ -27,7 +27,11 @@ std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
      << "fault.resets         " << S.QuarantineResets << '\n'
      << "fault.divergence     " << S.DivergenceTrips << '\n'
      << "fault.cycles         " << S.CycleFaults << '\n'
-     << "fault.stepLimit      " << S.StepLimitTrips << '\n';
+     << "fault.stepLimit      " << S.StepLimitTrips << '\n'
+     << "txn.begun            " << S.TxnBegun << '\n'
+     << "txn.committed        " << S.TxnCommitted << '\n'
+     << "txn.rolledBack       " << S.TxnRolledBack << '\n'
+     << "txn.undoEntries      " << S.TxnUndoEntries << '\n';
   return OS;
 }
 

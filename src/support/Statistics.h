@@ -64,6 +64,14 @@ struct Statistics {
   uint64_t CycleFaults = 0;
   /// Propagations aborted by Config::EvalStepLimit.
   uint64_t StepLimitTrips = 0;
+  /// Transactional batches opened (DepGraph::beginBatch).
+  uint64_t TxnBegun = 0;
+  /// Batches whose commit succeeded (quiescence reached, no new faults).
+  uint64_t TxnCommitted = 0;
+  /// Batches rolled back — explicitly or by an aborted commit.
+  uint64_t TxnRolledBack = 0;
+  /// Undo-journal entries recorded across all batches.
+  uint64_t TxnUndoEntries = 0;
 
   /// Resets every counter to zero.
   void reset() { *this = Statistics(); }

@@ -352,6 +352,59 @@ TEST(FaultInjectionTest, InjectorCountsHitsDeterministically) {
   EXPECT_TRUE(F.instanceNode(0)->isQuarantined());
 }
 
+TEST(FaultInjectionTest, QuarantineRecoveryUnderRepeatedFaults) {
+  // A node that faults, is reset, faults again on the retry, is reset
+  // again, and only then succeeds: every round must leave coherent
+  // FaultInfo, statistics, and dependent values.
+  Runtime RT;
+  Cell<int> C(RT, 1, "c");
+  Maintained<int(int)> F(
+      RT, [&](int X) { return C.get() + X; }, EvalStrategy::Demand, "f");
+  Maintained<int(int)> G(
+      RT, [&](int X) { return F(X) * 10; }, EvalStrategy::Demand, "g");
+
+  FaultInjector Inj;
+  FaultInjector::Scope Active(Inj);
+  Inj.armThrow("f", /*AtNthHit=*/1, /*Times=*/2); // Two consecutive faults.
+
+  // Round 1: the first execution faults; the exception cascades through
+  // the in-flight dependent, quarantining both frames as it unwinds.
+  EXPECT_THROW(G(5), InjectedFault);
+  DepNode *NF = F.instanceNode(5);
+  ASSERT_NE(NF, nullptr);
+  EXPECT_TRUE(NF->isQuarantined());
+  EXPECT_EQ(RT.graph().fault(*NF)->Kind, FaultKind::Exception);
+  EXPECT_EQ(RT.graph().numQuarantined(), 2u);
+  EXPECT_EQ(RT.stats().NodesQuarantined, 2u);
+  EXPECT_TRUE(RT.graph().verify().empty());
+  // Re-calling while quarantined surfaces the recorded fault instead.
+  EXPECT_THROW(G(5), QuarantinedError);
+
+  // Round 2: reset everything; the retry faults again (Times = 2). The
+  // fresh FaultInfo replaces the old one and the counters keep moving.
+  EXPECT_EQ(RT.graph().resetAllQuarantined(), 2u);
+  EXPECT_EQ(RT.stats().QuarantineResets, 2u);
+  EXPECT_THROW(G(5), InjectedFault);
+  EXPECT_TRUE(NF->isQuarantined());
+  EXPECT_EQ(RT.graph().fault(*NF)->Kind, FaultKind::Exception);
+  EXPECT_EQ(RT.graph().numQuarantined(), 2u);
+  EXPECT_EQ(RT.stats().NodesQuarantined, 4u);
+  EXPECT_EQ(Inj.hitCount("f"), 2u);
+  EXPECT_TRUE(RT.graph().verify().empty());
+
+  // Round 3: reset again; the injector is exhausted, so this one sticks.
+  EXPECT_EQ(RT.graph().resetAllQuarantined(), 2u);
+  EXPECT_EQ(G(5), 60);
+  EXPECT_EQ(F(5), 6);
+  EXPECT_EQ(RT.graph().numQuarantined(), 0u);
+  EXPECT_EQ(RT.stats().QuarantineResets, 4u);
+  EXPECT_TRUE(RT.graph().verify().empty());
+
+  // The recovered values track later mutations like any healthy node.
+  C.set(2);
+  EXPECT_EQ(G(5), 70);
+}
+
 TEST(RuntimeDeathTest, PopCallUnderflowIsFatalInReleaseBuilds) {
   Runtime RT;
   EXPECT_DEATH(RT.popCall(), "underflow");

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "spreadsheet/Spreadsheet.h"
+#include "support/FaultInjector.h"
 
 #include <gtest/gtest.h>
 
@@ -176,6 +177,93 @@ TEST(SpreadsheetTest, ExhaustiveBaselineAgrees) {
     for (int C = 0; C < 4; ++C)
       Incremental += S.value(R, C);
   EXPECT_EQ(Exhaustive, Incremental);
+}
+
+TEST(SpreadsheetTest, SetAllCommitsAtomically) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(1, 1, "cell(0,0) + cell(0,1)");
+  EXPECT_EQ(S.value(1, 1), 0);
+  EXPECT_TRUE(S.setAll({{0, 0, "4"}, {0, 1, "5"}}));
+  EXPECT_EQ(S.value(1, 1), 9);
+  EXPECT_EQ(RT.stats().TxnCommitted, 1u);
+}
+
+TEST(SpreadsheetTest, SetAllRollsBackOnParseError) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(0, 0, "1");
+  S.setFormula(0, 1, "cell(0,0) * 10");
+  EXPECT_EQ(S.value(0, 1), 10);
+  // The first edit parses; the second does not. Neither survives.
+  EXPECT_FALSE(S.setAll({{0, 0, "2"}, {0, 1, "cell(0,0) +"}}));
+  EXPECT_TRUE(S.diagnostics().hasErrors());
+  EXPECT_EQ(S.value(0, 0), 1);
+  EXPECT_EQ(S.value(0, 1), 10);
+  EXPECT_EQ(RT.stats().TxnRolledBack, 1u);
+  EXPECT_TRUE(RT.graph().verify().empty());
+}
+
+TEST(SpreadsheetTest, SetAllRollsBackOnOutOfRangeTarget) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(0, 0, "1");
+  EXPECT_FALSE(S.setAll({{0, 0, "2"}, {5, 5, "3"}}));
+  EXPECT_EQ(S.value(0, 0), 1);
+  EXPECT_EQ(RT.stats().TxnRolledBack, 1u);
+}
+
+TEST(SpreadsheetTest, SetAllRollsBackOnIntroducedCycle) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(0, 0, "3");
+  S.setFormula(0, 1, "cell(0,0) * 2");
+  EXPECT_EQ(S.value(0, 1), 6);
+  // The batch would close a reference cycle (0,0) -> (0,1) -> (0,0):
+  // everything reverts, including the cycle flag.
+  EXPECT_FALSE(S.setAll({{0, 0, "cell(0,1) + 1"}}));
+  EXPECT_FALSE(S.cycleDetected());
+  EXPECT_EQ(S.value(0, 0), 3);
+  EXPECT_EQ(S.value(0, 1), 6);
+  EXPECT_EQ(RT.graph().numQuarantined(), 0u);
+  EXPECT_TRUE(RT.graph().verify().empty());
+
+  // A fault-free batch on the recovered sheet still commits.
+  EXPECT_TRUE(S.setAll({{0, 0, "10"}, {1, 0, "cell(0,1) + 1"}}));
+  EXPECT_EQ(S.value(1, 0), 21);
+}
+
+TEST(SpreadsheetTest, SetAllRollsBackOnInjectedFault) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(0, 0, "2");
+  S.setFormula(0, 1, "cell(0,0) + 1");
+  EXPECT_EQ(S.value(0, 1), 3);
+
+  FaultInjector Inj;
+  FaultInjector::Scope Active(Inj);
+  Inj.armThrow("Sheet.value");
+  EXPECT_FALSE(S.setAll({{0, 0, "100"}}));
+  EXPECT_EQ(S.value(0, 0), 2);
+  EXPECT_EQ(S.value(0, 1), 3);
+  EXPECT_EQ(RT.graph().numQuarantined(), 0u);
+  EXPECT_TRUE(RT.graph().verify().empty());
+
+  // The injector fired once; the retry goes through.
+  EXPECT_TRUE(S.setAll({{0, 0, "100"}}));
+  EXPECT_EQ(S.value(0, 1), 101);
+}
+
+TEST(SpreadsheetTest, SetAllClearsCellsTransactionally) {
+  Runtime RT;
+  Spreadsheet S(RT, 2, 2);
+  S.setFormula(0, 0, "8");
+  S.setFormula(0, 1, "cell(0,0) + 1");
+  EXPECT_EQ(S.value(0, 1), 9);
+  EXPECT_TRUE(S.setAll({{0, 0, ""}, {1, 1, "5"}}));
+  EXPECT_EQ(S.value(0, 0), 0);
+  EXPECT_EQ(S.value(0, 1), 1);
+  EXPECT_EQ(S.value(1, 1), 5);
 }
 
 /// Parameterized random-sheet equivalence: random formulas with

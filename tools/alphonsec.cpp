@@ -17,10 +17,20 @@
 //   --run PROC[,ARGS...]    execute PROC with integer arguments
 //   --mode alphonse|conventional   execution model for --run (default
 //                           alphonse)
-//   --stats                 print runtime statistics after --run
+//   --transactional         run each --run spec as a transactional batch:
+//                           a runtime fault rolls the batch back to the
+//                           previous quiescent state instead of leaving
+//                           the graph half-propagated
+//   --stats                 print runtime statistics after --run (printed
+//                           even when the run fails, so fault.* and txn.*
+//                           counters of degraded runs are visible)
 //
 // Exit status: 0 on success, 1 on usage or compile errors, 2 on runtime
-// errors.
+// errors — including runs that finish with quarantined nodes, so scripts
+// can detect degraded executions.
+//
+// ALPHONSE_AUDIT=1 in the environment enables the structural graph audit
+// after every evaluation (DepGraph::Config::AuditAfterEvaluate).
 //
 //===----------------------------------------------------------------------===//
 
@@ -52,6 +62,7 @@ struct Options {
   bool Conservative = false;
   bool Analyze = false;
   bool Stats = false;
+  bool Transactional = false;
   std::string RunSpec;
   ExecMode Mode = ExecMode::Alphonse;
 };
@@ -61,7 +72,8 @@ void usage() {
       stderr,
       "usage: alphonsec FILE.alf [--emit-transformed] [--emit-source]\n"
       "                 [--conservative] [--analyze] [--run PROC[,INT...]]\n"
-      "                 [--mode alphonse|conventional] [--stats]\n");
+      "                 [--mode alphonse|conventional] [--transactional]\n"
+      "                 [--stats]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -77,6 +89,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Analyze = true;
     } else if (Arg == "--stats") {
       Opts.Stats = true;
+    } else if (Arg == "--transactional") {
+      Opts.Transactional = true;
     } else if (Arg == "--run") {
       if (++I >= Argc) {
         std::fprintf(stderr, "error: --run needs an argument\n");
@@ -119,6 +133,7 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
 int runProgram(const Options &Opts, const Module &M, const SemaInfo &Info) {
   // RunSpec: "Proc" or "Proc,1,2,3"; several specs separated by ';'.
   Interp I(M, Info, Opts.Mode);
+  int Status = 0;
   std::stringstream Specs(Opts.RunSpec);
   std::string OneSpec;
   while (std::getline(Specs, OneSpec, ';')) {
@@ -129,22 +144,58 @@ int runProgram(const Options &Opts, const Module &M, const SemaInfo &Info) {
     std::string ArgText;
     while (std::getline(Parts, ArgText, ','))
       Args.push_back(Value::integer(std::stol(ArgText)));
-    Value Result = I.call(Name, std::move(Args));
-    if (I.failed()) {
-      std::fprintf(stderr, "runtime error: %s\n",
-                   I.errorMessage().c_str());
-      return 2;
+    if (Opts.Transactional) {
+      // Each spec is one mutation batch: a fault anywhere in it (or in
+      // the commit propagation) rolls the runtime back to the state after
+      // the previous spec instead of leaving it half-propagated.
+      Transaction Txn(I.runtime());
+      Value Result = I.call(Name, std::move(Args));
+      if (I.failed()) {
+        Txn.rollback();
+        std::fprintf(stderr, "runtime error (batch rolled back): %s\n",
+                     I.errorMessage().c_str());
+        Status = 2;
+        break;
+      }
+      if (!Txn.commit()) {
+        const FaultInfo *FI = I.runtime().graph().abortFault();
+        std::fprintf(stderr,
+                     "transaction aborted (batch rolled back): %s\n",
+                     FI ? FI->Message.c_str() : "unknown fault");
+        Status = 2;
+        break;
+      }
+      std::printf("%s => %s\n", Name.c_str(), Result.render().c_str());
+    } else {
+      Value Result = I.call(Name, std::move(Args));
+      if (I.failed()) {
+        std::fprintf(stderr, "runtime error: %s\n",
+                     I.errorMessage().c_str());
+        Status = 2;
+        break;
+      }
+      std::printf("%s => %s\n", Name.c_str(), Result.render().c_str());
     }
-    std::printf("%s => %s\n", Name.c_str(), Result.render().c_str());
   }
   if (!I.output().empty())
     std::printf("--- program output ---\n%s", I.output().c_str());
+  if (Status == 0 && I.runtime().graph().numQuarantined() > 0) {
+    // The calls all answered, but some nodes are degraded (faulted and
+    // quarantined during eager propagation); scripts need to see that.
+    std::fprintf(stderr,
+                 "warning: execution finished with %zu quarantined "
+                 "node(s)\n",
+                 I.runtime().graph().numQuarantined());
+    Status = 2;
+  }
+  // Stats print even for failed runs: the fault.* and txn.* counters are
+  // exactly what a degraded run needs to report.
   if (Opts.Stats) {
     std::ostringstream OS;
     OS << I.runtime().stats();
     std::printf("--- runtime statistics ---\n%s", OS.str().c_str());
   }
-  return 0;
+  return Status;
 }
 
 } // namespace
