@@ -7,7 +7,11 @@
 ///
 /// \file
 /// Helpers shared by the experiment benchmarks (see DESIGN.md Section 4
-/// for the experiment index E1..E12).
+/// for the experiment index E1..E12), plus the machine-readable result
+/// harness: every bench binary uses ALPHONSE_BENCH_MAIN() instead of
+/// BENCHMARK_MAIN(), which adds a `--json FILE` flag that writes one JSON
+/// document per run — benchmark name, iteration count, wall time per
+/// iteration, and peak RSS — for tools/run_benches.sh to aggregate.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +20,13 @@
 
 #include "trees/HeightTree.h"
 
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace alphonse::bench {
@@ -37,6 +48,123 @@ buildPerfectTree(trees::HeightTree &Tree, size_t Count) {
   return Nodes;
 }
 
+//===----------------------------------------------------------------------===//
+// Machine-readable results (--json)
+//===----------------------------------------------------------------------===//
+
+/// One finished (non-aggregate) benchmark run.
+struct JsonResult {
+  std::string Name;
+  int64_t Iterations;
+  double NsPerOp;
+};
+
+/// Console reporter that additionally collects per-run numbers for the
+/// JSON writer (aggregates and errored runs are skipped).
+class JsonReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonReporter(std::vector<JsonResult> &Out) : Out(Out) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.run_type != Run::RT_Iteration || R.error_occurred)
+        continue;
+      // GetAdjustedRealTime is in the benchmark's display unit; normalize
+      // to nanoseconds so every entry means the same thing.
+      double NsPerOp = R.GetAdjustedRealTime() /
+                       benchmark::GetTimeUnitMultiplier(R.time_unit) * 1e9;
+      Out.push_back(
+          {R.benchmark_name(), static_cast<int64_t>(R.iterations), NsPerOp});
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+private:
+  std::vector<JsonResult> &Out;
+};
+
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+/// Writes the collected runs as one JSON document: benchmark name,
+/// iterations, wall nanoseconds per operation, plus the process's peak
+/// RSS and the host's hardware concurrency (so speedup numbers can be
+/// read in context).
+inline bool writeJsonResults(const std::string &Path,
+                             const std::vector<JsonResult> &Results) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  long PeakRssKb = 0;
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) == 0)
+    PeakRssKb = RU.ru_maxrss; // KiB on Linux.
+  std::fprintf(F,
+               "{\n"
+               "  \"host_concurrency\": %u,\n"
+               "  \"peak_rss_kb\": %ld,\n"
+               "  \"benchmarks\": [\n",
+               std::thread::hardware_concurrency(), PeakRssKb);
+  for (size_t I = 0; I < Results.size(); ++I)
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"iterations\": %lld, "
+                 "\"ns_per_op\": %.2f}%s\n",
+                 jsonEscape(Results[I].Name).c_str(),
+                 static_cast<long long>(Results[I].Iterations),
+                 Results[I].NsPerOp, I + 1 < Results.size() ? "," : "");
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  return true;
+}
+
+/// main() body for every bench binary: peels `--json FILE` off the
+/// command line, forwards the rest to Google Benchmark, and writes the
+/// JSON document after the run.
+inline int benchMain(int Argc, char **Argv) {
+  std::string JsonPath;
+  std::vector<char *> Args;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+      continue;
+    }
+    Args.push_back(Argv[I]);
+  }
+  int FilteredArgc = static_cast<int>(Args.size());
+  benchmark::Initialize(&FilteredArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(FilteredArgc, Args.data()))
+    return 1;
+  int Status = 0;
+  if (JsonPath.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    std::vector<JsonResult> Results;
+    JsonReporter Rep(Results);
+    benchmark::RunSpecifiedBenchmarks(&Rep);
+    if (!writeJsonResults(JsonPath, Results)) {
+      std::fprintf(stderr, "error: cannot write JSON results to '%s'\n",
+                   JsonPath.c_str());
+      Status = 1;
+    }
+  }
+  benchmark::Shutdown();
+  return Status;
+}
+
 } // namespace alphonse::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() adding the --json flag.
+#define ALPHONSE_BENCH_MAIN()                                                  \
+  int main(int argc, char **argv) {                                            \
+    return ::alphonse::bench::benchMain(argc, argv);                           \
+  }
 
 #endif // ALPHONSE_BENCH_BENCHSUPPORT_H

@@ -17,6 +17,8 @@
 
 #include "attrgram/ExprTree.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -150,4 +152,4 @@ static void BM_E5_WorstCaseExhaustive(benchmark::State &State) {
 }
 BENCHMARK(BM_E5_WorstCaseExhaustive)->Arg(8)->Arg(32)->Arg(128);
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

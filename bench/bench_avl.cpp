@@ -17,6 +17,8 @@
 #include "trees/AvlTree.h"
 #include "trees/ClassicAvl.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -117,4 +119,4 @@ static void BM_E6_ClassicSteadyInsert(benchmark::State &State) {
 }
 BENCHMARK(BM_E6_ClassicSteadyInsert)->Arg(1024)->Arg(8192)->Arg(32768);
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

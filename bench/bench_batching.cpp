@@ -155,4 +155,4 @@ static void BM_E3_ManualCancelling(benchmark::State &State) {
 }
 BENCHMARK(BM_E3_ManualCancelling)->Arg(1)->Arg(16)->Arg(256);
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

@@ -162,4 +162,4 @@ static void BM_E2_ExhaustiveUpdate(benchmark::State &State) {
 }
 BENCHMARK(BM_E2_ExhaustiveUpdate)->Arg(255)->Arg(4095)->Arg(65535);
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

@@ -20,6 +20,8 @@
 #include "lang/Parser.h"
 #include "transform/Transform.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -126,4 +128,4 @@ static void BM_E7_AlphonseConservative(benchmark::State &State) {
 }
 BENCHMARK(BM_E7_AlphonseConservative)->Arg(100)->Arg(1000)->Arg(10000);
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

@@ -22,6 +22,8 @@
 
 #include "core/Alphonse.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -96,4 +98,4 @@ static void BM_E9_Unpartitioned(benchmark::State &State) {
 }
 BENCHMARK(BM_E9_Unpartitioned)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

@@ -21,6 +21,8 @@
 
 #include "core/Alphonse.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -116,4 +118,4 @@ static void BM_E11_WriteBackNoCutoff(benchmark::State &State) {
 }
 BENCHMARK(BM_E11_WriteBackNoCutoff)->Arg(64)->Arg(512);
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

@@ -111,4 +111,4 @@ static void BM_E8_DenseRefSets(benchmark::State &State) {
 }
 BENCHMARK(BM_E8_DenseRefSets)->Arg(16)->Arg(64)->Arg(256);
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

@@ -16,6 +16,8 @@
 
 #include "spreadsheet/Spreadsheet.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -129,4 +131,4 @@ static void BM_E4_WorstCaseEdit(benchmark::State &State) {
 }
 BENCHMARK(BM_E4_WorstCaseEdit)->Arg(8)->Arg(16)->Arg(32);
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

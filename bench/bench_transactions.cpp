@@ -116,4 +116,4 @@ static void BM_TX_Rollback(benchmark::State &State) {
 }
 BENCHMARK(BM_TX_Rollback)->Arg(1)->Arg(16)->Arg(256);
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

@@ -20,6 +20,8 @@
 #include "lang/Parser.h"
 #include "transform/Transform.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -183,4 +185,4 @@ static void BM_E12_ConservativeWorkload(benchmark::State &State) {
 }
 BENCHMARK(BM_E12_ConservativeWorkload)->Arg(200)->Arg(800)->UseManualTime();
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

@@ -16,6 +16,8 @@
 
 #include "trees/AvlTree.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace alphonse;
@@ -72,4 +74,4 @@ static void BM_E10_UncheckedLookups(benchmark::State &State) {
 }
 BENCHMARK(BM_E10_UncheckedLookups)->Arg(512)->Arg(2048)->Arg(8192);
 
-BENCHMARK_MAIN();
+ALPHONSE_BENCH_MAIN();

@@ -25,7 +25,7 @@
 #include "core/Runtime.h"
 #include "support/FaultInjector.h"
 
-#include <memory>
+#include <atomic>
 #include <string>
 #include <utility>
 
@@ -45,14 +45,14 @@ public:
   Cell(const Cell &) = delete;
   Cell &operator=(const Cell &) = delete;
 
+  ~Cell() { delete Node.load(std::memory_order_relaxed); }
+
   /// The access(v) transformation: returns the live value and, when an
   /// incremental procedure is executing, records its dependence on this
   /// location (creating the dependency-graph node on first use).
   const T &get() const {
-    if (RT->inIncrementalCall()) {
-      ensureNode();
-      RT->recordAccess(*Node);
-    }
+    if (RT->inIncrementalCall())
+      RT->recordAccess(ensureNode());
     return Live;
   }
 
@@ -66,10 +66,11 @@ public:
     if (RT->inBatch())
       RT->graph().logUndo([this, Old = Live]() {
         Live = Old;
-        if (Node)
-          Node->Snapshot = Old;
+        if (StorageNode *SN = Node.load(std::memory_order_relaxed))
+          SN->Snapshot = Old;
       });
-    if (!Node) {
+    StorageNode *SN = Node.load(std::memory_order_relaxed);
+    if (!SN) {
       // Never examined by an incremental procedure: plain store. This is
       // the fast path Section 6.1 wants for mutator-only data.
       Live = std::move(V);
@@ -80,14 +81,14 @@ public:
     // Algorithm 4 begins with access(l): the writer (if any) depends on
     // the location it writes, so a later external write re-runs it.
     if (RT->inIncrementalCall())
-      RT->recordAccess(*Node);
-    bool Quiescent = (V == Node->Snapshot);
+      RT->recordAccess(*SN);
+    bool Quiescent = (V == SN->Snapshot);
     Live = std::move(V);
     if (Quiescent && RT->graph().config().VariableCutoff) {
       ++S.QuiescentWrites;
       return;
     }
-    RT->graph().markInconsistent(*Node);
+    RT->graph().markInconsistent(*SN);
   }
 
   Cell &operator=(T V) {
@@ -100,10 +101,12 @@ public:
   const T &peek() const { return Live; }
 
   /// True once the location is tracked (some incremental procedure read it).
-  bool isTracked() const { return Node != nullptr; }
+  bool isTracked() const {
+    return Node.load(std::memory_order_acquire) != nullptr;
+  }
 
   /// The location's dependency-graph node, or nullptr while untracked.
-  DepNode *node() const { return Node.get(); }
+  DepNode *node() const { return Node.load(std::memory_order_acquire); }
 
   Runtime &runtime() const { return *RT; }
 
@@ -128,21 +131,31 @@ private:
     T Snapshot;
   };
 
-  void ensureNode() const {
-    if (Node)
-      return;
-    Node = std::make_unique<StorageNode>(RT->graph(), *this);
-    Node->setName(Name.empty() ? "cell" : Name);
+  /// Lazily creates the node, double-checked: the unlocked acquire load
+  /// is the hot path, and two wave workers racing on the first tracked
+  /// read of one cell serialize on the graph's state lock.
+  StorageNode &ensureNode() const {
+    if (StorageNode *SN = Node.load(std::memory_order_acquire))
+      return *SN;
+    DepGraph::StateGuard Guard(RT->graph());
+    if (StorageNode *SN = Node.load(std::memory_order_relaxed))
+      return *SN; // A sibling worker won the race.
+    auto *SN = new StorageNode(RT->graph(), *this);
+    SN->setName(Name.empty() ? "cell" : Name);
     // A node created inside a batch is destroyed again on rollback (its
     // edges and journal references are undone first — they were recorded
     // later).
     if (RT->inBatch())
-      RT->graph().logUndo([this]() { Node.reset(); });
+      RT->graph().logUndo([this]() {
+        delete Node.exchange(nullptr, std::memory_order_relaxed);
+      });
+    Node.store(SN, std::memory_order_release);
+    return *SN;
   }
 
   Runtime *RT;
   T Live;
-  mutable std::unique_ptr<StorageNode> Node;
+  mutable std::atomic<StorageNode *> Node{nullptr};
   std::string Name;
 };
 

@@ -22,6 +22,7 @@
 #include "graph/DepGraph.h"
 #include "support/Statistics.h"
 
+#include <array>
 #include <cstdlib>
 #include <vector>
 
@@ -40,10 +41,14 @@ public:
   void resetStats() { Stats.reset(); }
 
   /// The dependency-graph node of the most recently called incremental
-  /// procedure still executing, or nullptr outside incremental execution
-  /// and inside UncheckedScope frames (paper: top(CallStack)).
+  /// procedure still executing on the calling thread, or nullptr outside
+  /// incremental execution and inside UncheckedScope frames (paper:
+  /// top(CallStack)). Each evaluator thread has its own stack, so a wave
+  /// worker's dependency recording never attributes an access to a frame
+  /// pushed by a sibling thread.
   DepNode *currentProcedure() const {
-    return CallStack.empty() ? nullptr : CallStack.back();
+    const std::vector<DepNode *> &S = stack();
+    return S.empty() ? nullptr : S.back();
   }
 
   /// True when storage accesses should record dependencies right now.
@@ -51,20 +56,22 @@ public:
 
   /// Pushes an execution frame. \p Proc may be nullptr to open an
   /// unchecked region (Section 6.4) in which accesses record nothing.
-  void pushCall(DepNode *Proc) { CallStack.push_back(Proc); }
+  void pushCall(DepNode *Proc) { stack().push_back(Proc); }
 
   /// Pops the innermost execution frame. Underflow means dependency
   /// recording has already been attributed to the wrong procedure, so it
   /// is a hard failure even in release builds (not just an assert).
   void popCall() {
-    if (CallStack.empty())
+    std::vector<DepNode *> &S = stack();
+    if (S.empty())
       fatalError("incremental call stack underflow: popCall() without a "
                  "matching pushCall()");
-    CallStack.pop_back();
+    S.pop_back();
   }
 
-  /// Depth of the incremental call stack (frames, including unchecked).
-  size_t callDepth() const { return CallStack.size(); }
+  /// Depth of the calling thread's incremental call stack (frames,
+  /// including unchecked).
+  size_t callDepth() const { return stack().size(); }
 
   /// The node half of the access(v) transformation (Algorithm 3): records
   /// that the currently executing procedure depends on \p Source.
@@ -133,17 +140,36 @@ public:
 private:
   /// Environment overrides applied at construction so deployed binaries
   /// can flip debug aids without recompiling. ALPHONSE_AUDIT (non-empty,
-  /// not "0") enables Config::AuditAfterEvaluate.
+  /// not "0") enables Config::AuditAfterEvaluate; ALPHONSE_JOBS (a
+  /// non-negative integer) sets Config::Workers, overriding whatever the
+  /// embedding program configured (env wins over --jobs).
   static DepGraph::Config applyEnvOverrides(DepGraph::Config Cfg) {
     if (const char *V = std::getenv("ALPHONSE_AUDIT"))
       if (V[0] != '\0' && !(V[0] == '0' && V[1] == '\0'))
         Cfg.AuditAfterEvaluate = true;
+    if (const char *V = std::getenv("ALPHONSE_JOBS"))
+      if (V[0] != '\0') {
+        char *End = nullptr;
+        unsigned long N = std::strtoul(V, &End, 10);
+        if (End && *End == '\0' && N <= kStatShards - 1)
+          Cfg.Workers = static_cast<unsigned>(N);
+        else if (End && *End == '\0')
+          Cfg.Workers = kStatShards - 1;
+      }
     return Cfg;
+  }
+
+  /// The calling thread's incremental call stack. Slot 0 is the main
+  /// thread; wave workers index by their statistics shard id, so stacks
+  /// are owner-exclusive without locking.
+  std::vector<DepNode *> &stack() { return CallStacks[statShardId()]; }
+  const std::vector<DepNode *> &stack() const {
+    return CallStacks[statShardId()];
   }
 
   Statistics Stats;
   DepGraph Graph;
-  std::vector<DepNode *> CallStack;
+  std::array<std::vector<DepNode *>, kStatShards> CallStacks;
 };
 
 /// RAII mutation batch: opens a batch on construction and rolls it back on

@@ -14,11 +14,19 @@
 
 #include "graph/DepGraph.h"
 
+#include "graph/Scheduler.h"
 #include "support/FaultInjector.h"
 
 #include <algorithm>
 
 namespace alphonse {
+
+namespace detail {
+uint32_t &currentDrainTask() {
+  static thread_local uint32_t Task = 0;
+  return Task;
+}
+} // namespace detail
 
 //===----------------------------------------------------------------------===//
 // DepNode
@@ -53,13 +61,22 @@ size_t DepNode::numSuccessors() const {
   return N;
 }
 
+void DepNode::requireSerialEval() {
+  assert(Graph && "node not attached to a graph");
+  Graph->tagSerialPartition(*this);
+}
+
 //===----------------------------------------------------------------------===//
 // DepGraph: construction and node registry
 //===----------------------------------------------------------------------===//
 
 DepGraph::DepGraph(Statistics &Stats) : Stats(Stats) {}
 
-DepGraph::DepGraph(Statistics &Stats, Config Cfg) : Stats(Stats), Cfg(Cfg) {}
+DepGraph::DepGraph(Statistics &Stats, Config Cfg) : Stats(Stats), Cfg(Cfg) {
+  // Report the configured pool size even before (or without) a parallel
+  // wave; the scheduler refines this to the actual pool size it got.
+  Stats.PropWorkers = Cfg.Workers;
+}
 
 DepGraph::~DepGraph() {
   assert(NumLiveNodes == 0 &&
@@ -68,7 +85,10 @@ DepGraph::~DepGraph() {
 }
 
 void DepGraph::registerNode(DepNode &N) {
+  StateGuard Guard(*this);
   N.Partition = Partitions.makeSet();
+  if (SerialTag.size() <= N.Partition)
+    SerialTag.resize(N.Partition + 1, 0);
   // Link into the all-nodes registry (verify() iterates it).
   N.NextAll = AllNodes;
   if (AllNodes)
@@ -100,6 +120,7 @@ void DepGraph::eraseFromPendingSets(DepNode &N) {
 }
 
 void DepGraph::unregisterNode(DepNode &N) {
+  StateGuard Guard(*this);
   // Drop any pending entry for the dying node.
   eraseFromPendingSets(N);
   Quarantine.erase(&N);
@@ -147,19 +168,14 @@ void DepGraph::unregisterNode(DepNode &N) {
 //===----------------------------------------------------------------------===//
 
 Edge *DepGraph::allocateEdge() {
-  if (Edge *E = FreeEdges) {
-    FreeEdges = E->NextSucc;
-    *E = Edge();
-    return E;
-  }
-  EdgePool.emplace_back();
-  return &EdgePool.back();
+  bool FromFree = Edges.hasFree();
+  Edge *E = Edges.create();
+  if (FromFree)
+    ++Stats.EdgeReuse;
+  return E;
 }
 
-void DepGraph::freeEdge(Edge *E) {
-  E->NextSucc = FreeEdges;
-  FreeEdges = E;
-}
+void DepGraph::freeEdge(Edge *E) { Edges.destroy(E); }
 
 void DepGraph::unlinkEdge(Edge *E) {
   // Successor list of the source.
@@ -182,6 +198,7 @@ void DepGraph::addDependency(DepNode &Sink, DepNode &Source) {
   assert(Sink.Graph == this && Source.Graph == this &&
          "edge endpoints belong to another graph");
   assert(Sink.isProcedure() && "only procedure instances have dependencies");
+  StateGuard Guard(*this);
 
   // Level update happens even for deduplicated edges (it is idempotent).
   if (Sink.Level <= Source.Level)
@@ -225,26 +242,112 @@ void DepGraph::addDependency(DepNode &Sink, DepNode &Source) {
     return;
 
   // Dynamic partition refinement (Section 6.3): connected nodes share one
-  // instance of quiescence propagation.
+  // instance of quiescence propagation. Note the edge above is already in
+  // place when uniteRoots throws RetryConflict — an extra recorded
+  // dependency is always sound (it can only cause extra recomputation).
   UnionFind::Id RootA = Partitions.find(Sink.Partition);
   UnionFind::Id RootB = Partitions.find(Source.Partition);
   if (RootA == RootB)
     return;
+  uniteRoots(RootA, RootB);
+}
+
+UnionFind::Id DepGraph::uniteRoots(UnionFind::Id RootA, UnionFind::Id RootB) {
   UnionFind::Id Root = Partitions.unite(RootA, RootB);
   ++Stats.PartitionUnions;
+
+  // Serial affinity is sticky across merges.
+  char Tag = 0;
+  if (RootA < SerialTag.size())
+    Tag |= SerialTag[RootA];
+  if (RootB < SerialTag.size())
+    Tag |= SerialTag[RootB];
+  if (Root >= SerialTag.size())
+    SerialTag.resize(Root + 1, 0);
+  SerialTag[Root] = Tag;
+
   UnionFind::Id Other = (Root == RootA) ? RootB : RootA;
   auto It = SetMap.find(Other);
-  if (It == SetMap.end())
-    return;
-  InconsistentSet Orphan = std::move(It->second);
-  SetMap.erase(It);
-  if (!Orphan.empty()) {
-    SetMap[Root].mergeFrom(Orphan);
-    DirtyRoots.push_back(Root);
+  if (It != SetMap.end()) {
+    InconsistentSet Orphan = std::move(It->second);
+    SetMap.erase(It);
+    if (!Orphan.empty()) {
+      SetMap[Root].mergeFrom(Orphan);
+      DirtyRoots.push_back(Root);
+    }
   }
+
+  // Wave ownership handoff: the merged partition must end up with exactly
+  // one drain task. If the merge joins a sibling task's in-flight
+  // partition, that sibling inherits the whole thing and the calling
+  // execution abandons (RetryConflict); the abandoned node stays
+  // inconsistent and is re-drained by the new owner or the post-wave
+  // serial mop-up.
+  uint32_t Me = detail::currentDrainTask();
+  if (ParallelOn.load(std::memory_order_relaxed) && Me != 0) {
+    uint32_t OwnA = 0, OwnB = 0;
+    if (auto IA = Owners.find(RootA); IA != Owners.end()) {
+      OwnA = IA->second;
+      Owners.erase(IA);
+    }
+    if (auto IB = Owners.find(RootB); IB != Owners.end()) {
+      OwnB = IB->second;
+      Owners.erase(IB);
+    }
+    uint32_t Foreign = 0;
+    if (OwnA != 0 && OwnA != Me)
+      Foreign = OwnA;
+    if (OwnB != 0 && OwnB != Me)
+      Foreign = OwnB;
+    if (Foreign != 0) {
+      Owners[Root] = Foreign;
+      ++Stats.PropConflicts;
+      throw RetryConflict{};
+    }
+    if (OwnA == Me || OwnB == Me)
+      Owners[Root] = Me;
+  }
+  return Root;
+}
+
+void DepGraph::ensureWorkerAccess(DepNode &Target, DepNode *Accessor) {
+  uint32_t Me = detail::currentDrainTask();
+  if (Me == 0 || !ParallelOn.load(std::memory_order_acquire))
+    return;
+  StateGuard Guard(*this);
+  UnionFind::Id Root = Partitions.find(Target.Partition);
+  auto It = Owners.find(Root);
+  if (It == Owners.end()) {
+    Owners[Root] = Me; // Unowned (not scheduled this wave): claim it.
+    return;
+  }
+  if (It->second == Me)
+    return;
+  // Owned by a sibling task. With an accessor in hand the partitions are
+  // united — contact between them is a dependency-to-be — and uniteRoots
+  // hands ownership to the sibling and throws. Without one (no structural
+  // link yet) just abandon; the mop-up will retry serially.
+  if (Accessor) {
+    UnionFind::Id MyRoot = Partitions.find(Accessor->Partition);
+    if (MyRoot != Root) {
+      uniteRoots(MyRoot, Root); // Throws RetryConflict (foreign owner).
+      return;
+    }
+  }
+  ++Stats.PropConflicts;
+  throw RetryConflict{};
+}
+
+void DepGraph::tagSerialPartition(DepNode &N) {
+  StateGuard Guard(*this);
+  UnionFind::Id Root = Partitions.find(N.Partition);
+  if (Root >= SerialTag.size())
+    SerialTag.resize(Root + 1, 0);
+  SerialTag[Root] = 1;
 }
 
 void DepGraph::removePredEdges(DepNode &Sink) {
+  StateGuard Guard(*this);
   bool Log = journaling() && Sink.FirstPred != nullptr;
   UndoEntry U;
   Edge *E = Sink.FirstPred;
@@ -276,6 +379,7 @@ void DepGraph::beginExecution(DepNode &Proc) {
   assert(!Proc.Executing && "recursive execution of one procedure instance; "
                             "a DET incremental procedure cannot call itself "
                             "with identical arguments");
+  StateGuard Guard(*this);
   if (journaling()) {
     UndoEntry U;
     U.K = UndoEntry::Kind::ExecSnapshot;
@@ -300,6 +404,7 @@ void DepGraph::beginExecution(DepNode &Proc) {
 
 void DepGraph::endExecution(DepNode &Proc) {
   assert(Proc.Executing && "endExecution without beginExecution");
+  StateGuard Guard(*this);
   Proc.Executing = false;
   // Invalidated mid-run: demand nodes recompute at their next call; eager
   // nodes must be queued again so the pump re-runs them.
@@ -318,6 +423,7 @@ InconsistentSet &DepGraph::setFor(DepNode &N) {
 }
 
 void DepGraph::markInconsistent(DepNode &N) {
+  StateGuard Guard(*this);
   // Quarantined nodes take no further part in propagation until reset.
   if (N.Quarantined)
     return;
@@ -334,6 +440,7 @@ void DepGraph::markInconsistent(DepNode &N) {
 }
 
 bool DepGraph::hasPendingFor(DepNode &N) {
+  StateGuard Guard(*this);
   if (!Cfg.Partitioning)
     return TotalPending != 0;
   auto It = SetMap.find(Partitions.find(N.Partition));
@@ -341,10 +448,14 @@ bool DepGraph::hasPendingFor(DepNode &N) {
 }
 
 bool DepGraph::samePartition(DepNode &A, DepNode &B) {
+  StateGuard Guard(*this);
   return Partitions.find(A.Partition) == Partitions.find(B.Partition);
 }
 
 void DepGraph::enqueueSuccessors(DepNode &N) {
+  // Guarded: a sibling wave worker recording a new dependency on N pushes
+  // onto N's successor list concurrently with this walk.
+  StateGuard Guard(*this);
   for (Edge *E = N.FirstSucc; E; E = E->NextSucc)
     markInconsistent(*E->Sink);
 }
@@ -361,8 +472,8 @@ bool DepGraph::tripsReexecutionLimit(DepNode &N) {
 
 void DepGraph::processNode(DepNode &N) {
   ++Stats.EvalSteps;
-  ++EvalSteps;
-  if (Cfg.EvalStepLimit != 0 && EvalSteps > Cfg.EvalStepLimit) {
+  uint64_t Steps = ++EvalSteps;
+  if (Cfg.EvalStepLimit != 0 && Steps > Cfg.EvalStepLimit) {
     // Global backstop: propagation did not converge. Quarantine the node
     // in hand (so the next pump makes progress past it) and unwind the
     // drain, leaving the remaining pending work queued.
@@ -451,6 +562,12 @@ void DepGraph::processNode(DepNode &N) {
   bool Changed;
   try {
     Changed = N.reexecute();
+  } catch (const RetryConflict &) {
+    // A wave conflict is a scheduling event, not a fault: the node was
+    // left inconsistent (and re-queued) by the abandoned execution, and
+    // ownership of the merged partition has already moved. Unwind the
+    // calling drain task.
+    throw;
   } catch (...) {
     // The typed layer usually quarantines the node itself (with the most
     // precise fault kind) before rethrowing; this is the backstop for
@@ -471,28 +588,61 @@ void DepGraph::evaluateFor(DepNode &N) {
     return;
   }
   ++Stats.PartitionScopedEvals;
-  ++EvalDepth;
-  if (EvalDepth == 1) {
-    EvalSteps = 0;
-    ++EvalEpoch;
-    DrainAborted = false;
+  {
+    StateGuard Guard(*this);
+    ++EvalDepth;
+    if (EvalDepth == 1) {
+      EvalSteps = 0;
+      ++EvalEpoch;
+      DrainAborted = false;
+    }
   }
+  // Restores the depth even when a wave conflict (RetryConflict) unwinds
+  // a nested drain on a worker thread.
+  struct DepthScope {
+    DepGraph &G;
+    ~DepthScope() {
+      StateGuard Guard(G);
+      --G.EvalDepth;
+    }
+  } Depth{*this};
   // Re-resolve the set each round: processing can merge partitions.
-  while (!DrainAborted) {
-    auto It = SetMap.find(Partitions.find(N.Partition));
-    if (It == SetMap.end() || It->second.empty())
-      break;
-    DepNode *U = It->second.pop();
-    --TotalPending;
+  while (!DrainAborted.load(std::memory_order_relaxed)) {
+    DepNode *U = nullptr;
+    {
+      StateGuard Guard(*this);
+      auto It = SetMap.find(Partitions.find(N.Partition));
+      if (It == SetMap.end() || It->second.empty())
+        break;
+      U = It->second.pop();
+      --TotalPending;
+    }
     processNode(*U);
   }
-  --EvalDepth;
-  if (EvalDepth == 0 && Cfg.AuditAfterEvaluate)
+  StateGuard Guard(*this);
+  if (EvalDepth == 1 && Cfg.AuditAfterEvaluate)
     for (const std::string &V : verify())
       Diags.error(SourceLocation(), "audit: " + V);
 }
 
 void DepGraph::evaluateAll() {
+  // Top-level propagation goes parallel only when it is safe to: workers
+  // configured, partitioning on (partitions are the unit of concurrency),
+  // not re-entered from inside an execution, and no transactional batch
+  // open (the journal is strictly serial).
+  if (Cfg.Workers > 0 && Cfg.Partitioning && EvalDepth == 0 && !TxnActive) {
+    if (!Scheduler)
+      Scheduler = std::make_unique<PropagationScheduler>(*this, Cfg.Workers);
+    if (Scheduler->workers() > 0) {
+      Scheduler->run();
+      return;
+    }
+    // Shard budget exhausted at pool creation: fall through to serial.
+  }
+  evaluateAllSerial();
+}
+
+void DepGraph::evaluateAllSerial() {
   ++EvalDepth;
   if (EvalDepth == 1) {
     EvalSteps = 0;
@@ -550,6 +700,7 @@ DepGraph::quarantined() const {
 }
 
 void DepGraph::quarantine(DepNode &N, FaultInfo FI) {
+  StateGuard Guard(*this);
   if (N.Quarantined)
     return; // First fault wins.
   assert(N.Graph == this && "quarantining a node of another graph");

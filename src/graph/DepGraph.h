@@ -22,11 +22,14 @@
 #include "graph/UndoLog.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInfo.h"
+#include "support/Pool.h"
 #include "support/Statistics.h"
 #include "support/UnionFind.h"
 
-#include <deque>
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -34,12 +37,30 @@
 
 namespace alphonse {
 
+class PropagationScheduler;
+
+/// Internal control-flow signal of the parallel scheduler: an execution on
+/// a wave worker touched a partition owned by a sibling drain task. The
+/// two partitions are united, ownership of the merged partition is handed
+/// to exactly one task, and the abandoned execution is left inconsistent
+/// so the surviving owner (or the post-wave serial mop-up) retries it.
+/// Deliberately not a FaultInfo: a conflict is a scheduling event, never a
+/// program fault, and must not quarantine anything.
+struct RetryConflict {};
+
+namespace detail {
+/// The drain-task id of the calling thread (0 = not a wave worker).
+uint32_t &currentDrainTask();
+} // namespace detail
+
 /// The dependency graph plus its evaluator.
 ///
 /// All mutation goes through the graph so that bookkeeping (statistics,
-/// partitions, pending sets) stays coherent. Single-threaded, matching the
-/// paper's execution model (parallel evaluation is listed there as future
-/// work).
+/// partitions, pending sets) stays coherent. By default execution is
+/// single-threaded, matching the paper's execution model; with
+/// Config::Workers > 0 top-level propagation drains independent
+/// partitions concurrently (DESIGN.md "Parallel propagation") while all
+/// mutator-side entry points remain single-threaded.
 class DepGraph {
 public:
   /// Tunables; the defaults match the paper, the flags exist for the
@@ -79,6 +100,12 @@ public:
     /// stack overflow. Legitimate re-entrancy (Algorithm 11's balance)
     /// nests only a few frames.
     uint32_t MaxReentrantDepth = 64;
+    /// Worker threads for top-level quiescence propagation (0 = serial,
+    /// the default; behavior is then byte-identical to the pre-parallel
+    /// evaluator). Requires Partitioning; waves run only when at least
+    /// two independent partitions have pending work. Capped by the
+    /// process-wide shard budget (kStatShards - 1).
+    unsigned Workers = 0;
   };
 
   explicit DepGraph(Statistics &Stats);
@@ -133,7 +160,10 @@ public:
   /// may call back into the evaluator.
   void evaluateFor(DepNode &N);
 
-  /// Drains every partition's inconsistent set.
+  /// Drains every partition's inconsistent set. With Config::Workers > 0
+  /// (and partitioning on, no batch open, top-level entry) independent
+  /// partitions are drained concurrently by the propagation scheduler;
+  /// otherwise this is the classic serial drain.
   void evaluateAll();
 
   /// True when the given nodes are currently in the same partition.
@@ -238,8 +268,47 @@ public:
   /// evaluator is not mid-step; also wired to Config::AuditAfterEvaluate.
   std::vector<std::string> verify() const;
 
+  //===--------------------------------------------------------------------===//
+  // Parallel propagation — see DESIGN.md "Parallel propagation"
+  //===--------------------------------------------------------------------===//
+
+  /// RAII conditional lock over the graph's shared bookkeeping (pending
+  /// sets, union-find, edge pool, journal, quarantine). On the serial
+  /// path it costs one atomic load and takes no lock, so Workers = 0 is
+  /// byte-identical to the pre-parallel evaluator; during a wave it
+  /// holds the graph's recursive state mutex.
+  class StateGuard {
+  public:
+    explicit StateGuard(const DepGraph &G) : G(G) {
+      if (G.ParallelOn.load(std::memory_order_acquire)) {
+        G.StateMu.lock();
+        Locked = true;
+      }
+    }
+    ~StateGuard() {
+      if (Locked)
+        G.StateMu.unlock();
+    }
+    StateGuard(const StateGuard &) = delete;
+    StateGuard &operator=(const StateGuard &) = delete;
+
+  private:
+    const DepGraph &G;
+    bool Locked = false;
+  };
+
+  /// Called by a typed-layer execution running on a wave worker before it
+  /// relies on state reachable from \p Target: claims Target's partition
+  /// for the calling drain task if unowned, returns if already owned by
+  /// it, and otherwise unites Target's partition with \p Accessor's (when
+  /// given) and throws RetryConflict — the execution is abandoned, left
+  /// inconsistent, and retried by the partition's surviving owner or the
+  /// post-wave serial mop-up. No-op on the main thread and outside waves.
+  void ensureWorkerAccess(DepNode &Target, DepNode *Accessor);
+
 private:
   friend class DepNode;
+  friend class PropagationScheduler;
 
   void registerNode(DepNode &N);
   void unregisterNode(DepNode &N);
@@ -263,7 +332,23 @@ private:
   bool tripsReexecutionLimit(DepNode &N);
 
   InconsistentSet &setFor(DepNode &N);
-  void drainSetOf(DepNode &N);
+
+  /// The pre-parallel top-level drain loop: drains every partition's
+  /// pending set on the calling thread. evaluateAll() delegates here
+  /// directly when Workers == 0, and the scheduler uses it as the
+  /// serial-affinity path and the post-wave mop-up.
+  void evaluateAllSerial();
+
+  /// Unites the partitions rooted at \p RootA and \p RootB (both must be
+  /// current roots), merging orphaned pending sets and serial tags and —
+  /// during a wave — reassigning ownership of the merged partition. When
+  /// the merge joins a foreign in-flight drain task's partition from a
+  /// worker thread, ownership goes to the foreign task and this throws
+  /// RetryConflict. \returns the merged root.
+  UnionFind::Id uniteRoots(UnionFind::Id RootA, UnionFind::Id RootB);
+
+  /// Marks \p N's partition serial-affine (DepNode::requireSerialEval).
+  void tagSerialPartition(DepNode &N);
 
   /// True when mutations should be journaled: inside a batch, but not
   /// while rollback itself is replaying.
@@ -292,8 +377,9 @@ private:
   /// Roots that may have pending work (may contain stale ids).
   std::vector<UnionFind::Id> DirtyRoots;
 
-  std::deque<Edge> EdgePool;
-  Edge *FreeEdges = nullptr;
+  /// Edge allocation fast path: free-list pool over a bump arena (edge
+  /// churn at every re-execution is the graph's hottest allocation).
+  Pool<Edge> Edges;
 
   /// Quarantined nodes and their captured faults.
   std::unordered_map<DepNode *, FaultInfo> Quarantine;
@@ -314,20 +400,44 @@ private:
   /// Commit/rollback epoch (see epoch()).
   uint64_t Epoch = 1;
   /// Source of DepNode::Version stamps; monotonic, never rolled back.
-  uint64_t VersionCounter = 0;
+  /// Atomic because wave workers stamp executions concurrently; the
+  /// serial instruction sequence is unchanged.
+  std::atomic<uint64_t> VersionCounter{0};
 
   size_t NumLiveNodes = 0;
   size_t NumLiveEdges = 0;
   size_t TotalPending = 0;
-  uint64_t StampCounter = 0;
-  uint64_t EvalSteps = 0;
+  /// Source of DepNode::ExecStamp (atomic for wave workers, as above).
+  std::atomic<uint64_t> StampCounter{0};
+  std::atomic<uint64_t> EvalSteps{0};
   /// Stamp of the current top-level propagation (divergence counters are
   /// scoped to one epoch).
   uint64_t EvalEpoch = 0;
   int EvalDepth = 0;
   /// Set when EvalStepLimit trips; every drain loop unwinds, leaving the
   /// remaining pending work queued. Cleared at the next top-level entry.
-  bool DrainAborted = false;
+  std::atomic<bool> DrainAborted{false};
+
+  //===--------------------------------------------------------------------===//
+  // Parallel propagation state (all mutation under StateMu while a wave
+  // is in flight; quiescent otherwise).
+  //===--------------------------------------------------------------------===//
+
+  /// Guards the shared bookkeeping during waves. Recursive because
+  /// guarded operations nest (e.g. addDependency inside a guarded
+  /// execution prologue).
+  mutable std::recursive_mutex StateMu;
+  /// True only while a parallel wave is in flight; gates StateGuard.
+  std::atomic<bool> ParallelOn{false};
+  /// Wave ownership: union-find root -> drain-task id (1..N). Meaningful
+  /// only while ParallelOn; cleared between waves.
+  std::unordered_map<UnionFind::Id, uint32_t> Owners;
+  /// Serial-affinity tags indexed by union-find element id; a set tag on
+  /// a root means the whole partition drains on the calling thread.
+  std::vector<char> SerialTag;
+  /// Worker pool + wave driver; created lazily on the first parallel
+  /// evaluateAll() with Workers > 0.
+  std::unique_ptr<PropagationScheduler> Scheduler;
 };
 
 /// RAII pair for beginExecution/endExecution: the execution protocol is

@@ -145,6 +145,14 @@ public:
   const std::string &name() const { return DebugName; }
   void setName(std::string Name) { DebugName = std::move(Name); }
 
+  /// Pins this node's partition (and every partition it later merges
+  /// with) to the calling thread: the parallel scheduler never hands
+  /// serial-tagged partitions to pool workers. Used by nodes whose
+  /// recompute touches shared non-graph state (e.g. the interpreter's
+  /// output stream and heap), where thread affinity — not just mutual
+  /// exclusion — preserves deterministic observable order.
+  void requireSerialEval();
+
   /// Evaluator hook for Storage nodes: reconcile the cached snapshot with
   /// the live storage value. \returns true if they differed (the change is
   /// real and must propagate), false for quiescence (the mutator wrote the

@@ -105,6 +105,10 @@ void InconsistentSet::mergeFrom(InconsistentSet &Other) {
     return;
   }
   size_t OldSize = Heap.size();
+  // Reserve up front: insert() growing mid-copy would reallocate once per
+  // doubling while the entries are being appended; partition merges under
+  // the parallel scheduler hit this path hard.
+  Heap.reserve(Heap.size() + Other.Heap.size());
   Heap.insert(Heap.end(), Other.Heap.begin(), Other.Heap.end());
   Other.Heap.clear();
   for (size_t I = OldSize; I < Heap.size(); ++I)

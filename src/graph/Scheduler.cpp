@@ -1,0 +1,132 @@
+//===- Scheduler.cpp - Parallel quiescence propagation --------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Scheduler.h"
+
+#include "graph/DepGraph.h"
+
+#include <algorithm>
+
+namespace alphonse {
+
+PropagationScheduler::PropagationScheduler(DepGraph &G, unsigned Workers)
+    : G(G), Pool(Workers) {}
+
+void PropagationScheduler::run() {
+  ++G.EvalDepth;
+  G.EvalSteps = 0;
+  ++G.EvalEpoch;
+  G.DrainAborted = false;
+  G.Stats.PropWorkers = Pool.size();
+
+  try {
+    while (G.TotalPending != 0 &&
+           !G.DrainAborted.load(std::memory_order_relaxed)) {
+      // Snapshot the current roots with pending work. find() is safe
+      // unlocked here: no wave is in flight, so this thread is the only
+      // one touching the union-find.
+      std::vector<UnionFind::Id> Par;
+      bool SerialWork = false;
+      for (auto &KV : G.SetMap) {
+        if (KV.second.empty())
+          continue;
+        UnionFind::Id Root = G.Partitions.find(KV.first);
+        if (Root < G.SerialTag.size() && G.SerialTag[Root])
+          SerialWork = true;
+        else
+          Par.push_back(Root);
+      }
+      std::sort(Par.begin(), Par.end());
+      Par.erase(std::unique(Par.begin(), Par.end()), Par.end());
+
+      bool RanParallel = false;
+      if (Par.size() >= 2) {
+        // Assign each partition to one drain task, then open the wave.
+        // ParallelOn flips last (release): workers start with ownership
+        // fully published.
+        {
+          std::lock_guard<std::recursive_mutex> L(G.StateMu);
+          G.Owners.clear();
+          for (size_t I = 0; I < Par.size(); ++I)
+            G.Owners[Par[I]] = static_cast<uint32_t>(I + 1);
+        }
+        G.ParallelOn.store(true, std::memory_order_release);
+        for (size_t I = 0; I < Par.size(); ++I) {
+          UnionFind::Id Root = Par[I];
+          uint32_t Me = static_cast<uint32_t>(I + 1);
+          Pool.run([this, Root, Me] { drainRoot(Root, Me); });
+        }
+        try {
+          Pool.wait();
+        } catch (...) {
+          G.ParallelOn.store(false, std::memory_order_release);
+          G.Owners.clear();
+          throw;
+        }
+        G.ParallelOn.store(false, std::memory_order_release);
+        G.Owners.clear();
+        RanParallel = true;
+      }
+
+      // Serial turn: serial-affine partitions, a lone pending partition,
+      // and leftovers abandoned by wave conflicts all drain on this
+      // thread, in the classic order. This is also the quiescence
+      // guarantee — whatever the waves left behind, evaluateAllSerial
+      // finishes it.
+      if (SerialWork || !RanParallel)
+        G.evaluateAllSerial();
+      // When a wave ran and only conflict leftovers remain, loop: the
+      // next wave (or, once partitions collapse below two, the serial
+      // branch) picks them up. Conflicts strictly merge partitions, so
+      // the wave count is bounded by the initial partition count.
+    }
+  } catch (...) {
+    --G.EvalDepth;
+    throw;
+  }
+
+  --G.EvalDepth;
+  if (G.EvalDepth == 0 && G.Cfg.AuditAfterEvaluate)
+    for (const std::string &V : G.verify())
+      G.Diags.error(SourceLocation(), "audit: " + V);
+}
+
+void PropagationScheduler::drainRoot(UnionFind::Id Anchor, uint32_t Me) {
+  detail::currentDrainTask() = Me;
+  for (;;) {
+    DepNode *U = nullptr;
+    {
+      std::lock_guard<std::recursive_mutex> L(G.StateMu);
+      if (G.DrainAborted.load(std::memory_order_relaxed))
+        break;
+      UnionFind::Id Root = G.Partitions.find(Anchor);
+      auto OIt = G.Owners.find(Root);
+      if (OIt == G.Owners.end() || OIt->second != Me)
+        break; // Merged away: the surviving owner drains the rest.
+      auto It = G.SetMap.find(Root);
+      if (It == G.SetMap.end() || It->second.empty()) {
+        // Quiescent. Release ownership so a sibling that later merges
+        // with this partition can claim it without a conflict.
+        G.Owners.erase(OIt);
+        ++G.Stats.PropPartitionsDrained;
+        break;
+      }
+      U = It->second.pop();
+      --G.TotalPending;
+    }
+    try {
+      G.processNode(*U);
+    } catch (const RetryConflict &) {
+      // This task's partition merged into a sibling's; the abandoned
+      // node is already re-queued and owned elsewhere.
+      break;
+    }
+  }
+  detail::currentDrainTask() = 0;
+}
+
+} // namespace alphonse

@@ -1,0 +1,63 @@
+//===- Scheduler.h - Parallel quiescence propagation ------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel driver for top-level quiescence propagation (DESIGN.md
+/// "Parallel propagation"). Section 6.3's dynamic graph partitions are
+/// exactly the independence structure parallel evaluation needs: no edge
+/// crosses a partition boundary, so distinct partitions' inconsistent sets
+/// can drain concurrently, each in the classic serial level order. The
+/// scheduler dispatches one drain task per pending partition onto a fixed
+/// worker pool in "waves"; executions that create a cross-partition
+/// dependency mid-wave merge the partitions and hand the merged work to a
+/// single surviving owner (see DepGraph::uniteRoots / RetryConflict), and
+/// a post-wave serial mop-up guarantees quiescence regardless of how the
+/// waves went.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_GRAPH_SCHEDULER_H
+#define ALPHONSE_GRAPH_SCHEDULER_H
+
+#include "support/ThreadPool.h"
+#include "support/UnionFind.h"
+
+#include <cstdint>
+
+namespace alphonse {
+
+class DepGraph;
+
+/// Drains a graph's pending partitions concurrently on a fixed pool.
+class PropagationScheduler {
+public:
+  /// Spins up a pool of up to \p Workers threads (bounded by the global
+  /// shard budget; workers() reports the real size).
+  PropagationScheduler(DepGraph &G, unsigned Workers);
+
+  unsigned workers() const { return Pool.size(); }
+
+  /// One full top-level propagation: repeats waves of concurrent
+  /// per-partition drains until the graph is quiescent (or the drain is
+  /// aborted by the step limit). Serial-affine partitions and any
+  /// conflict leftovers drain on the calling thread. Must be called from
+  /// the owning (main) thread at evaluator depth zero.
+  void run();
+
+private:
+  /// One wave task: drains the partition anchored at \p Anchor on a pool
+  /// worker as drain task \p Me, until the partition is quiescent, its
+  /// ownership moves to a sibling (merge), or the wave aborts.
+  void drainRoot(UnionFind::Id Anchor, uint32_t Me);
+
+  DepGraph &G;
+  ThreadPool Pool;
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_GRAPH_SCHEDULER_H

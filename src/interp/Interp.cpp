@@ -42,7 +42,12 @@ public:
 class SlotNode final : public DepNode {
 public:
   SlotNode(DepGraph &G, StorageSlot &Owner)
-      : DepNode(G, NodeKind::Storage), Owner(&Owner), Snapshot(Owner.Live) {}
+      : DepNode(G, NodeKind::Storage), Owner(&Owner), Snapshot(Owner.Live) {
+    // Interpreter recomputes share one output stream, heap, and
+    // conventional call depth; thread affinity (not just locking) keeps
+    // the observable print order deterministic under --jobs.
+    requireSerialEval();
+  }
 
   bool refreshStorage() override {
     faultInjectionPoint(name());
@@ -67,7 +72,9 @@ public:
   InterpProcNode(DepGraph &G, Interp &Owner, const ProcDecl *Proc,
                  EvalStrategy Strategy)
       : DepNode(G, NodeKind::Procedure, Strategy), Owner(&Owner),
-        Proc(Proc) {}
+        Proc(Proc) {
+    requireSerialEval(); // See SlotNode: interpreter state is serial-affine.
+  }
 
   bool reexecute() override { return Owner->reexecuteInstance(*this); }
 

@@ -15,8 +15,10 @@
 ///
 /// No injector is installed by default; the per-site cost is then a single
 /// global pointer load. Install one for the current scope with
-/// FaultInjector::Scope (tests only — the injector is not thread-safe,
-/// matching the single-threaded runtime).
+/// FaultInjector::Scope (tests only). Hit accounting is internally
+/// locked, so instrumented sites may fire from parallel-propagation
+/// worker threads; arming/disarming must still happen while the graph is
+/// quiescent (install the Scope before dispatching work).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +26,7 @@
 #define ALPHONSE_SUPPORT_FAULTINJECTOR_H
 
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -57,6 +60,7 @@ public:
   /// Arms \p Site to throw at its \p AtNthHit-th hit (1-based, counted
   /// from arming), for \p Times consecutive hits.
   void armThrow(std::string Site, uint64_t AtNthHit = 1, uint64_t Times = 1) {
+    std::lock_guard<std::mutex> L(Mu);
     Sites[std::move(Site)] = {Action::Throw, AtNthHit, Times, 0};
   }
 
@@ -64,21 +68,28 @@ public:
   /// starting at its \p AtNthHit-th hit.
   void armDiverge(std::string Site, uint64_t AtNthHit = 1,
                   uint64_t Times = UINT64_MAX) {
+    std::lock_guard<std::mutex> L(Mu);
     Sites[std::move(Site)] = {Action::Diverge, AtNthHit, Times, 0};
   }
 
   /// Disarms \p Site (its hit count is discarded).
-  void disarm(const std::string &Site) { Sites.erase(Site); }
+  void disarm(const std::string &Site) {
+    std::lock_guard<std::mutex> L(Mu);
+    Sites.erase(Site);
+  }
 
   /// Times \p Site was hit since it was armed.
   uint64_t hitCount(const std::string &Site) const {
+    std::lock_guard<std::mutex> L(Mu);
     auto It = Sites.find(Site);
     return It == Sites.end() ? 0 : It->second.Hits;
   }
 
   /// Records a hit of \p Site and returns the action to take. Never
-  /// throws; the instrumented site performs the action itself.
+  /// throws; the instrumented site performs the action itself. Safe to
+  /// call from parallel wave workers.
   Action hit(std::string_view Site) {
+    std::lock_guard<std::mutex> L(Mu);
     auto It = Sites.find(std::string(Site));
     if (It == Sites.end())
       return Action::None;
@@ -93,7 +104,10 @@ public:
   }
 
   /// Total actions fired across all sites.
-  uint64_t firedCount() const { return Fired; }
+  uint64_t firedCount() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Fired;
+  }
 
   /// The injector consulted by faultInjectionPoint(), or nullptr.
   static FaultInjector *active() { return Active; }
@@ -122,6 +136,7 @@ private:
 
   static FaultInjector *Active;
 
+  mutable std::mutex Mu;
   std::unordered_map<std::string, State> Sites;
   uint64_t Fired = 0;
 };

@@ -7,31 +7,64 @@
 
 #include "support/Statistics.h"
 
+#include <mutex>
+
 namespace alphonse {
 
+namespace detail {
+
+namespace {
+std::mutex ShardMu;
+bool ShardUsed[kStatShards]; // Slot 0 is permanently the main thread's.
+} // namespace
+
+unsigned acquireStatShard() {
+  std::lock_guard<std::mutex> L(ShardMu);
+  for (unsigned I = 1; I < kStatShards; ++I) {
+    if (!ShardUsed[I]) {
+      ShardUsed[I] = true;
+      return I;
+    }
+  }
+  return 0; // Budget exhausted; the caller creates fewer workers.
+}
+
+void releaseStatShard(unsigned Shard) {
+  if (Shard == 0 || Shard >= kStatShards)
+    return;
+  std::lock_guard<std::mutex> L(ShardMu);
+  ShardUsed[Shard] = false;
+}
+
+} // namespace detail
+
 std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
-  OS << "nodes.created        " << S.NodesCreated << '\n'
-     << "nodes.destroyed      " << S.NodesDestroyed << '\n'
-     << "edges.created        " << S.EdgesCreated << '\n'
-     << "edges.removed        " << S.EdgesRemoved << '\n'
-     << "edges.deduped        " << S.EdgesDeduped << '\n'
-     << "proc.executions      " << S.ProcExecutions << '\n'
-     << "proc.cacheHits       " << S.CacheHits << '\n'
-     << "writes.tracked       " << S.TrackedWrites << '\n'
-     << "writes.quiescent     " << S.QuiescentWrites << '\n'
-     << "eval.steps           " << S.EvalSteps << '\n'
-     << "eval.cutoffs         " << S.QuiescenceCutoffs << '\n'
-     << "partition.unions     " << S.PartitionUnions << '\n'
-     << "partition.scopedEval " << S.PartitionScopedEvals << '\n'
-     << "fault.quarantined    " << S.NodesQuarantined << '\n'
-     << "fault.resets         " << S.QuarantineResets << '\n'
-     << "fault.divergence     " << S.DivergenceTrips << '\n'
-     << "fault.cycles         " << S.CycleFaults << '\n'
-     << "fault.stepLimit      " << S.StepLimitTrips << '\n'
-     << "txn.begun            " << S.TxnBegun << '\n'
-     << "txn.committed        " << S.TxnCommitted << '\n'
-     << "txn.rolledBack       " << S.TxnRolledBack << '\n'
-     << "txn.undoEntries      " << S.TxnUndoEntries << '\n';
+  OS << "nodes.created        " << S.NodesCreated.total() << '\n'
+     << "nodes.destroyed      " << S.NodesDestroyed.total() << '\n'
+     << "edges.created        " << S.EdgesCreated.total() << '\n'
+     << "edges.removed        " << S.EdgesRemoved.total() << '\n'
+     << "edges.deduped        " << S.EdgesDeduped.total() << '\n'
+     << "proc.executions      " << S.ProcExecutions.total() << '\n'
+     << "proc.cacheHits       " << S.CacheHits.total() << '\n'
+     << "writes.tracked       " << S.TrackedWrites.total() << '\n'
+     << "writes.quiescent     " << S.QuiescentWrites.total() << '\n'
+     << "eval.steps           " << S.EvalSteps.total() << '\n'
+     << "eval.cutoffs         " << S.QuiescenceCutoffs.total() << '\n'
+     << "partition.unions     " << S.PartitionUnions.total() << '\n'
+     << "partition.scopedEval " << S.PartitionScopedEvals.total() << '\n'
+     << "fault.quarantined    " << S.NodesQuarantined.total() << '\n'
+     << "fault.resets         " << S.QuarantineResets.total() << '\n'
+     << "fault.divergence     " << S.DivergenceTrips.total() << '\n'
+     << "fault.cycles         " << S.CycleFaults.total() << '\n'
+     << "fault.stepLimit      " << S.StepLimitTrips.total() << '\n'
+     << "txn.begun            " << S.TxnBegun.total() << '\n'
+     << "txn.committed        " << S.TxnCommitted.total() << '\n'
+     << "txn.rolledBack       " << S.TxnRolledBack.total() << '\n'
+     << "txn.undoEntries      " << S.TxnUndoEntries.total() << '\n'
+     << "prop.workers         " << S.PropWorkers.total() << '\n'
+     << "prop.partitions_drained " << S.PropPartitionsDrained.total() << '\n'
+     << "prop.conflicts       " << S.PropConflicts.total() << '\n'
+     << "pool.edge_reuse      " << S.EdgeReuse.total() << '\n';
   return OS;
 }
 

@@ -11,67 +11,166 @@
 /// benchmarks read these counters to check the claimed asymptotic shapes
 /// (experiments E7, E8, E11 in DESIGN.md).
 ///
+/// Counters are sharded per worker thread (DESIGN.md "Parallel
+/// propagation"): each thread owns one cache-line-padded slot it updates
+/// with plain load/store pairs (no contended read-modify-write), and reads
+/// merge the slots. On the serial path every update lands in slot 0, so
+/// Workers = 0 behaves exactly like the plain integers it replaced.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALPHONSE_SUPPORT_STATISTICS_H
 #define ALPHONSE_SUPPORT_STATISTICS_H
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 
 namespace alphonse {
 
+/// Shard budget: slot 0 is the main thread (and every untracked thread);
+/// slots 1..kStatShards-1 are handed to propagation worker threads by
+/// ThreadPool, bounding the process-wide concurrent worker count.
+inline constexpr unsigned kStatShards = 17;
+
+namespace detail {
+/// The calling thread's counter slot. 0 outside worker threads.
+inline thread_local unsigned StatShard = 0;
+/// Worker-slot allocator (ThreadPool.cpp). acquire returns 0 when the
+/// budget is exhausted — the pool then simply creates fewer threads.
+unsigned acquireStatShard();
+void releaseStatShard(unsigned Shard);
+} // namespace detail
+
+/// The calling thread's statistics/evaluator shard id.
+inline unsigned statShardId() { return detail::StatShard; }
+
+/// One sharded event counter. Converts implicitly to uint64_t (the merged
+/// total), so call sites read and compare it like the plain integer it
+/// used to be; ++/+= update only the calling thread's slot.
+class StatCounter {
+public:
+  StatCounter() = default;
+
+  StatCounter(uint64_t V) { Slots[0].V.store(V, std::memory_order_relaxed); }
+
+  StatCounter(const StatCounter &O) {
+    Slots[0].V.store(O.total(), std::memory_order_relaxed);
+  }
+
+  /// Copy-assignment merges the source into slot 0 (and zeroes the rest),
+  /// so Statistics::reset() — a whole-struct assignment from a fresh
+  /// Statistics — still zeroes everything.
+  StatCounter &operator=(const StatCounter &O) {
+    uint64_t T = O.total();
+    for (Slot &S : Slots)
+      S.V.store(0, std::memory_order_relaxed);
+    Slots[0].V.store(T, std::memory_order_relaxed);
+    return *this;
+  }
+
+  StatCounter &operator=(uint64_t V) {
+    for (Slot &S : Slots)
+      S.V.store(0, std::memory_order_relaxed);
+    Slots[0].V.store(V, std::memory_order_relaxed);
+    return *this;
+  }
+
+  StatCounter &operator++() {
+    bump(1);
+    return *this;
+  }
+  void operator++(int) { bump(1); }
+  StatCounter &operator+=(uint64_t N) {
+    bump(N);
+    return *this;
+  }
+
+  /// Merged value across all shards.
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (const Slot &S : Slots)
+      Sum += S.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  operator uint64_t() const { return total(); }
+
+private:
+  void bump(uint64_t N) {
+    // Owner-exclusive slot: a plain load/store pair, not a fetch_add —
+    // there is never a second writer to this slot.
+    std::atomic<uint64_t> &S = Slots[statShardId()].V;
+    S.store(S.load(std::memory_order_relaxed) + N,
+            std::memory_order_relaxed);
+  }
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> V{0};
+  };
+  Slot Slots[kStatShards];
+};
+
 /// Aggregate event counters maintained by one Runtime instance.
 struct Statistics {
   /// Dependency-graph nodes ever created (storage + procedure instances).
-  uint64_t NodesCreated = 0;
+  StatCounter NodesCreated;
   /// Dependency-graph nodes destroyed.
-  uint64_t NodesDestroyed = 0;
+  StatCounter NodesDestroyed;
   /// Dependency edges created.
-  uint64_t EdgesCreated = 0;
+  StatCounter EdgesCreated;
   /// Dependency edges removed (retraction before re-execution, or node
   /// destruction).
-  uint64_t EdgesRemoved = 0;
+  StatCounter EdgesRemoved;
   /// Edge creations skipped because an identical edge was already recorded
   /// during the current execution of the dependent procedure.
-  uint64_t EdgesDeduped = 0;
+  StatCounter EdgesDeduped;
   /// Executions of incremental procedure instances (first runs and re-runs).
-  uint64_t ProcExecutions = 0;
+  StatCounter ProcExecutions;
   /// Calls answered from the cache without executing the procedure body.
-  uint64_t CacheHits = 0;
+  StatCounter CacheHits;
   /// Storage writes that were tracked (the modify() transformation ran on a
   /// location with a dependency-graph node).
-  uint64_t TrackedWrites = 0;
+  StatCounter TrackedWrites;
   /// Tracked writes suppressed because the new value equaled the cached one
   /// (variable-level quiescence, Algorithm 4).
-  uint64_t QuiescentWrites = 0;
+  StatCounter QuiescentWrites;
   /// Nodes popped from inconsistent sets by the evaluator.
-  uint64_t EvalSteps = 0;
+  StatCounter EvalSteps;
   /// Propagations that stopped because a recomputed value matched the cached
   /// value (quiescence cutoff, Section 2).
-  uint64_t QuiescenceCutoffs = 0;
+  StatCounter QuiescenceCutoffs;
   /// Union-find unions performed by the partition manager.
-  uint64_t PartitionUnions = 0;
+  StatCounter PartitionUnions;
   /// Evaluations that were scoped to a single partition (Section 6.3).
-  uint64_t PartitionScopedEvals = 0;
+  StatCounter PartitionScopedEvals;
   /// Nodes moved to the quarantine set (threw, diverged, or cycled).
-  uint64_t NodesQuarantined = 0;
+  StatCounter NodesQuarantined;
   /// Quarantined nodes explicitly returned to service.
-  uint64_t QuarantineResets = 0;
+  StatCounter QuarantineResets;
   /// Nodes that tripped Config::MaxReexecutions in one propagation.
-  uint64_t DivergenceTrips = 0;
+  StatCounter DivergenceTrips;
   /// Re-entrant call chains that tripped Config::MaxReentrantDepth.
-  uint64_t CycleFaults = 0;
+  StatCounter CycleFaults;
   /// Propagations aborted by Config::EvalStepLimit.
-  uint64_t StepLimitTrips = 0;
+  StatCounter StepLimitTrips;
   /// Transactional batches opened (DepGraph::beginBatch).
-  uint64_t TxnBegun = 0;
+  StatCounter TxnBegun;
   /// Batches whose commit succeeded (quiescence reached, no new faults).
-  uint64_t TxnCommitted = 0;
+  StatCounter TxnCommitted;
   /// Batches rolled back — explicitly or by an aborted commit.
-  uint64_t TxnRolledBack = 0;
+  StatCounter TxnRolledBack;
   /// Undo-journal entries recorded across all batches.
-  uint64_t TxnUndoEntries = 0;
+  StatCounter TxnUndoEntries;
+  /// Worker threads of the propagation scheduler's pool (0 = serial).
+  StatCounter PropWorkers;
+  /// Partitions drained to quiescence by parallel wave workers.
+  StatCounter PropPartitionsDrained;
+  /// Executions abandoned because they touched a partition owned by a
+  /// sibling worker (the partitions merge and the work is retried).
+  StatCounter PropConflicts;
+  /// Edge allocations served from the free-list pool instead of the arena.
+  StatCounter EdgeReuse;
 
   /// Resets every counter to zero.
   void reset() { *this = Statistics(); }
@@ -83,7 +182,8 @@ struct Statistics {
   uint64_t liveEdges() const { return EdgesCreated - EdgesRemoved; }
 };
 
-/// Prints all counters, one per line, for debugging and bench reports.
+/// Prints all counters (merged across shards), one per line, for debugging
+/// and bench reports.
 std::ostream &operator<<(std::ostream &OS, const Statistics &S);
 
 } // namespace alphonse

@@ -1,0 +1,91 @@
+//===- ThreadPool.cpp - Fixed-size worker pool ----------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/Statistics.h"
+
+namespace alphonse {
+
+ThreadPool::ThreadPool(unsigned Requested) {
+  unsigned N = Requested < kStatShards - 1 ? Requested : kStatShards - 1;
+  Threads.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    unsigned Shard = detail::acquireStatShard();
+    if (Shard == 0)
+      break; // Process-wide worker budget exhausted: smaller pool.
+    try {
+      Threads.emplace_back([this, Shard] { workerMain(Shard); });
+    } catch (...) {
+      detail::releaseStatShard(Shard);
+      throw;
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stop = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::run(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Queue.push_back(std::move(Task));
+  }
+  WorkCv.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> L(Mu);
+  IdleCv.wait(L, [this] { return Queue.empty() && Active == 0; });
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr;
+    std::rethrow_exception(E);
+  }
+}
+
+void ThreadPool::workerMain(unsigned Shard) {
+  detail::StatShard = Shard;
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WorkCv.wait(L, [this] { return Stop || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Stop)
+          break;
+        continue;
+      }
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++Active;
+    }
+    try {
+      Task();
+    } catch (...) {
+      std::lock_guard<std::mutex> L(Mu);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      --Active;
+      if (Queue.empty() && Active == 0)
+        IdleCv.notify_all();
+    }
+  }
+  detail::releaseStatShard(Shard);
+}
+
+} // namespace alphonse

@@ -1,0 +1,70 @@
+//===- ThreadPool.h - Fixed-size worker pool --------------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size worker pool for the parallel propagation scheduler
+/// (DESIGN.md "Parallel propagation"). Threads are created once, pull tasks
+/// from a shared queue, and are joined at destruction. Each worker thread
+/// acquires one global statistics shard id (Statistics.h) at startup, so
+/// the StatCounter slots and Runtime's per-shard call stacks are
+/// owner-exclusive for the pool's lifetime; the process-wide shard budget
+/// caps how many workers can exist at once, and a pool simply comes up
+/// smaller when the budget is short.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_SUPPORT_THREADPOOL_H
+#define ALPHONSE_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alphonse {
+
+/// Fixed pool of worker threads draining a shared task queue.
+class ThreadPool {
+public:
+  /// Creates up to \p Requested workers (bounded by the global statistics
+  /// shard budget; size() reports how many actually exist).
+  explicit ThreadPool(unsigned Requested);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of live worker threads (may be less than requested).
+  unsigned size() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Enqueues \p Task for execution on some worker.
+  void run(std::function<void()> Task);
+
+  /// Blocks until every enqueued task has finished. If any task escaped
+  /// with an exception, the first one is rethrown here (on the caller's
+  /// thread) after the queue drains.
+  void wait();
+
+private:
+  void workerMain(unsigned Shard);
+
+  std::vector<std::thread> Threads;
+  std::deque<std::function<void()>> Queue;
+  mutable std::mutex Mu;
+  std::condition_variable WorkCv;  ///< Signals workers: task or shutdown.
+  std::condition_variable IdleCv;  ///< Signals wait(): everything drained.
+  size_t Active = 0;               ///< Tasks currently executing.
+  bool Stop = false;
+  std::exception_ptr FirstError;
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_SUPPORT_THREADPOOL_H

@@ -24,6 +24,10 @@
 //   --stats                 print runtime statistics after --run (printed
 //                           even when the run fails, so fault.* and txn.*
 //                           counters of degraded runs are visible)
+//   --jobs N                drain independent graph partitions on N worker
+//                           threads during propagation (0 = serial,
+//                           default). The ALPHONSE_JOBS environment
+//                           variable overrides this flag.
 //
 // Exit status: 0 on success, 1 on usage or compile errors, 2 on runtime
 // errors — including runs that finish with quarantined nodes, so scripts
@@ -42,6 +46,7 @@
 #include "transform/Unparser.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -65,6 +70,7 @@ struct Options {
   bool Transactional = false;
   std::string RunSpec;
   ExecMode Mode = ExecMode::Alphonse;
+  unsigned Jobs = 0;
 };
 
 void usage() {
@@ -73,7 +79,7 @@ void usage() {
       "usage: alphonsec FILE.alf [--emit-transformed] [--emit-source]\n"
       "                 [--conservative] [--analyze] [--run PROC[,INT...]]\n"
       "                 [--mode alphonse|conventional] [--transactional]\n"
-      "                 [--stats]\n");
+      "                 [--stats] [--jobs N]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -111,6 +117,18 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         std::fprintf(stderr, "error: unknown mode '%s'\n", M.c_str());
         return false;
       }
+    } else if (Arg == "--jobs") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --jobs needs an argument\n");
+        return false;
+      }
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Argv[I], &End, 10);
+      if (!End || *End != '\0' || Argv[I][0] == '\0') {
+        std::fprintf(stderr, "error: --jobs needs a non-negative integer\n");
+        return false;
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return false;
@@ -132,7 +150,9 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
 
 int runProgram(const Options &Opts, const Module &M, const SemaInfo &Info) {
   // RunSpec: "Proc" or "Proc,1,2,3"; several specs separated by ';'.
-  Interp I(M, Info, Opts.Mode);
+  DepGraph::Config Cfg;
+  Cfg.Workers = Opts.Jobs; // ALPHONSE_JOBS overrides (Runtime env hook).
+  Interp I(M, Info, Opts.Mode, Cfg);
   int Status = 0;
   std::stringstream Specs(Opts.RunSpec);
   std::string OneSpec;

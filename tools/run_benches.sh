@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+#===- run_benches.sh - Run every benchmark, aggregate JSON ---------------===//
+#
+# Part of the Alphonse reproduction (Hoover, PLDI 1992).
+# SPDX-License-Identifier: MIT
+#
+#===----------------------------------------------------------------------===//
+#
+# Runs each bench_* binary with --json (the ALPHONSE_BENCH_MAIN harness)
+# and aggregates the per-binary documents into one file. By default only
+# the parallel-propagation bench runs (it is the one whose numbers the
+# docs quote) and the aggregate lands at BENCH_parallel.json in the repo
+# root; pass --all to sweep every binary.
+#
+#   tools/run_benches.sh [--build-dir DIR] [--out FILE] [--all]
+#                        [--min-time SECS]
+#
+# Requires jq for aggregation.
+#
+#===----------------------------------------------------------------------===//
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build"
+OUT="$REPO_ROOT/BENCH_parallel.json"
+MIN_TIME="0.05"
+ALL=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out)       OUT="$2"; shift 2 ;;
+    --min-time)  MIN_TIME="$2"; shift 2 ;;
+    --all)       ALL=1; shift ;;
+    *) echo "error: unknown argument '$1'" >&2; exit 1 ;;
+  esac
+done
+
+BENCH_DIR="$BUILD_DIR/bench"
+if [[ ! -d "$BENCH_DIR" ]]; then
+  echo "error: no bench directory at $BENCH_DIR (build first)" >&2
+  exit 1
+fi
+
+if [[ $ALL -eq 1 ]]; then
+  BINARIES=("$BENCH_DIR"/bench_*)
+else
+  BINARIES=("$BENCH_DIR/bench_parallel")
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+DOCS=()
+for BIN in "${BINARIES[@]}"; do
+  [[ -x "$BIN" ]] || continue
+  NAME="$(basename "$BIN")"
+  JSON="$TMP_DIR/$NAME.json"
+  echo "== $NAME" >&2
+  "$BIN" --json "$JSON" --benchmark_min_time="$MIN_TIME" >&2
+  DOCS+=("$JSON")
+done
+
+if [[ ${#DOCS[@]} -eq 0 ]]; then
+  echo "error: no bench binaries found" >&2
+  exit 1
+fi
+
+# One aggregate document: per-binary results keyed by binary name, with
+# the host context hoisted to the top level (identical across runs).
+jq -s --arg names "$(printf '%s\n' "${DOCS[@]##*/}" | sed 's/\.json$//' | paste -sd, -)" '
+  { host_concurrency: .[0].host_concurrency,
+    suites: [ . as $docs
+              | ($names | split(","))
+              | to_entries[]
+              | { name: .value,
+                  peak_rss_kb: $docs[.key].peak_rss_kb,
+                  benchmarks: $docs[.key].benchmarks } ] }
+' "${DOCS[@]}" > "$OUT"
+
+echo "wrote $OUT" >&2
