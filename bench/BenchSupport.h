@@ -57,6 +57,9 @@ struct JsonResult {
   std::string Name;
   int64_t Iterations;
   double NsPerOp;
+  /// The run's user counters (State.counters), e.g. bench_space's
+  /// bytes_per_edge / bytes_per_node, in registration order.
+  std::vector<std::pair<std::string, double>> Counters;
 };
 
 /// Console reporter that additionally collects per-run numbers for the
@@ -73,8 +76,11 @@ public:
       // to nanoseconds so every entry means the same thing.
       double NsPerOp = R.GetAdjustedRealTime() /
                        benchmark::GetTimeUnitMultiplier(R.time_unit) * 1e9;
-      Out.push_back(
-          {R.benchmark_name(), static_cast<int64_t>(R.iterations), NsPerOp});
+      std::vector<std::pair<std::string, double>> Counters;
+      for (const auto &KV : R.counters)
+        Counters.emplace_back(KV.first, static_cast<double>(KV.second));
+      Out.push_back({R.benchmark_name(), static_cast<int64_t>(R.iterations),
+                     NsPerOp, std::move(Counters)});
     }
     ConsoleReporter::ReportRuns(Runs);
   }
@@ -113,13 +119,23 @@ inline bool writeJsonResults(const std::string &Path,
                "  \"peak_rss_kb\": %ld,\n"
                "  \"benchmarks\": [\n",
                std::thread::hardware_concurrency(), PeakRssKb);
-  for (size_t I = 0; I < Results.size(); ++I)
+  for (size_t I = 0; I < Results.size(); ++I) {
     std::fprintf(F,
                  "    {\"name\": \"%s\", \"iterations\": %lld, "
-                 "\"ns_per_op\": %.2f}%s\n",
+                 "\"ns_per_op\": %.2f",
                  jsonEscape(Results[I].Name).c_str(),
                  static_cast<long long>(Results[I].Iterations),
-                 Results[I].NsPerOp, I + 1 < Results.size() ? "," : "");
+                 Results[I].NsPerOp);
+    if (!Results[I].Counters.empty()) {
+      std::fprintf(F, ", \"counters\": {");
+      for (size_t C = 0; C < Results[I].Counters.size(); ++C)
+        std::fprintf(F, "%s\"%s\": %g", C ? ", " : "",
+                     jsonEscape(Results[I].Counters[C].first).c_str(),
+                     Results[I].Counters[C].second);
+      std::fprintf(F, "}");
+    }
+    std::fprintf(F, "}%s\n", I + 1 < Results.size() ? "," : "");
+  }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
   return true;

@@ -47,6 +47,15 @@ static void BM_E8_ConstantRefSets(benchmark::State &State) {
   State.counters["edges_per_m"] =
       static_cast<double>(RT.graph().numLiveEdges()) /
       static_cast<double>(M);
+  // Slab footprint of the handle-based engine (graph.node_bytes /
+  // graph.edge_bytes): reserved table bytes per live node/edge, the
+  // figure the 24-byte packed Edge is accountable to.
+  State.counters["bytes_per_node"] =
+      static_cast<double>(RT.graph().nodeSlabBytes()) /
+      static_cast<double>(RT.graph().numLiveNodes());
+  State.counters["bytes_per_edge"] =
+      static_cast<double>(RT.graph().edgeSlabBytes()) /
+      static_cast<double>(RT.graph().numLiveEdges());
 }
 BENCHMARK(BM_E8_ConstantRefSets)->Arg(1023)->Arg(4095)->Arg(16383);
 

@@ -45,10 +45,14 @@ public:
   /// incremental execution and inside UncheckedScope frames (paper:
   /// top(CallStack)). Each evaluator thread has its own stack, so a wave
   /// worker's dependency recording never attributes an access to a frame
-  /// pushed by a sibling thread.
+  /// pushed by a sibling thread. Frames hold generation-checked NodeIds,
+  /// so a stale frame (its node died while on the stack) traps in debug
+  /// builds instead of dereferencing a recycled slot.
   DepNode *currentProcedure() const {
-    const std::vector<DepNode *> &S = stack();
-    return S.empty() ? nullptr : S.back();
+    const std::vector<NodeId> &S = stack();
+    if (S.empty() || !S.back())
+      return nullptr;
+    return &Graph.node(S.back());
   }
 
   /// True when storage accesses should record dependencies right now.
@@ -56,13 +60,15 @@ public:
 
   /// Pushes an execution frame. \p Proc may be nullptr to open an
   /// unchecked region (Section 6.4) in which accesses record nothing.
-  void pushCall(DepNode *Proc) { stack().push_back(Proc); }
+  void pushCall(DepNode *Proc) {
+    stack().push_back(Proc ? Proc->id() : NodeId());
+  }
 
   /// Pops the innermost execution frame. Underflow means dependency
   /// recording has already been attributed to the wrong procedure, so it
   /// is a hard failure even in release builds (not just an assert).
   void popCall() {
-    std::vector<DepNode *> &S = stack();
+    std::vector<NodeId> &S = stack();
     if (S.empty())
       fatalError("incremental call stack underflow: popCall() without a "
                  "matching pushCall()");
@@ -162,14 +168,14 @@ private:
   /// The calling thread's incremental call stack. Slot 0 is the main
   /// thread; wave workers index by their statistics shard id, so stacks
   /// are owner-exclusive without locking.
-  std::vector<DepNode *> &stack() { return CallStacks[statShardId()]; }
-  const std::vector<DepNode *> &stack() const {
+  std::vector<NodeId> &stack() { return CallStacks[statShardId()]; }
+  const std::vector<NodeId> &stack() const {
     return CallStacks[statShardId()];
   }
 
   Statistics Stats;
   DepGraph Graph;
-  std::array<std::vector<DepNode *>, kStatShards> CallStacks;
+  std::array<std::vector<NodeId>, kStatShards> CallStacks;
 };
 
 /// RAII mutation batch: opens a batch on construction and rolls it back on

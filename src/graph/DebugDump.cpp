@@ -7,6 +7,10 @@
 
 #include "graph/DebugDump.h"
 
+// forEachPredecessor resolves EdgeId chains through the graph's edge
+// table; its template definition lives at the bottom of DepGraph.h.
+#include "graph/DepGraph.h"
+
 #include <unordered_set>
 #include <vector>
 

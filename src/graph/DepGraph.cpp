@@ -6,9 +6,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Implements dependency recording (Section 4.3), change tracking
-/// (Section 4.4), the evaluation routine (Section 4.5), and dynamic graph
-/// partitioning (Section 6.3).
+/// Implements the propagation layer: dependency recording (Section 4.3),
+/// the evaluation routine (Section 4.5), the execution protocol, the
+/// transaction drivers, and the invariant audit. Partition / pending-set /
+/// quarantine / journal policy lives in GraphPolicy.cpp; slab storage
+/// mechanics live in GraphStore.cpp.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,13 +22,6 @@
 #include <algorithm>
 
 namespace alphonse {
-
-namespace detail {
-uint32_t &currentDrainTask() {
-  static thread_local uint32_t Task = 0;
-  return Task;
-}
-} // namespace detail
 
 //===----------------------------------------------------------------------===//
 // DepNode
@@ -48,17 +43,13 @@ DepNode::~DepNode() {
 }
 
 size_t DepNode::numPredecessors() const {
-  size_t N = 0;
-  for (Edge *E = FirstPred; E; E = E->NextPred)
-    ++N;
-  return N;
+  assert(Graph && "node not attached to a graph");
+  return Graph->numPredecessors(*this);
 }
 
 size_t DepNode::numSuccessors() const {
-  size_t N = 0;
-  for (Edge *E = FirstSucc; E; E = E->NextSucc)
-    ++N;
-  return N;
+  assert(Graph && "node not attached to a graph");
+  return Graph->numSuccessors(*this);
 }
 
 void DepNode::requireSerialEval() {
@@ -70,13 +61,9 @@ void DepNode::requireSerialEval() {
 // DepGraph: construction and node registry
 //===----------------------------------------------------------------------===//
 
-DepGraph::DepGraph(Statistics &Stats) : Stats(Stats) {}
+DepGraph::DepGraph(Statistics &Stats) : GraphPolicy(Stats) {}
 
-DepGraph::DepGraph(Statistics &Stats, Config Cfg) : Stats(Stats), Cfg(Cfg) {
-  // Report the configured pool size even before (or without) a parallel
-  // wave; the scheduler refines this to the actual pool size it got.
-  Stats.PropWorkers = Cfg.Workers;
-}
+DepGraph::DepGraph(Statistics &Stats, Config Cfg) : GraphPolicy(Stats, Cfg) {}
 
 DepGraph::~DepGraph() {
   assert(NumLiveNodes == 0 &&
@@ -86,113 +73,60 @@ DepGraph::~DepGraph() {
 
 void DepGraph::registerNode(DepNode &N) {
   StateGuard Guard(*this);
+  N.Id = allocNodeSlot(N);
   N.Partition = Partitions.makeSet();
   if (SerialTag.size() <= N.Partition)
     SerialTag.resize(N.Partition + 1, 0);
-  // Link into the all-nodes registry (verify() iterates it).
-  N.NextAll = AllNodes;
-  if (AllNodes)
-    AllNodes->PrevAll = &N;
-  AllNodes = &N;
   ++NumLiveNodes;
   ++Stats.NodesCreated;
-}
-
-void DepGraph::eraseFromPendingSets(DepNode &N) {
-  if (!N.InQueue)
-    return;
-  setFor(N).erase(&N);
-  if (!N.InQueue) {
-    --TotalPending;
-    return;
-  }
-  // The entry can sit in a stale set if partitions merged after it was
-  // queued; fall back to scanning every set.
-  for (auto &KV : SetMap) {
-    KV.second.erase(&N);
-    if (!N.InQueue)
-      break;
-  }
-  if (!N.InQueue)
-    --TotalPending;
-  GlobalSet.erase(&N);
-  assert(!N.InQueue && "queued node not found in any inconsistent set");
 }
 
 void DepGraph::unregisterNode(DepNode &N) {
   StateGuard Guard(*this);
   // Drop any pending entry for the dying node.
   eraseFromPendingSets(N);
-  Quarantine.erase(&N);
-
-  // Unlink from the all-nodes registry.
-  if (N.PrevAll)
-    N.PrevAll->NextAll = N.NextAll;
-  else
-    AllNodes = N.NextAll;
-  if (N.NextAll)
-    N.NextAll->PrevAll = N.PrevAll;
-  N.PrevAll = N.NextAll = nullptr;
+  if (size_t I = findFault(N.Id); I != SIZE_MAX) {
+    Quarantine[I] = std::move(Quarantine.back());
+    Quarantine.pop_back();
+  }
 
   removePredEdges(N);
 
   // Anything that depended on this node just lost a dependency; that is a
   // change and must propagate (the paper relies on garbage collection here;
   // see the substitution table in DESIGN.md).
-  Edge *E = N.FirstSucc;
+  EdgeId E = N.FirstSucc;
   while (E) {
-    Edge *Next = E->NextSucc;
-    DepNode *Sink = E->Sink;
+    Edge &Ed = edge(E);
+    EdgeId Next = Ed.NextSucc;
+    DepNode &Sink = node(Ed.Sink);
     unlinkEdge(E);
-    freeEdge(E);
+    freeEdgeSlot(E);
     ++Stats.EdgesRemoved;
     --NumLiveEdges;
-    markInconsistent(*Sink);
+    markInconsistent(Sink);
     E = Next;
   }
-
-  --NumLiveNodes;
-  ++Stats.NodesDestroyed;
-  N.Graph = nullptr;
 
   // A node destroyed mid-batch by the mutator invalidates every journal
   // entry pointing at it; drop them so a later rollback never touches the
   // dead node. (Rollback itself destroys batch-created nodes through
   // typed-layer closures; those run with TxnRollingBack set.)
   if (journaling())
-    Journal.scrub(N);
+    Journal.scrub(N.Id);
+
+  // Recycle the table slot last: the generation bump makes every handle
+  // still naming this node stale from here on.
+  freeNodeSlot(N.Id);
+  N.Id = NodeId();
+  --NumLiveNodes;
+  ++Stats.NodesDestroyed;
+  N.Graph = nullptr;
 }
 
 //===----------------------------------------------------------------------===//
 // Edges
 //===----------------------------------------------------------------------===//
-
-Edge *DepGraph::allocateEdge() {
-  bool FromFree = Edges.hasFree();
-  Edge *E = Edges.create();
-  if (FromFree)
-    ++Stats.EdgeReuse;
-  return E;
-}
-
-void DepGraph::freeEdge(Edge *E) { Edges.destroy(E); }
-
-void DepGraph::unlinkEdge(Edge *E) {
-  // Successor list of the source.
-  if (E->PrevSucc)
-    E->PrevSucc->NextSucc = E->NextSucc;
-  else
-    E->Source->FirstSucc = E->NextSucc;
-  if (E->NextSucc)
-    E->NextSucc->PrevSucc = E->PrevSucc;
-  // Predecessor list of the sink.
-  if (E->PrevPred)
-    E->PrevPred->NextPred = E->NextPred;
-  else
-    E->Sink->FirstPred = E->NextPred;
-  if (E->NextPred)
-    E->NextPred->PrevPred = E->PrevPred;
-}
 
 void DepGraph::addDependency(DepNode &Sink, DepNode &Source) {
   assert(Sink.Graph == this && Source.Graph == this &&
@@ -204,27 +138,16 @@ void DepGraph::addDependency(DepNode &Sink, DepNode &Source) {
   if (Sink.Level <= Source.Level)
     Sink.Level = Source.Level + 1;
 
-  if (Cfg.DedupEdges && Sink.ExecStamp != 0 && Source.DedupSink == &Sink &&
+  if (Cfg.DedupEdges && Sink.ExecStamp != 0 && Source.DedupSink == Sink.Id &&
       Source.DedupStamp == Sink.ExecStamp) {
     ++Stats.EdgesDeduped;
     return;
   }
-  Source.DedupSink = &Sink;
+  Source.DedupSink = Sink.Id;
   Source.DedupStamp = Sink.ExecStamp;
 
-  Edge *E = allocateEdge();
-  E->Source = &Source;
-  E->Sink = &Sink;
-  // Push onto the source's successor list.
-  E->NextSucc = Source.FirstSucc;
-  if (Source.FirstSucc)
-    Source.FirstSucc->PrevSucc = E;
-  Source.FirstSucc = E;
-  // Push onto the sink's predecessor list.
-  E->NextPred = Sink.FirstPred;
-  if (Sink.FirstPred)
-    Sink.FirstPred->PrevPred = E;
-  Sink.FirstPred = E;
+  EdgeId E = allocEdge();
+  linkEdge(E, Source, Sink);
 
   ++Stats.EdgesCreated;
   ++NumLiveEdges;
@@ -232,8 +155,8 @@ void DepGraph::addDependency(DepNode &Sink, DepNode &Source) {
   if (journaling()) {
     UndoEntry U;
     U.K = UndoEntry::Kind::EdgeAdded;
-    U.Sink = &Sink;
-    U.Source = &Source;
+    U.Sink = Sink.Id;
+    U.Source = Source.Id;
     Journal.push(std::move(U));
     ++Stats.TxnUndoEntries;
   }
@@ -252,119 +175,39 @@ void DepGraph::addDependency(DepNode &Sink, DepNode &Source) {
   uniteRoots(RootA, RootB);
 }
 
-UnionFind::Id DepGraph::uniteRoots(UnionFind::Id RootA, UnionFind::Id RootB) {
-  UnionFind::Id Root = Partitions.unite(RootA, RootB);
-  ++Stats.PartitionUnions;
-
-  // Serial affinity is sticky across merges.
-  char Tag = 0;
-  if (RootA < SerialTag.size())
-    Tag |= SerialTag[RootA];
-  if (RootB < SerialTag.size())
-    Tag |= SerialTag[RootB];
-  if (Root >= SerialTag.size())
-    SerialTag.resize(Root + 1, 0);
-  SerialTag[Root] = Tag;
-
-  UnionFind::Id Other = (Root == RootA) ? RootB : RootA;
-  auto It = SetMap.find(Other);
-  if (It != SetMap.end()) {
-    InconsistentSet Orphan = std::move(It->second);
-    SetMap.erase(It);
-    if (!Orphan.empty()) {
-      SetMap[Root].mergeFrom(Orphan);
-      DirtyRoots.push_back(Root);
-    }
-  }
-
-  // Wave ownership handoff: the merged partition must end up with exactly
-  // one drain task. If the merge joins a sibling task's in-flight
-  // partition, that sibling inherits the whole thing and the calling
-  // execution abandons (RetryConflict); the abandoned node stays
-  // inconsistent and is re-drained by the new owner or the post-wave
-  // serial mop-up.
-  uint32_t Me = detail::currentDrainTask();
-  if (ParallelOn.load(std::memory_order_relaxed) && Me != 0) {
-    uint32_t OwnA = 0, OwnB = 0;
-    if (auto IA = Owners.find(RootA); IA != Owners.end()) {
-      OwnA = IA->second;
-      Owners.erase(IA);
-    }
-    if (auto IB = Owners.find(RootB); IB != Owners.end()) {
-      OwnB = IB->second;
-      Owners.erase(IB);
-    }
-    uint32_t Foreign = 0;
-    if (OwnA != 0 && OwnA != Me)
-      Foreign = OwnA;
-    if (OwnB != 0 && OwnB != Me)
-      Foreign = OwnB;
-    if (Foreign != 0) {
-      Owners[Root] = Foreign;
-      ++Stats.PropConflicts;
-      throw RetryConflict{};
-    }
-    if (OwnA == Me || OwnB == Me)
-      Owners[Root] = Me;
-  }
-  return Root;
-}
-
-void DepGraph::ensureWorkerAccess(DepNode &Target, DepNode *Accessor) {
-  uint32_t Me = detail::currentDrainTask();
-  if (Me == 0 || !ParallelOn.load(std::memory_order_acquire))
-    return;
-  StateGuard Guard(*this);
-  UnionFind::Id Root = Partitions.find(Target.Partition);
-  auto It = Owners.find(Root);
-  if (It == Owners.end()) {
-    Owners[Root] = Me; // Unowned (not scheduled this wave): claim it.
-    return;
-  }
-  if (It->second == Me)
-    return;
-  // Owned by a sibling task. With an accessor in hand the partitions are
-  // united — contact between them is a dependency-to-be — and uniteRoots
-  // hands ownership to the sibling and throws. Without one (no structural
-  // link yet) just abandon; the mop-up will retry serially.
-  if (Accessor) {
-    UnionFind::Id MyRoot = Partitions.find(Accessor->Partition);
-    if (MyRoot != Root) {
-      uniteRoots(MyRoot, Root); // Throws RetryConflict (foreign owner).
-      return;
-    }
-  }
-  ++Stats.PropConflicts;
-  throw RetryConflict{};
-}
-
-void DepGraph::tagSerialPartition(DepNode &N) {
-  StateGuard Guard(*this);
-  UnionFind::Id Root = Partitions.find(N.Partition);
-  if (Root >= SerialTag.size())
-    SerialTag.resize(Root + 1, 0);
-  SerialTag[Root] = 1;
-}
-
 void DepGraph::removePredEdges(DepNode &Sink) {
   StateGuard Guard(*this);
-  bool Log = journaling() && Sink.FirstPred != nullptr;
+  bool Log = journaling() && static_cast<bool>(Sink.FirstPred);
   UndoEntry U;
-  Edge *E = Sink.FirstPred;
+  uint64_t Count = 0;
+  EdgeId E = Sink.FirstPred;
   while (E) {
-    Edge *Next = E->NextPred;
+    Edge &Ed = edge(E);
+    EdgeId Next = Ed.NextPred;
     if (Log)
-      U.Sources.push_back(E->Source);
-    unlinkEdge(E);
-    freeEdge(E);
-    ++Stats.EdgesRemoved;
-    --NumLiveEdges;
+      U.Sources.push_back(Ed.Source);
+    // Every predecessor edge dies with this retraction, so only the
+    // source-side successor lists need repairing; the pred-list links
+    // between dying edges are never read again (the generic unlinkEdge
+    // would maintain them, half of it wasted work on this hot path).
+    if (Ed.PrevSucc)
+      edge(Ed.PrevSucc).NextSucc = Ed.NextSucc;
+    else
+      node(Ed.Source).FirstSucc = Ed.NextSucc;
+    if (Ed.NextSucc)
+      edge(Ed.NextSucc).PrevSucc = Ed.PrevSucc;
+    freeEdgeSlot(E);
+    ++Count;
     E = Next;
   }
-  assert(!Sink.FirstPred && "predecessor list not emptied");
+  if (Count) {
+    Sink.FirstPred = EdgeId();
+    Stats.EdgesRemoved += Count;
+    NumLiveEdges -= Count;
+  }
   if (Log) {
     U.K = UndoEntry::Kind::PredsRemoved;
-    U.Sink = &Sink;
+    U.Sink = Sink.Id;
     Journal.push(std::move(U));
     ++Stats.TxnUndoEntries;
   }
@@ -383,7 +226,7 @@ void DepGraph::beginExecution(DepNode &Proc) {
   if (journaling()) {
     UndoEntry U;
     U.K = UndoEntry::Kind::ExecSnapshot;
-    U.Sink = &Proc;
+    U.Sink = Proc.Id;
     U.WasConsistent = Proc.Consistent;
     U.OldLevel = Proc.Level;
     U.OldStamp = Proc.ExecStamp;
@@ -413,52 +256,8 @@ void DepGraph::endExecution(DepNode &Proc) {
 }
 
 //===----------------------------------------------------------------------===//
-// Change tracking and evaluation (Sections 4.4, 4.5)
+// Evaluation (Section 4.5)
 //===----------------------------------------------------------------------===//
-
-InconsistentSet &DepGraph::setFor(DepNode &N) {
-  if (!Cfg.Partitioning)
-    return GlobalSet;
-  return SetMap[Partitions.find(N.Partition)];
-}
-
-void DepGraph::markInconsistent(DepNode &N) {
-  StateGuard Guard(*this);
-  // Quarantined nodes take no further part in propagation until reset.
-  if (N.Quarantined)
-    return;
-  // A demand procedure that is already inconsistent has already notified its
-  // dependents; queueing it again would be a no-op at processing time.
-  if (N.isProcedure() && N.Strategy == EvalStrategy::Demand && !N.Consistent &&
-      !N.Executing)
-    return;
-  if (!setFor(N).push(&N))
-    return;
-  ++TotalPending;
-  if (Cfg.Partitioning)
-    DirtyRoots.push_back(Partitions.find(N.Partition));
-}
-
-bool DepGraph::hasPendingFor(DepNode &N) {
-  StateGuard Guard(*this);
-  if (!Cfg.Partitioning)
-    return TotalPending != 0;
-  auto It = SetMap.find(Partitions.find(N.Partition));
-  return It != SetMap.end() && !It->second.empty();
-}
-
-bool DepGraph::samePartition(DepNode &A, DepNode &B) {
-  StateGuard Guard(*this);
-  return Partitions.find(A.Partition) == Partitions.find(B.Partition);
-}
-
-void DepGraph::enqueueSuccessors(DepNode &N) {
-  // Guarded: a sibling wave worker recording a new dependency on N pushes
-  // onto N's successor list concurrently with this walk.
-  StateGuard Guard(*this);
-  for (Edge *E = N.FirstSucc; E; E = E->NextSucc)
-    markInconsistent(*E->Sink);
-}
 
 bool DepGraph::tripsReexecutionLimit(DepNode &N) {
   if (Cfg.MaxReexecutions == 0)
@@ -503,7 +302,7 @@ void DepGraph::processNode(DepNode &N) {
       if (journaling()) {
         UndoEntry U;
         U.K = UndoEntry::Kind::VersionStamp;
-        U.Sink = &N;
+        U.Sink = N.Id;
         U.OldVersion = N.Version;
         Journal.push(std::move(U));
         ++Stats.TxnUndoEntries;
@@ -526,7 +325,7 @@ void DepGraph::processNode(DepNode &N) {
         // with the Consistent bit being cleared.
         UndoEntry U;
         U.K = UndoEntry::Kind::ExecSnapshot;
-        U.Sink = &N;
+        U.Sink = N.Id;
         U.WasConsistent = true;
         U.OldLevel = N.Level;
         U.OldStamp = N.ExecStamp;
@@ -611,10 +410,10 @@ void DepGraph::evaluateFor(DepNode &N) {
     DepNode *U = nullptr;
     {
       StateGuard Guard(*this);
-      auto It = SetMap.find(Partitions.find(N.Partition));
-      if (It == SetMap.end() || It->second.empty())
+      InconsistentSet *S = findSet(Partitions.find(N.Partition));
+      if (!S || S->empty())
         break;
-      U = It->second.pop();
+      U = &S->pop(*this);
       --TotalPending;
     }
     processNode(*U);
@@ -651,28 +450,28 @@ void DepGraph::evaluateAllSerial() {
   }
   if (!Cfg.Partitioning) {
     while (!GlobalSet.empty() && !DrainAborted) {
-      DepNode *U = GlobalSet.pop();
+      DepNode &U = GlobalSet.pop(*this);
       --TotalPending;
-      processNode(*U);
+      processNode(U);
     }
   } else {
     while (TotalPending > 0 && !DrainAborted) {
       if (DirtyRoots.empty()) {
         // Rebuild from the live sets (roots can go stale across merges).
-        for (auto &KV : SetMap)
-          if (!KV.second.empty())
-            DirtyRoots.push_back(KV.first);
+        for (UnionFind::Id Root = 0; Root < SetVec.size(); ++Root)
+          if (!SetVec[Root].empty())
+            DirtyRoots.push_back(Root);
         assert(!DirtyRoots.empty() && "pending count desynchronized");
       }
       UnionFind::Id Raw = DirtyRoots.back();
       DirtyRoots.pop_back();
-      auto It = SetMap.find(Partitions.find(Raw));
-      if (It == SetMap.end() || It->second.empty())
+      InconsistentSet *S = findSet(Partitions.find(Raw));
+      if (!S || S->empty())
         continue;
-      DepNode *U = It->second.pop();
+      DepNode &U = S->pop(*this);
       --TotalPending;
-      processNode(*U);
-      DirtyRoots.push_back(It->first);
+      processNode(U);
+      DirtyRoots.push_back(Partitions.find(Raw));
     }
   }
   --EvalDepth;
@@ -682,90 +481,8 @@ void DepGraph::evaluateAllSerial() {
 }
 
 //===----------------------------------------------------------------------===//
-// Failure model: quarantine, divergence, cycles (see DESIGN.md)
+// Cycles and fault-injection hooks
 //===----------------------------------------------------------------------===//
-
-const FaultInfo *DepGraph::fault(const DepNode &N) const {
-  auto It = Quarantine.find(const_cast<DepNode *>(&N));
-  return It == Quarantine.end() ? nullptr : &It->second;
-}
-
-std::vector<std::pair<DepNode *, const FaultInfo *>>
-DepGraph::quarantined() const {
-  std::vector<std::pair<DepNode *, const FaultInfo *>> Out;
-  Out.reserve(Quarantine.size());
-  for (const auto &KV : Quarantine)
-    Out.emplace_back(KV.first, &KV.second);
-  return Out;
-}
-
-void DepGraph::quarantine(DepNode &N, FaultInfo FI) {
-  StateGuard Guard(*this);
-  if (N.Quarantined)
-    return; // First fault wins.
-  assert(N.Graph == this && "quarantining a node of another graph");
-  if (TxnActive && !TxnRollingBack) {
-    // A fault inside a batch poisons the whole batch: commitBatch() will
-    // roll back instead of committing. Journal the quarantine so rollback
-    // lifts it again (the pre-batch state had no such fault).
-    ++TxnNewFaults;
-    if (!AbortFault)
-      AbortFault = FI;
-    UndoEntry U;
-    U.K = UndoEntry::Kind::Quarantined;
-    U.Sink = &N;
-    U.WasConsistent = N.Consistent;
-    Journal.push(std::move(U));
-    ++Stats.TxnUndoEntries;
-  }
-  eraseFromPendingSets(N);
-  N.Quarantined = true;
-  N.Consistent = false;
-  ++Stats.NodesQuarantined;
-  Diags.error(SourceLocation(),
-              "quarantined node '" +
-                  (FI.NodeName.empty() ? std::string("<anon>") : FI.NodeName) +
-                  "' [" + faultKindName(FI.Kind) + "]: " + FI.Message);
-  // Dependents hold values computed from this node; queue them so they
-  // discover the fault at their next recompute instead of silently
-  // serving stale data (a recompute that calls a quarantined node throws
-  // QuarantinedError and cascades).
-  enqueueSuccessors(N);
-  Quarantine.emplace(&N, std::move(FI));
-}
-
-bool DepGraph::resetQuarantined(DepNode &N) {
-  auto It = Quarantine.find(&N);
-  if (It == Quarantine.end())
-    return false;
-  if (journaling()) {
-    UndoEntry U;
-    U.K = UndoEntry::Kind::QuarantineCleared;
-    U.Sink = &N;
-    U.Saved = It->second;
-    Journal.push(std::move(U));
-    ++Stats.TxnUndoEntries;
-  }
-  Quarantine.erase(It);
-  N.Quarantined = false;
-  N.ReexecCount = 0;
-  N.ReexecEpoch = 0;
-  ++Stats.QuarantineResets;
-  // Leave the node inconsistent; storage and eager nodes re-queue so the
-  // next pump refreshes them, demand nodes recompute at their next call.
-  if (N.isStorage() || N.Strategy == EvalStrategy::Eager)
-    markInconsistent(N);
-  return true;
-}
-
-size_t DepGraph::resetAllQuarantined() {
-  size_t Count = 0;
-  while (!Quarantine.empty()) {
-    resetQuarantined(*Quarantine.begin()->first);
-    ++Count;
-  }
-  return Count;
-}
 
 void DepGraph::beginReentrant(DepNode &N) {
   assert(N.Executing && "re-entrant run of an idle instance");
@@ -808,17 +525,6 @@ void DepGraph::beginBatch() {
   TxnNewFaults = 0;
   AbortFault.reset();
   ++Stats.TxnBegun;
-}
-
-void DepGraph::logUndo(std::function<void()> Undo) {
-  assert(TxnActive && "logUndo() outside a batch");
-  if (TxnRollingBack)
-    return;
-  UndoEntry U;
-  U.K = UndoEntry::Kind::Action;
-  U.Undo = std::move(Undo);
-  Journal.push(std::move(U));
-  ++Stats.TxnUndoEntries;
 }
 
 bool DepGraph::commitBatch() {
@@ -878,45 +584,54 @@ void DepGraph::applyUndo(UndoEntry &E) {
     E.Undo();
     break;
   case UndoEntry::Kind::EdgeAdded:
-    unlinkOneEdge(*E.Source, *E.Sink);
+    unlinkOneEdge(node(E.Source), node(E.Sink));
     break;
   case UndoEntry::Kind::PredsRemoved:
     // Relink in reverse so the sink's predecessor list (a push-front
     // stack) recovers its original order.
     for (auto It = E.Sources.rbegin(); It != E.Sources.rend(); ++It)
-      relinkEdge(**It, *E.Sink);
+      relinkEdge(node(*It), node(E.Sink));
     break;
-  case UndoEntry::Kind::ExecSnapshot:
-    E.Sink->Consistent = E.WasConsistent;
-    E.Sink->Level = E.OldLevel;
-    E.Sink->ExecStamp = E.OldStamp;
-    E.Sink->Version = E.OldVersion;
+  case UndoEntry::Kind::ExecSnapshot: {
+    DepNode &N = node(E.Sink);
+    N.Consistent = E.WasConsistent;
+    N.Level = E.OldLevel;
+    N.ExecStamp = E.OldStamp;
+    N.Version = E.OldVersion;
     break;
+  }
   case UndoEntry::Kind::VersionStamp:
-    E.Sink->Version = E.OldVersion;
+    node(E.Sink).Version = E.OldVersion;
     break;
-  case UndoEntry::Kind::Quarantined:
-    Quarantine.erase(E.Sink);
-    E.Sink->Quarantined = false;
-    E.Sink->Consistent = E.WasConsistent;
+  case UndoEntry::Kind::Quarantined: {
+    DepNode &N = node(E.Sink);
+    if (size_t I = findFault(E.Sink); I != SIZE_MAX) {
+      Quarantine[I] = std::move(Quarantine.back());
+      Quarantine.pop_back();
+    }
+    N.Quarantined = false;
+    N.Consistent = E.WasConsistent;
     break;
-  case UndoEntry::Kind::QuarantineCleared:
-    if (!E.Sink->Quarantined) {
-      eraseFromPendingSets(*E.Sink);
-      E.Sink->Quarantined = true;
-      E.Sink->Consistent = false;
-      Quarantine.emplace(E.Sink, std::move(E.Saved));
+  }
+  case UndoEntry::Kind::QuarantineCleared: {
+    DepNode &N = node(E.Sink);
+    if (!N.Quarantined) {
+      eraseFromPendingSets(N);
+      N.Quarantined = true;
+      N.Consistent = false;
+      Quarantine.emplace_back(E.Sink, std::move(E.Saved));
     }
     break;
+  }
   }
 }
 
 void DepGraph::unlinkOneEdge(DepNode &Source, DepNode &Sink) {
-  for (Edge *E = Sink.FirstPred; E; E = E->NextPred) {
-    if (E->Source != &Source)
+  for (EdgeId E = Sink.FirstPred; E; E = edge(E).NextPred) {
+    if (edge(E).Source != Source.Id)
       continue;
     unlinkEdge(E);
-    freeEdge(E);
+    freeEdgeSlot(E);
     ++Stats.EdgesRemoved;
     --NumLiveEdges;
     return;
@@ -927,29 +642,10 @@ void DepGraph::unlinkOneEdge(DepNode &Source, DepNode &Sink) {
 }
 
 void DepGraph::relinkEdge(DepNode &Source, DepNode &Sink) {
-  Edge *E = allocateEdge();
-  E->Source = &Source;
-  E->Sink = &Sink;
-  E->NextSucc = Source.FirstSucc;
-  if (Source.FirstSucc)
-    Source.FirstSucc->PrevSucc = E;
-  Source.FirstSucc = E;
-  E->NextPred = Sink.FirstPred;
-  if (Sink.FirstPred)
-    Sink.FirstPred->PrevPred = E;
-  Sink.FirstPred = E;
+  EdgeId E = allocEdge();
+  linkEdge(E, Source, Sink);
   ++Stats.EdgesCreated;
   ++NumLiveEdges;
-}
-
-void DepGraph::clearAllPending() {
-  while (!GlobalSet.empty())
-    GlobalSet.pop();
-  for (auto &KV : SetMap)
-    while (!KV.second.empty())
-      KV.second.pop();
-  TotalPending = 0;
-  DirtyRoots.clear();
 }
 
 //===----------------------------------------------------------------------===//
@@ -962,18 +658,24 @@ std::vector<std::string> DepGraph::verify() const {
     return N.name().empty() ? std::string("<anon>") : N.name();
   };
 
-  // Nodes: registry count, per-node flag sanity, edge linkage and levels.
+  // Nodes: table occupancy, per-node flag sanity, edge linkage and levels.
   size_t Nodes = 0, SuccEdges = 0, PredEdges = 0, Queued = 0, Marked = 0;
-  for (const DepNode *N = AllNodes; N; N = N->NextAll) {
+  for (uint32_t Slot = 0; Slot < NodeTab.span(); ++Slot) {
+    const DepNode *N = NodeTab.at(Slot);
+    if (!N)
+      continue;
     ++Nodes;
     if (N->Graph != this)
       Bad.push_back("node '" + Name(*N) + "' registered here but points at "
                     "another graph");
+    if (!isLiveNode(N->Id) || N->Id.index() != Slot)
+      Bad.push_back("node '" + Name(*N) +
+                    "' occupies a table slot its handle does not resolve to");
     if (N->InQueue)
       ++Queued;
     if (N->Quarantined) {
       ++Marked;
-      if (Quarantine.find(const_cast<DepNode *>(N)) == Quarantine.end())
+      if (findFault(N->Id) == SIZE_MAX)
         Bad.push_back("node '" + Name(*N) +
                       "' flagged quarantined but has no recorded fault");
       if (N->InQueue)
@@ -984,15 +686,21 @@ std::vector<std::string> DepGraph::verify() const {
       if (N->Consistent)
         Bad.push_back("quarantined node '" + Name(*N) + "' marked consistent");
     }
-    for (const Edge *E = N->FirstSucc; E; E = E->NextSucc) {
+    for (EdgeId EId = N->FirstSucc; EId;) {
+      if (!isLiveEdge(EId)) {
+        Bad.push_back("successor list of '" + Name(*N) +
+                      "' holds a stale edge handle");
+        break;
+      }
+      const Edge &E = edge(EId);
       ++SuccEdges;
-      if (E->Source != N)
+      if (E.Source != N->Id)
         Bad.push_back("successor edge of '" + Name(*N) +
                       "' has a different source");
-      if (!E->Sink || !E->Sink->isProcedure())
+      if (!isLiveNode(E.Sink) || !node(E.Sink).isProcedure())
         Bad.push_back("edge from '" + Name(*N) +
                       "' sinks into a non-procedure node");
-      if (E->NextSucc && E->NextSucc->PrevSucc != E)
+      if (E.NextSucc && edge(E.NextSucc).PrevSucc != EId)
         Bad.push_back("successor list of '" + Name(*N) +
                       "' has a broken back link");
       // Level monotonicity: an edge records sink-depends-on-source during
@@ -1000,21 +708,31 @@ std::vector<std::string> DepGraph::verify() const {
       // source's. The source's level can only move by a later execution of
       // the source (which advances its stamp past the sink's), so for
       // edges whose source has not re-executed since, sink > source holds.
-      if (E->Sink && E->Source->ExecStamp < E->Sink->ExecStamp &&
-          E->Sink->Level <= E->Source->Level)
-        Bad.push_back("level inversion on up-to-date edge '" +
-                      Name(*E->Source) + "' -> '" + Name(*E->Sink) + "' (" +
-                      std::to_string(E->Source->Level) + " >= " +
-                      std::to_string(E->Sink->Level) + ")");
+      if (isLiveNode(E.Sink)) {
+        const DepNode &Sink = node(E.Sink);
+        if (N->ExecStamp < Sink.ExecStamp && Sink.Level <= N->Level)
+          Bad.push_back("level inversion on up-to-date edge '" + Name(*N) +
+                        "' -> '" + Name(Sink) + "' (" +
+                        std::to_string(N->Level) + " >= " +
+                        std::to_string(Sink.Level) + ")");
+      }
+      EId = E.NextSucc;
     }
-    for (const Edge *E = N->FirstPred; E; E = E->NextPred) {
+    for (EdgeId EId = N->FirstPred; EId;) {
+      if (!isLiveEdge(EId)) {
+        Bad.push_back("predecessor list of '" + Name(*N) +
+                      "' holds a stale edge handle");
+        break;
+      }
+      const Edge &E = edge(EId);
       ++PredEdges;
-      if (E->Sink != N)
+      if (E.Sink != N->Id)
         Bad.push_back("predecessor edge of '" + Name(*N) +
                       "' has a different sink");
-      if (E->NextPred && E->NextPred->PrevPred != E)
+      if (E.NextPred && edge(E.NextPred).PrevPred != EId)
         Bad.push_back("predecessor list of '" + Name(*N) +
                       "' has a broken back link");
+      EId = E.NextPred;
     }
   }
   if (Nodes != NumLiveNodes)
@@ -1030,7 +748,7 @@ std::vector<std::string> DepGraph::verify() const {
   // Pending sets: entry flags, set sizes, and the global count agree.
   size_t SetEntries = GlobalSet.size();
   auto CheckSet = [&](const InconsistentSet &S) {
-    S.forEach([&](const DepNode &N) {
+    S.forEach(*this, [&](const DepNode &N) {
       if (!N.InQueue)
         Bad.push_back("pending-set entry '" + Name(N) +
                       "' is not flagged InQueue");
@@ -1040,9 +758,9 @@ std::vector<std::string> DepGraph::verify() const {
     });
   };
   CheckSet(GlobalSet);
-  for (const auto &KV : SetMap) {
-    SetEntries += KV.second.size();
-    CheckSet(KV.second);
+  for (const InconsistentSet &S : SetVec) {
+    SetEntries += S.size();
+    CheckSet(S);
   }
   if (Cfg.Partitioning && !GlobalSet.empty())
     Bad.push_back("global pending set in use while partitioning is enabled");
@@ -1055,13 +773,18 @@ std::vector<std::string> DepGraph::verify() const {
 
   // Quarantine set: disjoint from pending work, flags agree both ways.
   if (Marked != Quarantine.size())
-    Bad.push_back("quarantine map holds " + std::to_string(Quarantine.size()) +
+    Bad.push_back("quarantine set holds " + std::to_string(Quarantine.size()) +
                   " faults but " + std::to_string(Marked) +
                   " nodes are flagged quarantined");
-  for (const auto &KV : Quarantine)
-    if (!KV.first->Quarantined)
-      Bad.push_back("fault recorded for node '" + Name(*KV.first) +
+  for (const auto &Entry : Quarantine) {
+    if (!isLiveNode(Entry.first)) {
+      Bad.push_back("quarantine set holds a stale node handle");
+      continue;
+    }
+    if (!node(Entry.first).Quarantined)
+      Bad.push_back("fault recorded for node '" + Name(node(Entry.first)) +
                     "' that is not flagged quarantined");
+  }
   return Bad;
 }
 

@@ -6,52 +6,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The dynamic dependency graph and change-propagation evaluator of
-/// Sections 4 and 6.3 of the paper. DepGraph owns edges (pooled), the
-/// union-find partition manager with one inconsistent set per partition,
-/// and the evaluation routine of Section 4.5. Nodes are owned by the typed
-/// layer (Cell / Maintained / interpreter objects) and register themselves.
+/// The propagation layer and public façade of the dependency-graph engine
+/// (Sections 4 and 6.3 of the paper; DESIGN.md "Engine layering and
+/// handle-based storage"). DepGraph adds the evaluation routine of
+/// Section 4.5, the execution protocol, the transaction drivers, the
+/// parallel scheduler integration, and the invariant audit on top of the
+/// policy layer (GraphPolicy: partitions, pending sets, quarantine,
+/// journal) which itself sits on the storage layer (GraphStore: dense
+/// node/edge slabs). Nodes are owned by the typed layer (Cell /
+/// Maintained / interpreter objects) and register themselves.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALPHONSE_GRAPH_DEPGRAPH_H
 #define ALPHONSE_GRAPH_DEPGRAPH_H
 
-#include "graph/DepNode.h"
-#include "graph/InconsistentSet.h"
-#include "graph/UndoLog.h"
-#include "support/Diagnostics.h"
+#include "graph/GraphPolicy.h"
 #include "support/FaultInfo.h"
-#include "support/Pool.h"
-#include "support/Statistics.h"
-#include "support/UnionFind.h"
 
 #include <atomic>
-#include <functional>
 #include <memory>
-#include <mutex>
-#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace alphonse {
 
 class PropagationScheduler;
-
-/// Internal control-flow signal of the parallel scheduler: an execution on
-/// a wave worker touched a partition owned by a sibling drain task. The
-/// two partitions are united, ownership of the merged partition is handed
-/// to exactly one task, and the abandoned execution is left inconsistent
-/// so the surviving owner (or the post-wave serial mop-up) retries it.
-/// Deliberately not a FaultInfo: a conflict is a scheduling event, never a
-/// program fault, and must not quarantine anything.
-struct RetryConflict {};
-
-namespace detail {
-/// The drain-task id of the calling thread (0 = not a wave worker).
-uint32_t &currentDrainTask();
-} // namespace detail
 
 /// The dependency graph plus its evaluator.
 ///
@@ -61,69 +41,15 @@ uint32_t &currentDrainTask();
 /// Config::Workers > 0 top-level propagation drains independent
 /// partitions concurrently (DESIGN.md "Parallel propagation") while all
 /// mutator-side entry points remain single-threaded.
-class DepGraph {
+class DepGraph : public GraphPolicy {
 public:
-  /// Tunables; the defaults match the paper, the flags exist for the
-  /// ablation experiments in DESIGN.md Section 5.
-  struct Config {
-    /// Keep one inconsistent set per union-find partition (Section 6.3) so
-    /// that changes in unrelated structures do not force evaluation.
-    bool Partitioning = true;
-    /// Suppress propagation from storage whose live value equals the cached
-    /// snapshot (Algorithm 4's value comparison; experiment E11).
-    bool VariableCutoff = true;
-    /// Skip duplicate edges created by one execution reading one location
-    /// repeatedly.
-    bool DedupEdges = true;
-    /// Run verify() after every top-level evaluation and record any
-    /// invariant violation in diagnostics() (debugging/testing aid).
-    /// Toggleable at runtime via the ALPHONSE_AUDIT environment variable
-    /// (honored by Runtime construction, not by DepGraph itself).
-    bool AuditAfterEvaluate = false;
-    /// Run verify() after every transactional rollback and record any
-    /// invariant violation in diagnostics(). Rollback claims to restore
-    /// the exact pre-batch quiescent state; this audits the claim.
-    bool VerifyOnRollback = true;
-    /// Abort a propagation after this many evaluator steps (0 = unlimited).
-    /// The node being processed when the limit trips is quarantined with a
-    /// StepLimit fault and the remaining pending work is left queued for a
-    /// later pump. A global backstop behind the per-node limits below; the
-    /// generous default only fires on runaway DET-violating programs.
-    uint64_t EvalStepLimit = 10'000'000;
-    /// Quarantine a node re-executed more than this many times within one
-    /// propagation (0 = unlimited): a DET-violating procedure that keeps
-    /// invalidating itself would otherwise loop forever.
-    uint32_t MaxReexecutions = 100'000;
-    /// Quarantine an instance whose re-entrant (in-flight) call chain
-    /// nests deeper than this (0 = unlimited): a dependency cycle demands
-    /// its own value while computing it and would otherwise recurse until
-    /// stack overflow. Legitimate re-entrancy (Algorithm 11's balance)
-    /// nests only a few frames.
-    uint32_t MaxReentrantDepth = 64;
-    /// Worker threads for top-level quiescence propagation (0 = serial,
-    /// the default; behavior is then byte-identical to the pre-parallel
-    /// evaluator). Requires Partitioning; waves run only when at least
-    /// two independent partitions have pending work. Capped by the
-    /// process-wide shard budget (kStatShards - 1).
-    unsigned Workers = 0;
-  };
+  /// Engine tunables (see GraphConfig in GraphStore.h).
+  using Config = GraphConfig;
 
   explicit DepGraph(Statistics &Stats);
   DepGraph(Statistics &Stats, Config Cfg);
   ~DepGraph();
 
-  DepGraph(const DepGraph &) = delete;
-  DepGraph &operator=(const DepGraph &) = delete;
-
-  const Config &config() const { return Cfg; }
-  Statistics &stats() { return Stats; }
-
-  /// Number of nodes currently registered.
-  size_t numLiveNodes() const { return NumLiveNodes; }
-  /// Number of edges currently linked.
-  size_t numLiveEdges() const { return NumLiveEdges; }
-  /// Number of nodes pending in inconsistent sets.
-  size_t numPending() const { return TotalPending; }
   /// True if the evaluator is currently draining inconsistent sets.
   bool isEvaluating() const { return EvalDepth != 0; }
 
@@ -147,14 +73,6 @@ public:
   /// stays inconsistent and is left queued for a later round.
   void endExecution(DepNode &Proc);
 
-  /// Adds \p N to its partition's inconsistent set (Section 4.4). Used for
-  /// changed storage and for explicit invalidation.
-  void markInconsistent(DepNode &N);
-
-  /// True if the partition containing \p N has pending work (or, with
-  /// partitioning disabled, if anything is pending).
-  bool hasPendingFor(DepNode &N);
-
   /// Drains the inconsistent set of \p N's partition, processing each node
   /// per Section 4.5. Reentrant: procedure executions triggered from inside
   /// may call back into the evaluator.
@@ -166,23 +84,12 @@ public:
   /// otherwise this is the classic serial drain.
   void evaluateAll();
 
-  /// True when the given nodes are currently in the same partition.
-  bool samePartition(DepNode &A, DepNode &B);
-
   //===--------------------------------------------------------------------===//
   // Transactional mutation batches — see DESIGN.md "Transactions and
-  // recovery". Batches do not nest.
+  // recovery". Batches do not nest. (The journaling primitives — inBatch,
+  // epoch, logUndo, abortFault — live in GraphPolicy; the drivers are
+  // here because committing runs the evaluator.)
   //===--------------------------------------------------------------------===//
-
-  /// True between beginBatch() and the matching commitBatch()/
-  /// rollbackBatch(). Typed layers consult this to decide whether to
-  /// journal their mutations.
-  bool inBatch() const { return TxnActive; }
-
-  /// Monotonic commit/rollback counter: advanced once per batch outcome
-  /// (either way), never reused. External state keyed to an epoch is
-  /// stale whenever the graph's epoch differs.
-  uint64_t epoch() const { return Epoch; }
 
   /// Opens a batch. The graph should be quiescent (numPending() == 0);
   /// callers normally pump first (Runtime::beginBatch does). Must not be
@@ -203,53 +110,6 @@ public:
   /// under Config::VerifyOnRollback.
   void rollbackBatch();
 
-  /// The first fault that aborted the last commitBatch(), or nullptr if
-  /// the last batch committed (or none ran).
-  const FaultInfo *abortFault() const {
-    return AbortFault ? &*AbortFault : nullptr;
-  }
-
-  /// Appends a typed-layer restore closure to the journal. Only valid
-  /// inside a batch; no-op while a rollback is replaying (the replay must
-  /// not journal its own restores).
-  void logUndo(std::function<void()> Undo);
-
-  /// Journal size of the current batch (test/stats visibility).
-  size_t undoLogSize() const { return Journal.size(); }
-
-  //===--------------------------------------------------------------------===//
-  // Failure model (quarantine, divergence, cycles) — see DESIGN.md
-  //===--------------------------------------------------------------------===//
-
-  /// Structured fault reports (one error per quarantine / aborted
-  /// propagation, plus audit findings when Config::AuditAfterEvaluate).
-  const DiagnosticEngine &diagnostics() const { return Diags; }
-  DiagnosticEngine &diagnostics() { return Diags; }
-
-  /// Number of nodes currently quarantined.
-  size_t numQuarantined() const { return Quarantine.size(); }
-
-  /// The captured fault of a quarantined node, or nullptr.
-  const FaultInfo *fault(const DepNode &N) const;
-
-  /// Every quarantined node with its fault (order unspecified).
-  std::vector<std::pair<DepNode *, const FaultInfo *>> quarantined() const;
-
-  /// Moves \p N to the quarantine set: it is pulled from its pending set,
-  /// flagged inconsistent, and ignored by markInconsistent() until reset.
-  /// Its dependents are queued so they discover the fault (and cascade)
-  /// at their next recompute instead of silently serving stale values.
-  /// No-op if already quarantined (the first fault wins).
-  void quarantine(DepNode &N, FaultInfo FI);
-
-  /// Returns a quarantined node to service: the fault is dropped and the
-  /// node is left inconsistent (eager nodes re-queue) so its next
-  /// call/pump recomputes it. \returns false if \p N was not quarantined.
-  bool resetQuarantined(DepNode &N);
-
-  /// Resets every quarantined node. \returns how many were reset.
-  size_t resetAllQuarantined();
-
   /// Opens a bounded re-entrant (conventional) run of the in-flight
   /// instance \p N. Throws CycleError when Config::MaxReentrantDepth is
   /// exceeded — the generic in-flight dependency-cycle detector.
@@ -261,50 +121,13 @@ public:
   /// the fault-injection harness to force divergence.
   void selfInvalidate(DepNode &Proc);
 
-  /// Invariant audit over the whole graph: live node/edge counts, edge
-  /// linkage, level monotonicity across up-to-date edges, pending-set and
-  /// partition agreement, and quarantine disjointness. \returns one
-  /// message per violation (empty = healthy). Runnable any time the
-  /// evaluator is not mid-step; also wired to Config::AuditAfterEvaluate.
+  /// Invariant audit over the whole graph: live node/edge counts, table
+  /// generations, edge linkage, level monotonicity across up-to-date
+  /// edges, pending-set and partition agreement, and quarantine
+  /// disjointness. \returns one message per violation (empty = healthy).
+  /// Runnable any time the evaluator is not mid-step; also wired to
+  /// Config::AuditAfterEvaluate.
   std::vector<std::string> verify() const;
-
-  //===--------------------------------------------------------------------===//
-  // Parallel propagation — see DESIGN.md "Parallel propagation"
-  //===--------------------------------------------------------------------===//
-
-  /// RAII conditional lock over the graph's shared bookkeeping (pending
-  /// sets, union-find, edge pool, journal, quarantine). On the serial
-  /// path it costs one atomic load and takes no lock, so Workers = 0 is
-  /// byte-identical to the pre-parallel evaluator; during a wave it
-  /// holds the graph's recursive state mutex.
-  class StateGuard {
-  public:
-    explicit StateGuard(const DepGraph &G) : G(G) {
-      if (G.ParallelOn.load(std::memory_order_acquire)) {
-        G.StateMu.lock();
-        Locked = true;
-      }
-    }
-    ~StateGuard() {
-      if (Locked)
-        G.StateMu.unlock();
-    }
-    StateGuard(const StateGuard &) = delete;
-    StateGuard &operator=(const StateGuard &) = delete;
-
-  private:
-    const DepGraph &G;
-    bool Locked = false;
-  };
-
-  /// Called by a typed-layer execution running on a wave worker before it
-  /// relies on state reachable from \p Target: claims Target's partition
-  /// for the calling drain task if unowned, returns if already owned by
-  /// it, and otherwise unites Target's partition with \p Accessor's (when
-  /// given) and throws RetryConflict — the execution is abandoned, left
-  /// inconsistent, and retried by the partition's surviving owner or the
-  /// post-wave serial mop-up. No-op on the main thread and outside waves.
-  void ensureWorkerAccess(DepNode &Target, DepNode *Accessor);
 
 private:
   friend class DepNode;
@@ -313,25 +136,14 @@ private:
   void registerNode(DepNode &N);
   void unregisterNode(DepNode &N);
 
-  Edge *allocateEdge();
-  void freeEdge(Edge *E);
-  void unlinkEdge(Edge *E);
-
   /// Processes one popped node per the Section 4.5 case analysis. Never
   /// throws: a failing recompute quarantines the node and the drain
   /// continues with the partition's remaining pending work.
   void processNode(DepNode &N);
-  void enqueueSuccessors(DepNode &N);
-
-  /// Removes a queued node from whichever pending set holds it and fixes
-  /// the TotalPending count (used by unregisterNode and quarantine).
-  void eraseFromPendingSets(DepNode &N);
 
   /// True when the per-propagation divergence counter of \p N trips
   /// Config::MaxReexecutions (counter is maintained here).
   bool tripsReexecutionLimit(DepNode &N);
-
-  InconsistentSet &setFor(DepNode &N);
 
   /// The pre-parallel top-level drain loop: drains every partition's
   /// pending set on the calling thread. evaluateAll() delegates here
@@ -339,20 +151,6 @@ private:
   /// serial-affinity path and the post-wave mop-up.
   void evaluateAllSerial();
 
-  /// Unites the partitions rooted at \p RootA and \p RootB (both must be
-  /// current roots), merging orphaned pending sets and serial tags and —
-  /// during a wave — reassigning ownership of the merged partition. When
-  /// the merge joins a foreign in-flight drain task's partition from a
-  /// worker thread, ownership goes to the foreign task and this throws
-  /// RetryConflict. \returns the merged root.
-  UnionFind::Id uniteRoots(UnionFind::Id RootA, UnionFind::Id RootB);
-
-  /// Marks \p N's partition serial-affine (DepNode::requireSerialEval).
-  void tagSerialPartition(DepNode &N);
-
-  /// True when mutations should be journaled: inside a batch, but not
-  /// while rollback itself is replaying.
-  bool journaling() const { return TxnActive && !TxnRollingBack; }
   void applyUndo(UndoEntry &E);
   /// Recreates one edge raw during rollback: links only, no level /
   /// partition / dedup bookkeeping (levels and stamps are restored by
@@ -361,52 +159,11 @@ private:
   /// Unlinks one Source -> Sink edge during rollback (no-op if none
   /// remains, e.g. the sink re-executed later in the batch).
   void unlinkOneEdge(DepNode &Source, DepNode &Sink);
-  /// Empties every pending set (rollback's final step: the pre-batch
-  /// state was quiescent, so nothing may stay queued).
-  void clearAllPending();
 
-  Statistics &Stats;
-  Config Cfg;
-  DiagnosticEngine Diags;
-
-  UnionFind Partitions;
-  /// Pending sets keyed by current union-find root. With partitioning
-  /// disabled, GlobalSet is used instead.
-  std::unordered_map<UnionFind::Id, InconsistentSet> SetMap;
-  InconsistentSet GlobalSet;
-  /// Roots that may have pending work (may contain stale ids).
-  std::vector<UnionFind::Id> DirtyRoots;
-
-  /// Edge allocation fast path: free-list pool over a bump arena (edge
-  /// churn at every re-execution is the graph's hottest allocation).
-  Pool<Edge> Edges;
-
-  /// Quarantined nodes and their captured faults.
-  std::unordered_map<DepNode *, FaultInfo> Quarantine;
-  /// Head of the intrusive all-nodes registry (verify() iterates it).
-  DepNode *AllNodes = nullptr;
-
-  /// Undo journal of the active batch (empty outside one).
-  UndoLog Journal;
-  /// A batch is open (beginBatch .. commit/rollback).
-  bool TxnActive = false;
-  /// rollbackBatch() is replaying; suppresses journaling and scrubbing.
-  bool TxnRollingBack = false;
-  /// Nodes quarantined since beginBatch(); any nonzero value aborts the
-  /// commit.
-  uint64_t TxnNewFaults = 0;
-  /// First in-batch fault (the abort reason surfaced by abortFault()).
-  std::optional<FaultInfo> AbortFault;
-  /// Commit/rollback epoch (see epoch()).
-  uint64_t Epoch = 1;
   /// Source of DepNode::Version stamps; monotonic, never rolled back.
   /// Atomic because wave workers stamp executions concurrently; the
   /// serial instruction sequence is unchanged.
   std::atomic<uint64_t> VersionCounter{0};
-
-  size_t NumLiveNodes = 0;
-  size_t NumLiveEdges = 0;
-  size_t TotalPending = 0;
   /// Source of DepNode::ExecStamp (atomic for wave workers, as above).
   std::atomic<uint64_t> StampCounter{0};
   std::atomic<uint64_t> EvalSteps{0};
@@ -418,23 +175,6 @@ private:
   /// remaining pending work queued. Cleared at the next top-level entry.
   std::atomic<bool> DrainAborted{false};
 
-  //===--------------------------------------------------------------------===//
-  // Parallel propagation state (all mutation under StateMu while a wave
-  // is in flight; quiescent otherwise).
-  //===--------------------------------------------------------------------===//
-
-  /// Guards the shared bookkeeping during waves. Recursive because
-  /// guarded operations nest (e.g. addDependency inside a guarded
-  /// execution prologue).
-  mutable std::recursive_mutex StateMu;
-  /// True only while a parallel wave is in flight; gates StateGuard.
-  std::atomic<bool> ParallelOn{false};
-  /// Wave ownership: union-find root -> drain-task id (1..N). Meaningful
-  /// only while ParallelOn; cleared between waves.
-  std::unordered_map<UnionFind::Id, uint32_t> Owners;
-  /// Serial-affinity tags indexed by union-find element id; a set tag on
-  /// a root means the whole partition drains on the calling thread.
-  std::vector<char> SerialTag;
   /// Worker pool + wave driver; created lazily on the first parallel
   /// evaluateAll() with Workers > 0.
   std::unique_ptr<PropagationScheduler> Scheduler;
@@ -475,6 +215,29 @@ private:
   DepGraph &G;
   DepNode &Proc;
 };
+
+//===----------------------------------------------------------------------===//
+// DepNode edge walks (declared in DepNode.h; the EdgeId chains resolve
+// through the graph's edge table, so DepGraph must be complete here).
+//===----------------------------------------------------------------------===//
+
+template <typename Fn> void DepNode::forEachPredecessor(Fn F) const {
+  assert(Graph && "node not attached to a graph");
+  for (EdgeId E = FirstPred; E;) {
+    const Edge &Ed = Graph->edge(E);
+    F(Graph->node(Ed.Source));
+    E = Ed.NextPred;
+  }
+}
+
+template <typename Fn> void DepNode::forEachSuccessor(Fn F) const {
+  assert(Graph && "node not attached to a graph");
+  for (EdgeId E = FirstSucc; E;) {
+    const Edge &Ed = Graph->edge(E);
+    F(Graph->node(Ed.Sink));
+    E = Ed.NextSucc;
+  }
+}
 
 } // namespace alphonse
 

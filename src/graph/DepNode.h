@@ -19,10 +19,17 @@
 /// reexecute), so one evaluator serves both the C++ embedding and the toy
 /// language.
 ///
+/// Edges are stored by EdgeId in the graph's dense edge slab (DESIGN.md
+/// "Engine layering and handle-based storage"), so an Edge is six 32-bit
+/// handles — 24 bytes, half the footprint of the six raw pointers it
+/// replaced — and an edge walk stays within a few slab cache lines.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALPHONSE_GRAPH_DEPNODE_H
 #define ALPHONSE_GRAPH_DEPNODE_H
+
+#include "graph/Handle.h"
 
 #include <cassert>
 #include <cstdint>
@@ -35,19 +42,20 @@ class DepNode;
 
 /// One dependency: Sink depends on Source.
 ///
-/// Edges are intrusively doubly linked into both the source's successor
-/// list and the sink's predecessor list, so a single edge unlinks in O(1).
-/// Section 9.2 of the paper requires exactly this ("a doubly linked list of
-/// bidirectional edges") so that edge removal at procedure re-execution can
-/// be charged to edge creation.
+/// Edges are intrusively doubly linked (by EdgeId) into both the source's
+/// successor list and the sink's predecessor list, so a single edge unlinks
+/// in O(1). Section 9.2 of the paper requires exactly this ("a doubly
+/// linked list of bidirectional edges") so that edge removal at procedure
+/// re-execution can be charged to edge creation.
 struct Edge {
-  DepNode *Source = nullptr;
-  DepNode *Sink = nullptr;
-  Edge *PrevSucc = nullptr; ///< Links in Source's successor list.
-  Edge *NextSucc = nullptr;
-  Edge *PrevPred = nullptr; ///< Links in Sink's predecessor list.
-  Edge *NextPred = nullptr;
+  NodeId Source;
+  NodeId Sink;
+  EdgeId PrevSucc; ///< Links in Source's successor list.
+  EdgeId NextSucc;
+  EdgeId PrevPred; ///< Links in Sink's predecessor list.
+  EdgeId NextPred;
 };
+static_assert(sizeof(Edge) == 24, "Edge must stay six packed 32-bit handles");
 
 /// What a dependency-graph node stands for.
 enum class NodeKind : uint8_t {
@@ -68,9 +76,10 @@ enum class EvalStrategy : uint8_t {
 
 /// Base class for all dependency-graph nodes.
 ///
-/// A node is registered with its DepGraph at construction and unregistered
-/// (edges detached, dependents invalidated) at destruction. Nodes must not
-/// outlive their graph.
+/// A node is registered with its DepGraph at construction — receiving a
+/// generation-checked NodeId slot in the graph's node table — and
+/// unregistered (edges detached, dependents invalidated, slot recycled) at
+/// destruction. Nodes must not outlive their graph.
 class DepNode {
 public:
   DepNode(DepGraph &Graph, NodeKind Kind,
@@ -84,6 +93,11 @@ public:
   bool isStorage() const { return Kind == NodeKind::Storage; }
   bool isProcedure() const { return Kind == NodeKind::Procedure; }
   EvalStrategy strategy() const { return Strategy; }
+
+  /// This node's slot handle in the graph's node table. Valid for the
+  /// node's whole registered lifetime; resolving it after destruction
+  /// traps on the generation mismatch (debug) or yields null (tryNode).
+  NodeId id() const { return Id; }
 
   /// The paper's consistent(u) bit: true when value(u) reflects the current
   /// program state. Procedures start inconsistent (never executed); storage
@@ -130,16 +144,11 @@ public:
   size_t numSuccessors() const;
 
   /// Invokes \p F on every dependency source recorded by the most recent
-  /// execution (most recently recorded first).
-  template <typename Fn> void forEachPredecessor(Fn F) const {
-    for (const Edge *E = FirstPred; E; E = E->NextPred)
-      F(*E->Source);
-  }
-  /// Invokes \p F on every dependent node.
-  template <typename Fn> void forEachSuccessor(Fn F) const {
-    for (const Edge *E = FirstSucc; E; E = E->NextSucc)
-      F(*E->Sink);
-  }
+  /// execution (most recently recorded first). Defined in DepGraph.h (the
+  /// walk resolves EdgeIds through the graph's edge table).
+  template <typename Fn> void forEachPredecessor(Fn F) const;
+  /// Invokes \p F on every dependent node. Defined in DepGraph.h.
+  template <typename Fn> void forEachSuccessor(Fn F) const;
 
   /// Debug label used in dumps and diagnostics.
   const std::string &name() const { return DebugName; }
@@ -171,8 +180,11 @@ public:
   }
 
 private:
+  friend class GraphStore;
+  friend class GraphPolicy;
   friend class DepGraph;
   friend class InconsistentSet;
+  friend class PropagationScheduler;
 
   NodeKind Kind;
   EvalStrategy Strategy;
@@ -199,13 +211,11 @@ private:
   /// from this node, used to skip duplicate edges when one execution reads
   /// the same location repeatedly.
   uint64_t DedupStamp = 0;
-  DepNode *DedupSink = nullptr;
-  Edge *FirstPred = nullptr;
-  Edge *FirstSucc = nullptr;
-  /// Intrusive links in the graph's all-nodes registry (DepGraph::verify()
-  /// and the audit pass iterate every live node through these).
-  DepNode *PrevAll = nullptr;
-  DepNode *NextAll = nullptr;
+  NodeId DedupSink;
+  /// This node's slot in the graph's node table (see id()).
+  NodeId Id;
+  EdgeId FirstPred;
+  EdgeId FirstSucc;
   DepGraph *Graph = nullptr;
   std::string DebugName;
 };

@@ -1,0 +1,276 @@
+//===- GraphPolicy.cpp - Partition, quarantine, journal policy ------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements change tracking (Section 4.4), dynamic graph partitioning
+/// (Section 6.3), the quarantine fault set, journal bookkeeping, and
+/// parallel-wave partition ownership over the dense id-indexed structures
+/// declared in GraphPolicy.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/GraphPolicy.h"
+
+#include <cassert>
+
+namespace alphonse {
+
+namespace detail {
+uint32_t &currentDrainTask() {
+  static thread_local uint32_t Task = 0;
+  return Task;
+}
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// Pending sets and partitions
+//===----------------------------------------------------------------------===//
+
+InconsistentSet &GraphPolicy::setFor(DepNode &N) {
+  if (!Cfg.Partitioning)
+    return GlobalSet;
+  UnionFind::Id Root = Partitions.find(N.Partition);
+  if (SetVec.size() <= Root)
+    SetVec.resize(Root + 1);
+  return SetVec[Root];
+}
+
+bool GraphPolicy::samePartition(DepNode &A, DepNode &B) {
+  StateGuard Guard(*this);
+  return Partitions.find(A.Partition) == Partitions.find(B.Partition);
+}
+
+void GraphPolicy::eraseFromPendingSets(DepNode &N) {
+  if (!N.InQueue)
+    return;
+  setFor(N).erase(*this, N);
+  if (!N.InQueue) {
+    --TotalPending;
+    return;
+  }
+  // The entry can sit in a stale set if partitions merged after it was
+  // queued; fall back to scanning every set.
+  for (InconsistentSet &S : SetVec) {
+    S.erase(*this, N);
+    if (!N.InQueue)
+      break;
+  }
+  if (!N.InQueue)
+    --TotalPending;
+  GlobalSet.erase(*this, N);
+  assert(!N.InQueue && "queued node not found in any inconsistent set");
+}
+
+void GraphPolicy::clearAllPending() {
+  while (!GlobalSet.empty())
+    GlobalSet.pop(*this);
+  for (InconsistentSet &S : SetVec)
+    while (!S.empty())
+      S.pop(*this);
+  TotalPending = 0;
+  DirtyRoots.clear();
+}
+
+UnionFind::Id GraphPolicy::uniteRoots(UnionFind::Id RootA,
+                                      UnionFind::Id RootB) {
+  UnionFind::Id Root = Partitions.unite(RootA, RootB);
+  ++Stats.PartitionUnions;
+
+  // Serial affinity is sticky across merges.
+  char Tag = 0;
+  if (RootA < SerialTag.size())
+    Tag |= SerialTag[RootA];
+  if (RootB < SerialTag.size())
+    Tag |= SerialTag[RootB];
+  if (Root >= SerialTag.size())
+    SerialTag.resize(Root + 1, 0);
+  SerialTag[Root] = Tag;
+
+  UnionFind::Id Other = (Root == RootA) ? RootB : RootA;
+  if (Other < SetVec.size() && !SetVec[Other].empty()) {
+    InconsistentSet Orphan = std::move(SetVec[Other]);
+    SetVec[Other] = InconsistentSet();
+    if (SetVec.size() <= Root)
+      SetVec.resize(Root + 1);
+    SetVec[Root].mergeFrom(*this, Orphan);
+    DirtyRoots.push_back(Root);
+  }
+
+  // Wave ownership handoff: the merged partition must end up with exactly
+  // one drain task. If the merge joins a sibling task's in-flight
+  // partition, that sibling inherits the whole thing and the calling
+  // execution abandons (RetryConflict); the abandoned node stays
+  // inconsistent and is re-drained by the new owner or the post-wave
+  // serial mop-up.
+  uint32_t Me = detail::currentDrainTask();
+  if (ParallelOn.load(std::memory_order_relaxed) && Me != 0) {
+    uint32_t OwnA = owner(RootA);
+    uint32_t OwnB = owner(RootB);
+    releaseOwner(RootA);
+    releaseOwner(RootB);
+    uint32_t Foreign = 0;
+    if (OwnA != 0 && OwnA != Me)
+      Foreign = OwnA;
+    if (OwnB != 0 && OwnB != Me)
+      Foreign = OwnB;
+    if (Foreign != 0) {
+      setOwner(Root, Foreign);
+      ++Stats.PropConflicts;
+      throw RetryConflict{};
+    }
+    if (OwnA == Me || OwnB == Me)
+      setOwner(Root, Me);
+  }
+  return Root;
+}
+
+void GraphPolicy::ensureWorkerAccess(DepNode &Target, DepNode *Accessor) {
+  uint32_t Me = detail::currentDrainTask();
+  if (Me == 0 || !ParallelOn.load(std::memory_order_acquire))
+    return;
+  StateGuard Guard(*this);
+  UnionFind::Id Root = Partitions.find(Target.Partition);
+  uint32_t Own = owner(Root);
+  if (Own == 0) {
+    setOwner(Root, Me); // Unowned (not scheduled this wave): claim it.
+    return;
+  }
+  if (Own == Me)
+    return;
+  // Owned by a sibling task. With an accessor in hand the partitions are
+  // united — contact between them is a dependency-to-be — and uniteRoots
+  // hands ownership to the sibling and throws. Without one (no structural
+  // link yet) just abandon; the mop-up will retry serially.
+  if (Accessor) {
+    UnionFind::Id MyRoot = Partitions.find(Accessor->Partition);
+    if (MyRoot != Root) {
+      uniteRoots(MyRoot, Root); // Throws RetryConflict (foreign owner).
+      return;
+    }
+  }
+  ++Stats.PropConflicts;
+  throw RetryConflict{};
+}
+
+void GraphPolicy::tagSerialPartition(DepNode &N) {
+  StateGuard Guard(*this);
+  UnionFind::Id Root = Partitions.find(N.Partition);
+  if (Root >= SerialTag.size())
+    SerialTag.resize(Root + 1, 0);
+  SerialTag[Root] = 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Journal bookkeeping
+//===----------------------------------------------------------------------===//
+
+void GraphPolicy::logUndo(std::function<void()> Undo) {
+  assert(TxnActive && "logUndo() outside a batch");
+  if (TxnRollingBack)
+    return;
+  UndoEntry U;
+  U.K = UndoEntry::Kind::Action;
+  U.Undo = std::move(Undo);
+  Journal.push(std::move(U));
+  ++Stats.TxnUndoEntries;
+}
+
+//===----------------------------------------------------------------------===//
+// Failure model: quarantine (see DESIGN.md)
+//===----------------------------------------------------------------------===//
+
+size_t GraphPolicy::findFault(NodeId Id) const {
+  for (size_t I = 0; I < Quarantine.size(); ++I)
+    if (Quarantine[I].first == Id)
+      return I;
+  return SIZE_MAX;
+}
+
+const FaultInfo *GraphPolicy::fault(const DepNode &N) const {
+  size_t I = findFault(N.Id);
+  return I == SIZE_MAX ? nullptr : &Quarantine[I].second;
+}
+
+std::vector<std::pair<DepNode *, const FaultInfo *>>
+GraphPolicy::quarantined() const {
+  std::vector<std::pair<DepNode *, const FaultInfo *>> Out;
+  Out.reserve(Quarantine.size());
+  for (const auto &Entry : Quarantine)
+    Out.emplace_back(&node(Entry.first), &Entry.second);
+  return Out;
+}
+
+void GraphPolicy::quarantine(DepNode &N, FaultInfo FI) {
+  StateGuard Guard(*this);
+  if (N.Quarantined)
+    return; // First fault wins.
+  assert(&node(N.Id) == &N && "quarantining a node of another graph");
+  if (TxnActive && !TxnRollingBack) {
+    // A fault inside a batch poisons the whole batch: commitBatch() will
+    // roll back instead of committing. Journal the quarantine so rollback
+    // lifts it again (the pre-batch state had no such fault).
+    ++TxnNewFaults;
+    if (!AbortFault)
+      AbortFault = FI;
+    UndoEntry U;
+    U.K = UndoEntry::Kind::Quarantined;
+    U.Sink = N.Id;
+    U.WasConsistent = N.Consistent;
+    Journal.push(std::move(U));
+    ++Stats.TxnUndoEntries;
+  }
+  eraseFromPendingSets(N);
+  N.Quarantined = true;
+  N.Consistent = false;
+  ++Stats.NodesQuarantined;
+  Diags.error(SourceLocation(),
+              "quarantined node '" +
+                  (FI.NodeName.empty() ? std::string("<anon>") : FI.NodeName) +
+                  "' [" + faultKindName(FI.Kind) + "]: " + FI.Message);
+  // Dependents hold values computed from this node; queue them so they
+  // discover the fault at their next recompute instead of silently
+  // serving stale data (a recompute that calls a quarantined node throws
+  // QuarantinedError and cascades).
+  enqueueSuccessors(N);
+  Quarantine.emplace_back(N.Id, std::move(FI));
+}
+
+bool GraphPolicy::resetQuarantined(DepNode &N) {
+  size_t I = findFault(N.Id);
+  if (I == SIZE_MAX)
+    return false;
+  if (journaling()) {
+    UndoEntry U;
+    U.K = UndoEntry::Kind::QuarantineCleared;
+    U.Sink = N.Id;
+    U.Saved = Quarantine[I].second;
+    Journal.push(std::move(U));
+    ++Stats.TxnUndoEntries;
+  }
+  Quarantine[I] = std::move(Quarantine.back());
+  Quarantine.pop_back();
+  N.Quarantined = false;
+  N.ReexecCount = 0;
+  N.ReexecEpoch = 0;
+  ++Stats.QuarantineResets;
+  // Leave the node inconsistent; storage and eager nodes re-queue so the
+  // next pump refreshes them, demand nodes recompute at their next call.
+  if (N.isStorage() || N.Strategy == EvalStrategy::Eager)
+    markInconsistent(N);
+  return true;
+}
+
+size_t GraphPolicy::resetAllQuarantined() {
+  size_t Count = 0;
+  while (!Quarantine.empty()) {
+    resetQuarantined(node(Quarantine.back().first));
+    ++Count;
+  }
+  return Count;
+}
+
+} // namespace alphonse

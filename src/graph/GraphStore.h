@@ -1,0 +1,378 @@
+//===- GraphStore.h - Dense slab storage for the graph ----------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage layer of the dependency-graph engine (DESIGN.md "Engine
+/// layering and handle-based storage"). GraphStore owns the dense
+/// generation-checked node and edge tables, the raw doubly-linked edge
+/// lists (Section 9.2's O(1) edge removal), the live counts, the engine
+/// configuration, and the wave-time state lock. It knows nothing about
+/// pending sets, partitions, quarantine, transactions, or evaluation —
+/// those live in the layers stacked on top (GraphPolicy, DepGraph).
+///
+/// Layering (each layer sees only the ones below it):
+///
+///   GraphStore   — node/edge slabs, edge linkage, config, stats, lock
+///      ^
+///   GraphPolicy  — partitions, pending sets, quarantine, undo journal,
+///      ^            wave ownership
+///   DepGraph     — change propagation, execution protocol, transaction
+///                  drivers, scheduler integration, audits (the façade
+///                  clients program against)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_GRAPH_GRAPHSTORE_H
+#define ALPHONSE_GRAPH_GRAPHSTORE_H
+
+#include "graph/DepNode.h"
+#include "support/Diagnostics.h"
+#include "support/Pool.h"
+#include "support/Statistics.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace alphonse {
+
+class PropagationScheduler;
+
+/// Engine tunables; the defaults match the paper, the flags exist for the
+/// ablation experiments in DESIGN.md Section 5. (DepGraph::Config is an
+/// alias of this, so clients keep writing DepGraph::Config.)
+struct GraphConfig {
+  /// Keep one inconsistent set per union-find partition (Section 6.3) so
+  /// that changes in unrelated structures do not force evaluation.
+  bool Partitioning = true;
+  /// Suppress propagation from storage whose live value equals the cached
+  /// snapshot (Algorithm 4's value comparison; experiment E11).
+  bool VariableCutoff = true;
+  /// Skip duplicate edges created by one execution reading one location
+  /// repeatedly.
+  bool DedupEdges = true;
+  /// Run verify() after every top-level evaluation and record any
+  /// invariant violation in diagnostics() (debugging/testing aid).
+  /// Toggleable at runtime via the ALPHONSE_AUDIT environment variable
+  /// (honored by Runtime construction, not by the graph itself).
+  bool AuditAfterEvaluate = false;
+  /// Run verify() after every transactional rollback and record any
+  /// invariant violation in diagnostics(). Rollback claims to restore
+  /// the exact pre-batch quiescent state; this audits the claim.
+  bool VerifyOnRollback = true;
+  /// Abort a propagation after this many evaluator steps (0 = unlimited).
+  /// The node being processed when the limit trips is quarantined with a
+  /// StepLimit fault and the remaining pending work is left queued for a
+  /// later pump. A global backstop behind the per-node limits below; the
+  /// generous default only fires on runaway DET-violating programs.
+  uint64_t EvalStepLimit = 10'000'000;
+  /// Quarantine a node re-executed more than this many times within one
+  /// propagation (0 = unlimited): a DET-violating procedure that keeps
+  /// invalidating itself would otherwise loop forever.
+  uint32_t MaxReexecutions = 100'000;
+  /// Quarantine an instance whose re-entrant (in-flight) call chain
+  /// nests deeper than this (0 = unlimited): a dependency cycle demands
+  /// its own value while computing it and would otherwise recurse until
+  /// stack overflow. Legitimate re-entrancy (Algorithm 11's balance)
+  /// nests only a few frames.
+  uint32_t MaxReentrantDepth = 64;
+  /// Worker threads for top-level quiescence propagation (0 = serial,
+  /// the default; behavior is then byte-identical to the pre-parallel
+  /// evaluator). Requires Partitioning; waves run only when at least
+  /// two independent partitions have pending work. Capped by the
+  /// process-wide shard budget (kStatShards - 1).
+  unsigned Workers = 0;
+};
+
+/// Dense node table: NodeId -> DepNode* with per-slot generations.
+///
+/// The graph does not own node objects (the typed layers do); the table
+/// holds back-pointers so handles resolve in two indexed loads. Slots are
+/// recycled through a free list; freeing bumps the slot's generation, so
+/// a handle kept across the free stops matching (stale-handle trap).
+class NodeTable {
+public:
+  /// Claims a slot for \p N and returns its handle.
+  NodeId alloc(DepNode &N) {
+    uint32_t Index;
+    if (!Free.empty()) {
+      Index = Free.back();
+      Free.pop_back();
+    } else {
+      Index = Slots.push();
+      uint32_t GenIndex = Gens.push();
+      (void)GenIndex;
+      assert(GenIndex == Index && "node slabs out of lockstep");
+      assert(Index <= NodeId::MaxIndex && "node table exhausted (2^24 slots)");
+      Gens[Index] = NodeId::FirstGen;
+    }
+    Slots[Index] = &N;
+    return NodeId::make(Index, Gens[Index]);
+  }
+
+  /// Releases \p Id's slot and advances its generation.
+  void free(NodeId Id) {
+    assert(isLive(Id) && "freeing a stale or null NodeId");
+    uint32_t Index = Id.index();
+    Slots[Index] = nullptr;
+    Gens[Index] = NodeId::nextGen(Gens[Index]);
+    Free.push_back(Index);
+  }
+
+  /// True when \p Id names a currently allocated slot of its generation.
+  bool isLive(NodeId Id) const {
+    return Id && Id.index() < Slots.size() && Gens[Id.index()] == Id.gen() &&
+           Slots[Id.index()] != nullptr;
+  }
+
+  /// Resolves a live handle; asserts (debug) on stale or null handles.
+  DepNode &node(NodeId Id) const {
+    assert(isLive(Id) && "resolving a stale or null NodeId");
+    return *Slots[Id.index()];
+  }
+
+  /// Resolves \p Id, or nullptr when it is null, freed, or stale.
+  DepNode *tryNode(NodeId Id) const {
+    return isLive(Id) ? Slots[Id.index()] : nullptr;
+  }
+
+  /// One past the highest index ever allocated (for table scans).
+  uint32_t span() const { return Slots.size(); }
+  /// The occupant of slot \p Index, or nullptr for a free slot.
+  DepNode *at(uint32_t Index) const { return Slots[Index]; }
+
+  /// Bytes reserved by the table's slabs and free list.
+  size_t bytesReserved() const {
+    return Slots.bytesReserved() + Gens.bytesReserved() +
+           Free.capacity() * sizeof(uint32_t);
+  }
+
+private:
+  Slab<DepNode *> Slots;
+  Slab<uint8_t> Gens;
+  std::vector<uint32_t> Free;
+};
+
+/// Dense edge table: EdgeId -> Edge with per-slot generations.
+///
+/// Edges are graph-owned values living directly in the slab (24 bytes
+/// each); allocation recycles freed slots through a free list, replacing
+/// the pointer-returning Pool<Edge> of the pre-handle engine.
+class EdgeTable {
+public:
+  /// Claims a slot and returns its handle. Sets \p Reused when the slot
+  /// came from the free list; a reused slot keeps its dead contents
+  /// (linkEdge writes every field, so clearing here would be wasted work
+  /// on the hottest allocation path in the engine).
+  EdgeId alloc(bool &Reused) {
+    uint32_t Index;
+    Reused = !Free.empty();
+    if (Reused) {
+      Index = Free.back();
+      Free.pop_back();
+    } else {
+      Index = Slots.push();
+      uint32_t GenIndex = Gens.push();
+      (void)GenIndex;
+      assert(GenIndex == Index && "edge slabs out of lockstep");
+      assert(Index <= EdgeId::MaxIndex && "edge table exhausted (2^24 slots)");
+      Gens[Index] = EdgeId::FirstGen;
+    }
+    return EdgeId::make(Index, Gens[Index]);
+  }
+
+  /// Releases \p Id's slot and advances its generation.
+  void free(EdgeId Id) {
+    assert(isLive(Id) && "freeing a stale or null EdgeId");
+    uint32_t Index = Id.index();
+    Gens[Index] = EdgeId::nextGen(Gens[Index]);
+    Free.push_back(Index);
+  }
+
+  bool isLive(EdgeId Id) const {
+    return Id && Id.index() < Slots.size() && Gens[Id.index()] == Id.gen();
+  }
+
+  Edge &edge(EdgeId Id) {
+    assert(isLive(Id) && "resolving a stale or null EdgeId");
+    return Slots[Id.index()];
+  }
+  const Edge &edge(EdgeId Id) const {
+    assert(isLive(Id) && "resolving a stale or null EdgeId");
+    return Slots[Id.index()];
+  }
+
+  size_t bytesReserved() const {
+    return Slots.bytesReserved() + Gens.bytesReserved() +
+           Free.capacity() * sizeof(uint32_t);
+  }
+
+private:
+  Slab<Edge> Slots;
+  Slab<uint8_t> Gens;
+  std::vector<uint32_t> Free;
+};
+
+/// Storage layer: slab-backed node/edge tables plus raw edge linkage.
+class GraphStore {
+public:
+  using Config = GraphConfig;
+
+  explicit GraphStore(Statistics &Stats);
+  GraphStore(Statistics &Stats, GraphConfig Cfg);
+
+  GraphStore(const GraphStore &) = delete;
+  GraphStore &operator=(const GraphStore &) = delete;
+
+  const GraphConfig &config() const { return Cfg; }
+  Statistics &stats() { return Stats; }
+
+  /// Number of nodes currently registered.
+  size_t numLiveNodes() const { return NumLiveNodes; }
+  /// Number of edges currently linked.
+  size_t numLiveEdges() const { return NumLiveEdges; }
+
+  /// Resolves a live node handle (debug-asserts on stale/null handles).
+  DepNode &node(NodeId Id) const { return NodeTab.node(Id); }
+  /// Resolves a node handle, or nullptr when null, freed, or stale.
+  DepNode *tryNode(NodeId Id) const { return NodeTab.tryNode(Id); }
+  /// True when \p Id resolves to a live node of its generation.
+  bool isLiveNode(NodeId Id) const { return NodeTab.isLive(Id); }
+
+  Edge &edge(EdgeId Id) { return EdgeTab.edge(Id); }
+  const Edge &edge(EdgeId Id) const { return EdgeTab.edge(Id); }
+  bool isLiveEdge(EdgeId Id) const { return EdgeTab.isLive(Id); }
+
+  /// Bytes reserved by the node table (slabs + free list): the
+  /// graph.node_bytes statistic.
+  size_t nodeSlabBytes() const { return NodeTab.bytesReserved(); }
+  /// Bytes reserved by the edge table: the graph.edge_bytes statistic.
+  size_t edgeSlabBytes() const { return EdgeTab.bytesReserved(); }
+
+  size_t numPredecessors(const DepNode &N) const;
+  size_t numSuccessors(const DepNode &N) const;
+
+  /// RAII conditional lock over the graph's shared bookkeeping (pending
+  /// sets, union-find, edge tables, journal, quarantine). On the serial
+  /// path it costs one atomic load and takes no lock, so Workers = 0 is
+  /// byte-identical to the pre-parallel evaluator; during a wave it
+  /// holds the graph's recursive state mutex.
+  class StateGuard {
+  public:
+    explicit StateGuard(const GraphStore &G) : G(G) {
+      if (G.ParallelOn.load(std::memory_order_acquire)) {
+        G.StateMu.lock();
+        Locked = true;
+      }
+    }
+    ~StateGuard() {
+      if (Locked)
+        G.StateMu.unlock();
+    }
+    StateGuard(const StateGuard &) = delete;
+    StateGuard &operator=(const StateGuard &) = delete;
+
+  private:
+    const GraphStore &G;
+    bool Locked = false;
+  };
+
+protected:
+  friend class DepNode;
+  friend class PropagationScheduler;
+
+  /// Claims a node-table slot for \p N (memory gauges refreshed).
+  NodeId allocNodeSlot(DepNode &N);
+  void freeNodeSlot(NodeId Id);
+
+  /// Claims an edge slot (EdgeReuse counted, gauges refreshed on growth).
+  /// Inline: edge alloc/free/link/unlink sit on the re-execution fast
+  /// path (every run retracts and re-records the referenced-argument
+  /// set), so they must fold into their callers across the layer split.
+  EdgeId allocEdge() {
+    bool Reused = false;
+    EdgeId Id = EdgeTab.alloc(Reused);
+    if (Reused)
+      ++Stats.EdgeReuse;
+    else if (EdgeTab.bytesReserved() != LastEdgeBytes)
+      refreshMemoryGauges();
+    return Id;
+  }
+  void freeEdgeSlot(EdgeId Id) { EdgeTab.free(Id); }
+
+  /// Pushes edge \p Id onto the front of \p Source's successor list and
+  /// \p Sink's predecessor list, setting every edge field.
+  void linkEdge(EdgeId Id, DepNode &Source, DepNode &Sink) {
+    Edge &E = EdgeTab.edge(Id);
+    E.Source = Source.Id;
+    E.Sink = Sink.Id;
+    // Push onto the source's successor list.
+    E.NextSucc = Source.FirstSucc;
+    E.PrevSucc = EdgeId();
+    if (Source.FirstSucc)
+      EdgeTab.edge(Source.FirstSucc).PrevSucc = Id;
+    Source.FirstSucc = Id;
+    // Push onto the sink's predecessor list.
+    E.NextPred = Sink.FirstPred;
+    E.PrevPred = EdgeId();
+    if (Sink.FirstPred)
+      EdgeTab.edge(Sink.FirstPred).PrevPred = Id;
+    Sink.FirstPred = Id;
+  }
+
+  /// Detaches edge \p Id from both intrusive lists (slot not freed).
+  void unlinkEdge(EdgeId Id) {
+    Edge &E = EdgeTab.edge(Id);
+    // Successor list of the source.
+    if (E.PrevSucc)
+      EdgeTab.edge(E.PrevSucc).NextSucc = E.NextSucc;
+    else
+      NodeTab.node(E.Source).FirstSucc = E.NextSucc;
+    if (E.NextSucc)
+      EdgeTab.edge(E.NextSucc).PrevSucc = E.PrevSucc;
+    // Predecessor list of the sink.
+    if (E.PrevPred)
+      EdgeTab.edge(E.PrevPred).NextPred = E.NextPred;
+    else
+      NodeTab.node(E.Sink).FirstPred = E.NextPred;
+    if (E.NextPred)
+      EdgeTab.edge(E.NextPred).PrevPred = E.PrevPred;
+  }
+
+  /// Re-publishes graph.node_bytes / graph.edge_bytes / pool.high_water
+  /// when a table's reservation changed (called on growth, not per alloc).
+  void refreshMemoryGauges();
+
+  Statistics &Stats;
+  GraphConfig Cfg;
+  DiagnosticEngine Diags;
+
+  NodeTable NodeTab;
+  EdgeTable EdgeTab;
+
+  size_t NumLiveNodes = 0;
+  size_t NumLiveEdges = 0;
+
+  /// Last-published table reservations (gauge refresh cheap-out).
+  size_t LastNodeBytes = 0;
+  size_t LastEdgeBytes = 0;
+  /// Peak combined table reservation (pool.high_water).
+  size_t HighWaterBytes = 0;
+
+  /// Guards the shared bookkeeping during waves. Recursive because
+  /// guarded operations nest (e.g. addDependency inside a guarded
+  /// execution prologue).
+  mutable std::recursive_mutex StateMu;
+  /// True only while a parallel wave is in flight; gates StateGuard.
+  std::atomic<bool> ParallelOn{false};
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_GRAPH_GRAPHSTORE_H

@@ -1,0 +1,92 @@
+//===- Handle.h - Generation-checked graph handles --------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 32-bit generation-checked handles for the dependency graph's dense slab
+/// storage (DESIGN.md "Engine layering and handle-based storage"). A handle
+/// packs a 24-bit slot index with an 8-bit generation; the owning table
+/// keeps the current generation of every slot and bumps it each time the
+/// slot is freed, so a handle kept across a free/reuse cycle stops
+/// resolving instead of silently aliasing the slot's new occupant. Debug
+/// builds trap on such stale handles (GraphStore::node / edge assert);
+/// release builds may use the non-asserting isLive()/tryNode() queries.
+///
+/// The generation field never takes the value 0 (it wraps 255 -> 1), so the
+/// all-zero bit pattern is reserved for the null handle and zero-initialized
+/// storage reads as "no handle". After 255 reuses of one slot the generation
+/// wraps and detection becomes probabilistic; that is an accepted trade for
+/// keeping handles at 32 bits (a six-handle Edge is exactly 24 bytes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_GRAPH_HANDLE_H
+#define ALPHONSE_GRAPH_HANDLE_H
+
+#include <cstdint>
+#include <functional>
+
+namespace alphonse {
+
+/// A 32-bit slot handle: low 24 bits index, high 8 bits generation.
+/// \p Tag makes NodeId and EdgeId distinct, non-convertible types.
+template <typename Tag> class Handle {
+public:
+  static constexpr uint32_t IndexBits = 24;
+  static constexpr uint32_t GenBits = 8;
+  static constexpr uint32_t MaxIndex = (1u << IndexBits) - 1;
+  static constexpr uint32_t MaxGen = (1u << GenBits) - 1;
+  /// Generations count 1..MaxGen; 0 is reserved so null stays unique.
+  static constexpr uint32_t FirstGen = 1;
+
+  /// The null handle (resolves to nothing; converts to false).
+  constexpr Handle() = default;
+
+  static constexpr Handle make(uint32_t Index, uint32_t Gen) {
+    return Handle((Gen << IndexBits) | Index);
+  }
+
+  /// The successor generation of \p G, skipping the reserved 0.
+  static constexpr uint32_t nextGen(uint32_t G) {
+    return G >= MaxGen ? FirstGen : G + 1;
+  }
+
+  constexpr uint32_t index() const { return Bits & MaxIndex; }
+  constexpr uint32_t gen() const { return Bits >> IndexBits; }
+  constexpr uint32_t bits() const { return Bits; }
+  constexpr explicit operator bool() const { return Bits != 0; }
+
+  friend constexpr bool operator==(Handle A, Handle B) {
+    return A.Bits == B.Bits;
+  }
+  friend constexpr bool operator!=(Handle A, Handle B) {
+    return A.Bits != B.Bits;
+  }
+
+private:
+  constexpr explicit Handle(uint32_t Bits) : Bits(Bits) {}
+  uint32_t Bits = 0;
+};
+
+struct NodeIdTag;
+struct EdgeIdTag;
+
+/// Handle to a dependency-graph node slot (GraphStore's node table).
+using NodeId = Handle<NodeIdTag>;
+/// Handle to a dependency-edge slot (GraphStore's edge table).
+using EdgeId = Handle<EdgeIdTag>;
+
+} // namespace alphonse
+
+namespace std {
+template <typename Tag> struct hash<alphonse::Handle<Tag>> {
+  size_t operator()(alphonse::Handle<Tag> H) const noexcept {
+    return std::hash<uint32_t>()(H.bits());
+  }
+};
+} // namespace std
+
+#endif // ALPHONSE_GRAPH_HANDLE_H

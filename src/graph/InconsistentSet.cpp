@@ -6,10 +6,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A hand-rolled binary min-heap that tracks each queued node's position
-/// (DepNode::QueuePos), so erase() — needed when a pending node is
-/// destroyed — is O(log n) instead of a linear scan. Bulk teardown of
-/// demanded structures would otherwise be quadratic.
+/// Out-of-line pieces of the pending-set heap. The per-node operations
+/// (push/pop/erase and the sifts) are inline in InconsistentSet.h because
+/// they sit inside the propagation loop; only the bulk partition merge —
+/// rare and O(n) by nature — lives here.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,91 +17,13 @@
 
 namespace alphonse {
 
-void InconsistentSet::place(size_t Index) {
-  Heap[Index].Node->QueuePos = static_cast<uint32_t>(Index);
-}
-
-void InconsistentSet::siftUp(size_t Index) {
-  while (Index > 0) {
-    size_t Parent = (Index - 1) / 2;
-    if (Heap[Parent].Level <= Heap[Index].Level)
-      break;
-    std::swap(Heap[Parent], Heap[Index]);
-    place(Parent);
-    place(Index);
-    Index = Parent;
-  }
-}
-
-void InconsistentSet::siftDown(size_t Index) {
-  size_t Size = Heap.size();
-  while (true) {
-    size_t Left = 2 * Index + 1;
-    if (Left >= Size)
-      return;
-    size_t Smallest = Left;
-    size_t Right = Left + 1;
-    if (Right < Size && Heap[Right].Level < Heap[Left].Level)
-      Smallest = Right;
-    if (Heap[Index].Level <= Heap[Smallest].Level)
-      return;
-    std::swap(Heap[Index], Heap[Smallest]);
-    place(Index);
-    place(Smallest);
-    Index = Smallest;
-  }
-}
-
-bool InconsistentSet::push(DepNode *N) {
-  assert(N && "pushing null node");
-  if (N->InQueue)
-    return false;
-  N->InQueue = true;
-  Heap.push_back({N, N->Level});
-  place(Heap.size() - 1);
-  siftUp(Heap.size() - 1);
-  return true;
-}
-
-DepNode *InconsistentSet::pop() {
-  assert(!Heap.empty() && "pop() from empty inconsistent set");
-  DepNode *N = Heap.front().Node;
-  assert(N->InQueue && "queued node lost its InQueue flag");
-  removeAt(0);
-  N->InQueue = false;
-  return N;
-}
-
-void InconsistentSet::removeAt(size_t Index) {
-  size_t Last = Heap.size() - 1;
-  if (Index != Last) {
-    Heap[Index] = Heap[Last];
-    place(Index);
-  }
-  Heap.pop_back();
-  if (Index < Heap.size()) {
-    siftDown(Index);
-    siftUp(Index);
-  }
-}
-
-void InconsistentSet::erase(DepNode *N) {
-  if (!N->InQueue)
-    return;
-  size_t Index = N->QueuePos;
-  if (Index >= Heap.size() || Heap[Index].Node != N)
-    return; // Queued in a sibling partition's set; caller tries each.
-  removeAt(Index);
-  N->InQueue = false;
-}
-
-void InconsistentSet::mergeFrom(InconsistentSet &Other) {
+void InconsistentSet::mergeFrom(GraphStore &G, InconsistentSet &Other) {
   if (Other.Heap.empty())
     return;
   if (Heap.empty()) {
     Heap.swap(Other.Heap);
     for (size_t I = 0; I < Heap.size(); ++I)
-      place(I);
+      place(G, I);
     return;
   }
   size_t OldSize = Heap.size();
@@ -112,10 +34,10 @@ void InconsistentSet::mergeFrom(InconsistentSet &Other) {
   Heap.insert(Heap.end(), Other.Heap.begin(), Other.Heap.end());
   Other.Heap.clear();
   for (size_t I = OldSize; I < Heap.size(); ++I)
-    place(I);
+    place(G, I);
   // Floyd heapify.
   for (size_t I = Heap.size() / 2; I-- > 0;)
-    siftDown(I);
+    siftDown(G, I);
 }
 
 } // namespace alphonse

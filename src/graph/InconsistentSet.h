@@ -14,13 +14,20 @@
 /// the substitution note). Each queued node remembers its heap position,
 /// so removal of a dying node is O(log n).
 ///
+/// Heap entries are {NodeId, level} — 8 bytes, down from the 16-byte
+/// pointer entries of the pre-handle engine — resolved through the
+/// GraphStore node table, so a drain touches half the heap cache lines.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALPHONSE_GRAPH_INCONSISTENTSET_H
 #define ALPHONSE_GRAPH_INCONSISTENTSET_H
 
-#include "graph/DepNode.h"
+#include "graph/GraphStore.h"
+#include "graph/Handle.h"
 
+#include <cassert>
+#include <cstdint>
 #include <vector>
 
 namespace alphonse {
@@ -29,40 +36,128 @@ namespace alphonse {
 ///
 /// Membership is tracked with the node's InQueue flag, so a node appears at
 /// most once across all sets. Levels are sampled at push time; later level
-/// changes do not re-sort the heap (ordering is a heuristic only).
+/// changes do not re-sort the heap (ordering is a heuristic only). The set
+/// stores handles, not pointers, so every operation takes the GraphStore
+/// that resolves them.
+/// Push/pop/erase are inline: they sit inside the propagation loop (one
+/// push per queued dependent, one pop per evaluator step) and must fold
+/// into markInconsistent and the drain loops across the layer split.
 class InconsistentSet {
 public:
   bool empty() const { return Heap.empty(); }
   size_t size() const { return Heap.size(); }
 
   /// Adds \p N unless it is already queued. \returns true if added.
-  bool push(DepNode *N);
+  bool push(GraphStore &G, DepNode &N) {
+    assert(N.Id && "pushing an unregistered node");
+    if (N.InQueue)
+      return false;
+    N.InQueue = true;
+    Heap.push_back({N.Id, N.Level});
+    place(G, Heap.size() - 1);
+    siftUp(G, Heap.size() - 1);
+    return true;
+  }
 
   /// Removes and returns the queued node with the smallest level.
-  DepNode *pop();
+  DepNode &pop(GraphStore &G) {
+    assert(!Heap.empty() && "pop() from empty inconsistent set");
+    DepNode &N = G.node(Heap.front().Id);
+    assert(N.InQueue && "queued node lost its InQueue flag");
+    removeAt(G, 0);
+    N.InQueue = false;
+    return N;
+  }
 
   /// Removes \p N if present (used when a queued node is destroyed).
-  void erase(DepNode *N);
+  void erase(GraphStore &G, DepNode &N) {
+    if (!N.InQueue)
+      return;
+    size_t Index = N.QueuePos;
+    if (Index >= Heap.size() || Heap[Index].Id != N.Id)
+      return; // Queued in a sibling partition's set; caller tries each.
+    removeAt(G, Index);
+    N.InQueue = false;
+  }
 
   /// Moves every entry of \p Other into this set, leaving \p Other empty.
-  void mergeFrom(InconsistentSet &Other);
+  void mergeFrom(GraphStore &G, InconsistentSet &Other);
 
   /// Invokes \p F on every queued node (heap order; for audits).
-  template <typename Fn> void forEach(Fn F) const {
+  template <typename Fn> void forEach(const GraphStore &G, Fn F) const {
     for (const Entry &E : Heap)
-      F(*E.Node);
+      F(G.node(E.Id));
   }
 
 private:
   struct Entry {
-    DepNode *Node;
+    NodeId Id;
     uint32_t Level;
   };
+  static_assert(sizeof(Entry) == 8, "pending entries must stay 8 bytes");
 
-  void place(size_t Index);
-  void siftUp(size_t Index);
-  void siftDown(size_t Index);
-  void removeAt(size_t Index);
+  void place(GraphStore &G, size_t Index) {
+    G.node(Heap[Index].Id).QueuePos = static_cast<uint32_t>(Index);
+  }
+
+  // Both sifts move a hole instead of swapping: each displaced entry is
+  // copied and re-placed exactly once, and the moving entry is written
+  // (and its node's QueuePos resolved through the table) only at its
+  // final position — half the handle resolutions of a swap-based sift.
+
+  void siftUp(GraphStore &G, size_t Index) {
+    Entry Moving = Heap[Index];
+    size_t Hole = Index;
+    while (Hole > 0) {
+      size_t Parent = (Hole - 1) / 2;
+      if (Heap[Parent].Level <= Moving.Level)
+        break;
+      Heap[Hole] = Heap[Parent];
+      place(G, Hole);
+      Hole = Parent;
+    }
+    if (Hole != Index) {
+      Heap[Hole] = Moving;
+      place(G, Hole);
+    }
+  }
+
+  void siftDown(GraphStore &G, size_t Index) {
+    size_t Size = Heap.size();
+    Entry Moving = Heap[Index];
+    size_t Hole = Index;
+    while (true) {
+      size_t Left = 2 * Hole + 1;
+      if (Left >= Size)
+        break;
+      size_t Smallest = Left;
+      size_t Right = Left + 1;
+      if (Right < Size && Heap[Right].Level < Heap[Left].Level)
+        Smallest = Right;
+      if (Moving.Level <= Heap[Smallest].Level)
+        break;
+      Heap[Hole] = Heap[Smallest];
+      place(G, Hole);
+      Hole = Smallest;
+    }
+    if (Hole != Index) {
+      Heap[Hole] = Moving;
+      place(G, Hole);
+    }
+  }
+
+  void removeAt(GraphStore &G, size_t Index) {
+    size_t Last = Heap.size() - 1;
+    if (Index != Last) {
+      Heap[Index] = Heap[Last];
+      place(G, Index);
+    }
+    Heap.pop_back();
+    if (Index < Heap.size()) {
+      siftDown(G, Index);
+      siftUp(G, Index);
+    }
+  }
 
   std::vector<Entry> Heap;
 };

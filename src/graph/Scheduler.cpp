@@ -26,15 +26,15 @@ void PropagationScheduler::run() {
   try {
     while (G.TotalPending != 0 &&
            !G.DrainAborted.load(std::memory_order_relaxed)) {
-      // Snapshot the current roots with pending work. find() is safe
-      // unlocked here: no wave is in flight, so this thread is the only
-      // one touching the union-find.
+      // Snapshot the current roots with pending work by scanning the
+      // dense set vector. find() is safe unlocked here: no wave is in
+      // flight, so this thread is the only one touching the union-find.
       std::vector<UnionFind::Id> Par;
       bool SerialWork = false;
-      for (auto &KV : G.SetMap) {
-        if (KV.second.empty())
+      for (UnionFind::Id Slot = 0; Slot < G.SetVec.size(); ++Slot) {
+        if (G.SetVec[Slot].empty())
           continue;
-        UnionFind::Id Root = G.Partitions.find(KV.first);
+        UnionFind::Id Root = G.Partitions.find(Slot);
         if (Root < G.SerialTag.size() && G.SerialTag[Root])
           SerialWork = true;
         else
@@ -50,9 +50,9 @@ void PropagationScheduler::run() {
         // fully published.
         {
           std::lock_guard<std::recursive_mutex> L(G.StateMu);
-          G.Owners.clear();
+          G.clearOwners();
           for (size_t I = 0; I < Par.size(); ++I)
-            G.Owners[Par[I]] = static_cast<uint32_t>(I + 1);
+            G.setOwner(Par[I], static_cast<uint32_t>(I + 1));
         }
         G.ParallelOn.store(true, std::memory_order_release);
         for (size_t I = 0; I < Par.size(); ++I) {
@@ -64,11 +64,11 @@ void PropagationScheduler::run() {
           Pool.wait();
         } catch (...) {
           G.ParallelOn.store(false, std::memory_order_release);
-          G.Owners.clear();
+          G.clearOwners();
           throw;
         }
         G.ParallelOn.store(false, std::memory_order_release);
-        G.Owners.clear();
+        G.clearOwners();
         RanParallel = true;
       }
 
@@ -104,18 +104,17 @@ void PropagationScheduler::drainRoot(UnionFind::Id Anchor, uint32_t Me) {
       if (G.DrainAborted.load(std::memory_order_relaxed))
         break;
       UnionFind::Id Root = G.Partitions.find(Anchor);
-      auto OIt = G.Owners.find(Root);
-      if (OIt == G.Owners.end() || OIt->second != Me)
+      if (G.owner(Root) != Me)
         break; // Merged away: the surviving owner drains the rest.
-      auto It = G.SetMap.find(Root);
-      if (It == G.SetMap.end() || It->second.empty()) {
+      InconsistentSet *S = G.findSet(Root);
+      if (!S || S->empty()) {
         // Quiescent. Release ownership so a sibling that later merges
         // with this partition can claim it without a conflict.
-        G.Owners.erase(OIt);
+        G.releaseOwner(Root);
         ++G.Stats.PropPartitionsDrained;
         break;
       }
-      U = It->second.pop();
+      U = &S->pop(G);
       --G.TotalPending;
     }
     try {

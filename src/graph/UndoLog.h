@@ -16,7 +16,10 @@
 ///
 ///  - Structural entries (EdgeAdded, PredsRemoved, ExecSnapshot,
 ///    VersionStamp, Quarantined, QuarantineCleared) are interpreted by
-///    DepGraph itself, which owns the touched state.
+///    DepGraph itself, which owns the touched state. They reference nodes
+///    by generation-checked NodeId, so a replay that would touch a
+///    recycled slot traps on the generation mismatch instead of silently
+///    mutating the slot's new occupant.
 ///  - Action entries carry an opaque closure from a typed layer (Cell's
 ///    old-value snapshot, Maintained's cache-entry erase, an interpreter
 ///    slot restore). The graph cannot name those types, so the layer
@@ -34,6 +37,7 @@
 #ifndef ALPHONSE_GRAPH_UNDOLOG_H
 #define ALPHONSE_GRAPH_UNDOLOG_H
 
+#include "graph/Handle.h"
 #include "support/FaultInfo.h"
 
 #include <algorithm>
@@ -42,8 +46,6 @@
 #include <vector>
 
 namespace alphonse {
-
-class DepNode;
 
 /// One journaled mutation; replayed in reverse order by rollbackBatch().
 struct UndoEntry {
@@ -70,9 +72,9 @@ struct UndoEntry {
   };
 
   Kind K = Kind::Action;
-  DepNode *Sink = nullptr;
-  DepNode *Source = nullptr;         ///< EdgeAdded only.
-  std::vector<DepNode *> Sources;    ///< PredsRemoved only.
+  NodeId Sink;
+  NodeId Source;                     ///< EdgeAdded only.
+  std::vector<NodeId> Sources;       ///< PredsRemoved only.
   std::function<void()> Undo;        ///< Action only.
   FaultInfo Saved;                   ///< QuarantineCleared only.
   bool WasConsistent = false;        ///< ExecSnapshot, Quarantined.
@@ -91,27 +93,28 @@ public:
 
   void clear() { Entries.clear(); }
 
-  /// Drops structural entries referencing \p N. Called when a node is
+  /// Drops structural entries referencing node \p N. Called when a node is
   /// destroyed mid-batch by the mutator (not by rollback): the journal
-  /// must never dereference a dead node during replay. Action entries are
+  /// must never resolve a dead handle during replay. Action entries are
   /// kept — their closures are the typed layer's responsibility, and the
   /// layer destroys nodes only through owners whose own undo entry (the
-  /// owner reset) precedes every capture of the node.
-  void scrub(const DepNode &N) {
+  /// owner reset) precedes every capture of the node. The full 32-bit
+  /// handle is compared, so a recycled slot index never aliases.
+  void scrub(NodeId N) {
     Entries.erase(
         std::remove_if(Entries.begin(), Entries.end(),
                        [&](UndoEntry &E) {
                          if (E.K == UndoEntry::Kind::Action)
                            return false;
                          if (E.K == UndoEntry::Kind::PredsRemoved) {
-                           if (E.Sink == &N)
+                           if (E.Sink == N)
                              return true;
                            E.Sources.erase(std::remove(E.Sources.begin(),
-                                                       E.Sources.end(), &N),
+                                                       E.Sources.end(), N),
                                            E.Sources.end());
                            return false;
                          }
-                         return E.Sink == &N || E.Source == &N;
+                         return E.Sink == N || E.Source == N;
                        }),
         Entries.end());
   }

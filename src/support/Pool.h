@@ -22,6 +22,7 @@
 #ifndef ALPHONSE_SUPPORT_POOL_H
 #define ALPHONSE_SUPPORT_POOL_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -119,6 +120,77 @@ private:
   void *FreeList = nullptr;
   uint64_t NumCreated = 0;
   uint64_t NumReused = 0;
+};
+
+/// Chunked, index-addressable slab: the storage behind the graph's dense
+/// NodeId/EdgeId tables (DESIGN.md "Engine layering and handle-based
+/// storage"). Slots are addressed by dense 32-bit indices, live in
+/// fixed-size chunks whose addresses never move (unlike std::vector, a
+/// reference taken before a push() stays valid afterwards), and the chunk
+/// directory is an array of atomic pointers, so readers may resolve
+/// indices lock-free while one externally serialized writer grows the
+/// slab. Slots are value-initialized; recycling is the owner's job (the
+/// tables keep explicit free lists with generation counters).
+template <typename T> class Slab {
+public:
+  static constexpr uint32_t ChunkSlotsLog2 = 12;
+  static constexpr uint32_t ChunkSlots = 1u << ChunkSlotsLog2;
+  /// Geometry covers the full 24-bit handle index space.
+  static constexpr uint32_t MaxChunks = 1u << (24 - ChunkSlotsLog2);
+
+  Slab() {
+    for (uint32_t I = 0; I < MaxChunks; ++I)
+      Chunks[I].store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~Slab() {
+    for (uint32_t I = 0; I < MaxChunks; ++I)
+      delete[] Chunks[I].load(std::memory_order_relaxed);
+  }
+
+  Slab(const Slab &) = delete;
+  Slab &operator=(const Slab &) = delete;
+
+  /// Slots ever appended (free slots included; never shrinks).
+  uint32_t size() const { return Count.load(std::memory_order_acquire); }
+
+  T &operator[](uint32_t Index) {
+    return Chunks[Index >> ChunkSlotsLog2].load(std::memory_order_acquire)
+        [Index & (ChunkSlots - 1)];
+  }
+  const T &operator[](uint32_t Index) const {
+    return Chunks[Index >> ChunkSlotsLog2].load(std::memory_order_acquire)
+        [Index & (ChunkSlots - 1)];
+  }
+
+  /// Appends one value-initialized slot and returns its index. Writer-side
+  /// only: calls must be externally serialized (the graph's state lock).
+  uint32_t push() {
+    uint32_t Index = Count.load(std::memory_order_relaxed);
+    uint32_t Chunk = Index >> ChunkSlotsLog2;
+    if ((Index & (ChunkSlots - 1)) == 0 &&
+        !Chunks[Chunk].load(std::memory_order_relaxed)) {
+      Chunks[Chunk].store(new T[ChunkSlots](), std::memory_order_release);
+      ++NumChunks;
+    }
+    Count.store(Index + 1, std::memory_order_release);
+    return Index;
+  }
+
+  /// Bytes reserved by the allocated chunks (slab payload only).
+  size_t bytesReserved() const {
+    return static_cast<size_t>(NumChunks) * ChunkSlots * sizeof(T);
+  }
+
+private:
+  /// The directory is embedded (32 KB for the full 24-bit index space)
+  /// rather than heap-allocated: handle resolution is the innermost
+  /// operation of the propagation engine, and an embedded array saves one
+  /// dependent load per resolution. One Slab exists per graph table, so
+  /// the footprint is per-engine, not per-object.
+  std::atomic<T *> Chunks[MaxChunks];
+  std::atomic<uint32_t> Count{0};
+  uint32_t NumChunks = 0;
 };
 
 } // namespace alphonse

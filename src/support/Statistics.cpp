@@ -64,7 +64,10 @@ std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
      << "prop.workers         " << S.PropWorkers.total() << '\n'
      << "prop.partitions_drained " << S.PropPartitionsDrained.total() << '\n'
      << "prop.conflicts       " << S.PropConflicts.total() << '\n'
-     << "pool.edge_reuse      " << S.EdgeReuse.total() << '\n';
+     << "pool.edge_reuse      " << S.EdgeReuse.total() << '\n'
+     << "graph.node_bytes     " << S.GraphNodeBytes.total() << '\n'
+     << "graph.edge_bytes     " << S.GraphEdgeBytes.total() << '\n'
+     << "pool.high_water      " << S.PoolHighWater.total() << '\n';
   return OS;
 }
 

@@ -171,6 +171,14 @@ struct Statistics {
   StatCounter PropConflicts;
   /// Edge allocations served from the free-list pool instead of the arena.
   StatCounter EdgeReuse;
+  /// Bytes reserved by the node table's slabs (back-pointers + generations;
+  /// gauge, updated when the slabs grow).
+  StatCounter GraphNodeBytes;
+  /// Bytes reserved by the edge table's slabs (24-byte packed edges +
+  /// generations; gauge, updated when the slabs grow).
+  StatCounter GraphEdgeBytes;
+  /// High-water mark of total graph slab bytes (nodes + edges; gauge).
+  StatCounter PoolHighWater;
 
   /// Resets every counter to zero.
   void reset() { *this = Statistics(); }

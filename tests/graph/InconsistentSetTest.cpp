@@ -53,17 +53,13 @@ struct Chain {
 };
 
 /// Pops everything, asserting non-decreasing levels; returns the count.
-size_t drainInOrder(InconsistentSet &Set) {
+size_t drainInOrder(DepGraph &G, InconsistentSet &Set) {
   size_t Count = 0;
   uint32_t LastLevel = 0;
   while (!Set.empty()) {
-    DepNode *N = Set.pop();
-    EXPECT_NE(N, nullptr) << "pop on non-empty set";
-    if (!N)
-      return Count;
-    EXPECT_GE(N->level(), LastLevel)
-        << "heap order violated after mergeFrom";
-    LastLevel = N->level();
+    DepNode &N = Set.pop(G);
+    EXPECT_GE(N.level(), LastLevel) << "heap order violated after mergeFrom";
+    LastLevel = N.level();
     ++Count;
   }
   return Count;
@@ -78,18 +74,18 @@ TEST(InconsistentSetTest, MergeFromPreservesPopOrder) {
   // Interleave pushes across two sets so the merge has to re-establish
   // the heap property over a genuinely mixed level population.
   InconsistentSet Lhs, Rhs;
-  Lhs.push(A.Procs[5].get()); // level 6
-  Lhs.push(A.Procs[0].get()); // level 1
-  Lhs.push(B.Base.get());     // level 0
-  Rhs.push(B.Procs[3].get()); // level 4
-  Rhs.push(B.Procs[1].get()); // level 2
-  Rhs.push(A.Procs[2].get()); // level 3
-  Rhs.push(A.Base.get());     // level 0
+  Lhs.push(G, *A.Procs[5]); // level 6
+  Lhs.push(G, *A.Procs[0]); // level 1
+  Lhs.push(G, *B.Base);     // level 0
+  Rhs.push(G, *B.Procs[3]); // level 4
+  Rhs.push(G, *B.Procs[1]); // level 2
+  Rhs.push(G, *A.Procs[2]); // level 3
+  Rhs.push(G, *A.Base);     // level 0
 
-  Lhs.mergeFrom(Rhs);
+  Lhs.mergeFrom(G, Rhs);
   EXPECT_TRUE(Rhs.empty());
   EXPECT_EQ(Lhs.size(), 7u);
-  EXPECT_EQ(drainInOrder(Lhs), 7u);
+  EXPECT_EQ(drainInOrder(G, Lhs), 7u);
 }
 
 TEST(InconsistentSetTest, MergeFromSkipsNothingAndKeepsMembershipUnique) {
@@ -99,20 +95,20 @@ TEST(InconsistentSetTest, MergeFromSkipsNothingAndKeepsMembershipUnique) {
   G.evaluateAll();
 
   InconsistentSet Lhs, Rhs;
-  EXPECT_TRUE(Lhs.push(A.Procs[1].get()));
+  EXPECT_TRUE(Lhs.push(G, *A.Procs[1]));
   // A node already queued (anywhere) refuses a second push: membership is
   // the node's InQueue flag, global across sets.
-  EXPECT_FALSE(Rhs.push(A.Procs[1].get()));
-  EXPECT_TRUE(Rhs.push(A.Procs[3].get()));
-  EXPECT_TRUE(Rhs.push(A.Base.get()));
+  EXPECT_FALSE(Rhs.push(G, *A.Procs[1]));
+  EXPECT_TRUE(Rhs.push(G, *A.Procs[3]));
+  EXPECT_TRUE(Rhs.push(G, *A.Base));
 
-  Lhs.mergeFrom(Rhs);
+  Lhs.mergeFrom(G, Rhs);
   EXPECT_EQ(Lhs.size(), 3u);
-  EXPECT_EQ(drainInOrder(Lhs), 3u);
+  EXPECT_EQ(drainInOrder(G, Lhs), 3u);
 
   // Once popped, the nodes are pushable again (InQueue was cleared).
-  EXPECT_TRUE(Lhs.push(A.Procs[1].get()));
-  EXPECT_EQ(Lhs.pop(), A.Procs[1].get());
+  EXPECT_TRUE(Lhs.push(G, *A.Procs[1]));
+  EXPECT_EQ(&Lhs.pop(G), A.Procs[1].get());
 }
 
 TEST(InconsistentSetTest, MergeFromEmptySides) {
@@ -122,18 +118,18 @@ TEST(InconsistentSetTest, MergeFromEmptySides) {
   G.evaluateAll();
 
   InconsistentSet Lhs, Rhs;
-  Lhs.mergeFrom(Rhs); // empty <- empty
+  Lhs.mergeFrom(G, Rhs); // empty <- empty
   EXPECT_TRUE(Lhs.empty());
 
-  Rhs.push(A.Base.get());
-  Rhs.push(A.Procs[0].get());
-  Lhs.mergeFrom(Rhs); // empty <- populated
+  Rhs.push(G, *A.Base);
+  Rhs.push(G, *A.Procs[0]);
+  Lhs.mergeFrom(G, Rhs); // empty <- populated
   EXPECT_EQ(Lhs.size(), 2u);
 
   InconsistentSet Rhs2;
-  Lhs.mergeFrom(Rhs2); // populated <- empty
+  Lhs.mergeFrom(G, Rhs2); // populated <- empty
   EXPECT_EQ(Lhs.size(), 2u);
-  EXPECT_EQ(drainInOrder(Lhs), 2u);
+  EXPECT_EQ(drainInOrder(G, Lhs), 2u);
 }
 
 } // namespace

@@ -6,14 +6,18 @@
 #
 #===----------------------------------------------------------------------===//
 #
-# Runs each bench_* binary with --json (the ALPHONSE_BENCH_MAIN harness)
-# and aggregates the per-binary documents into one file. By default only
-# the parallel-propagation bench runs (it is the one whose numbers the
-# docs quote) and the aggregate lands at BENCH_parallel.json in the repo
-# root; pass --all to sweep every binary.
+# Runs every bench_* binary with --json (the ALPHONSE_BENCH_MAIN harness)
+# and aggregates the per-binary documents into one file, BENCH_all.json by
+# default. The aggregate also hoists the graph-storage footprint counters
+# (bytes_per_edge / bytes_per_node, reported by bench_space's
+# BM_E8_ConstantRefSets at its largest size) into a top-level "space"
+# object so storage regressions are one jq call away.
 #
-#   tools/run_benches.sh [--build-dir DIR] [--out FILE] [--all]
+#   tools/run_benches.sh [--build-dir DIR] [--out FILE] [--only NAME]
 #                        [--min-time SECS]
+#
+#   --only NAME   run a single binary (e.g. --only bench_parallel) instead
+#                 of the full sweep.
 #
 # Requires jq for aggregation.
 #
@@ -23,16 +27,17 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$REPO_ROOT/build"
-OUT="$REPO_ROOT/BENCH_parallel.json"
+OUT="$REPO_ROOT/BENCH_all.json"
 MIN_TIME="0.05"
-ALL=0
+ONLY=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out)       OUT="$2"; shift 2 ;;
     --min-time)  MIN_TIME="$2"; shift 2 ;;
-    --all)       ALL=1; shift ;;
+    --only)      ONLY="$2"; shift 2 ;;
+    --all)       shift ;; # Historical default; the full sweep is standard now.
     *) echo "error: unknown argument '$1'" >&2; exit 1 ;;
   esac
 done
@@ -43,10 +48,10 @@ if [[ ! -d "$BENCH_DIR" ]]; then
   exit 1
 fi
 
-if [[ $ALL -eq 1 ]]; then
-  BINARIES=("$BENCH_DIR"/bench_*)
+if [[ -n "$ONLY" ]]; then
+  BINARIES=("$BENCH_DIR/$ONLY")
 else
-  BINARIES=("$BENCH_DIR/bench_parallel")
+  BINARIES=("$BENCH_DIR"/bench_*)
 fi
 
 TMP_DIR="$(mktemp -d)"
@@ -67,8 +72,9 @@ if [[ ${#DOCS[@]} -eq 0 ]]; then
   exit 1
 fi
 
-# One aggregate document: per-binary results keyed by binary name, with
-# the host context hoisted to the top level (identical across runs).
+# One aggregate document: per-binary results keyed by binary name, the
+# host context hoisted to the top level (identical across runs), and the
+# storage footprint pulled out of bench_space for quick inspection.
 jq -s --arg names "$(printf '%s\n' "${DOCS[@]##*/}" | sed 's/\.json$//' | paste -sd, -)" '
   { host_concurrency: .[0].host_concurrency,
     suites: [ . as $docs
@@ -77,6 +83,14 @@ jq -s --arg names "$(printf '%s\n' "${DOCS[@]##*/}" | sed 's/\.json$//' | paste 
               | { name: .value,
                   peak_rss_kb: $docs[.key].peak_rss_kb,
                   benchmarks: $docs[.key].benchmarks } ] }
+  | .space = ([ .suites[] | select(.name == "bench_space") | .benchmarks[]
+                | select(.counters.bytes_per_edge != null) ]
+              | if length == 0 then null else
+                  (last
+                   | { benchmark: .name,
+                       bytes_per_edge: .counters.bytes_per_edge,
+                       bytes_per_node: .counters.bytes_per_node })
+                end)
 ' "${DOCS[@]}" > "$OUT"
 
 echo "wrote $OUT" >&2

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_all.json aggregate against the BenchSupport schema.
+
+The schema is what tools/run_benches.sh emits from the per-binary
+documents written by ALPHONSE_BENCH_MAIN's --json flag:
+
+  { "host_concurrency": int >= 1,
+    "suites": [ { "name": str,
+                  "peak_rss_kb": int >= 0,
+                  "benchmarks": [ { "name": str,
+                                    "iterations": int >= 1,
+                                    "ns_per_op": number >= 0,
+                                    "counters"?: {str: number} } ] } ],
+    "space"?: { "benchmark": str,
+                "bytes_per_edge": number > 0,
+                "bytes_per_node": number > 0 } | null }
+
+Exits 0 when the document conforms (and, if present, the space object's
+bytes_per_edge stays under the --max-bytes-per-edge bound), 1 otherwise.
+Stdlib only — CI runs this right after the bench smoke sweep.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+
+def fail(msg):
+    print(f"validate_bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_benchmark(suite, bench):
+    where = f"suite '{suite}'"
+    require(isinstance(bench, dict), f"{where}: benchmark entry is not an object")
+    name = bench.get("name")
+    require(isinstance(name, str) and name, f"{where}: benchmark without a name")
+    where = f"{where}, benchmark '{name}'"
+    iters = bench.get("iterations")
+    require(isinstance(iters, int) and iters >= 1, f"{where}: bad iterations {iters!r}")
+    ns = bench.get("ns_per_op")
+    require(
+        isinstance(ns, numbers.Real) and not isinstance(ns, bool) and ns >= 0,
+        f"{where}: bad ns_per_op {ns!r}",
+    )
+    counters = bench.get("counters", {})
+    require(isinstance(counters, dict), f"{where}: counters is not an object")
+    for key, value in counters.items():
+        require(isinstance(key, str) and key, f"{where}: counter with empty name")
+        require(
+            isinstance(value, numbers.Real) and not isinstance(value, bool),
+            f"{where}: counter '{key}' is not a number",
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("path", help="aggregate JSON from tools/run_benches.sh")
+    ap.add_argument(
+        "--max-bytes-per-edge",
+        type=float,
+        default=None,
+        help="fail when space.bytes_per_edge exceeds this bound",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.path}: {e}")
+
+    require(isinstance(doc, dict), "top level is not an object")
+    hc = doc.get("host_concurrency")
+    require(isinstance(hc, int) and hc >= 1, f"bad host_concurrency {hc!r}")
+
+    suites = doc.get("suites")
+    require(isinstance(suites, list) and suites, "suites missing or empty")
+    total = 0
+    for suite in suites:
+        require(isinstance(suite, dict), "suite entry is not an object")
+        name = suite.get("name")
+        require(isinstance(name, str) and name, "suite without a name")
+        rss = suite.get("peak_rss_kb")
+        require(
+            isinstance(rss, int) and rss >= 0, f"suite '{name}': bad peak_rss_kb {rss!r}"
+        )
+        benches = suite.get("benchmarks")
+        require(isinstance(benches, list), f"suite '{name}': benchmarks is not a list")
+        for bench in benches:
+            check_benchmark(name, bench)
+        total += len(benches)
+    require(total > 0, "no benchmark runs recorded in any suite")
+
+    space = doc.get("space")
+    if space is not None:
+        require(isinstance(space, dict), "space is not an object")
+        for key in ("bytes_per_edge", "bytes_per_node"):
+            value = space.get(key)
+            require(
+                isinstance(value, numbers.Real)
+                and not isinstance(value, bool)
+                and value > 0,
+                f"space.{key} is {value!r}",
+            )
+        if args.max_bytes_per_edge is not None:
+            require(
+                space["bytes_per_edge"] <= args.max_bytes_per_edge,
+                f"space.bytes_per_edge {space['bytes_per_edge']} exceeds the "
+                f"bound {args.max_bytes_per_edge}",
+            )
+
+    print(
+        f"ok: {total} runs across {len(suites)} suites"
+        + (f", bytes/edge {space['bytes_per_edge']:.1f}" if space else "")
+    )
+
+
+if __name__ == "__main__":
+    main()
