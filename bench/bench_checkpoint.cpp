@@ -1,0 +1,116 @@
+//===- bench_checkpoint.cpp - Checkpoint save/restore cost ----------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Cost of the durability layer (DESIGN.md Section 10) on a graph of N
+// tracked cells plus N maintained prefix-sum instances:
+//
+//  CKa: full snapshot — capture the engine state, serialize, write
+//       crash-atomically (temp + fsync + rename). Reported with the file
+//       size as a counter; the claim is O(live state), not O(history).
+//  CKb: restore — decode, rebuild the typed layer, re-bind ids, verify.
+//  CKc: delta append — one changed cell, one O_APPEND record; the cheap
+//       steady-state path that amortizes CKa.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "graph/CheckpointTestHost.h"
+
+#include <benchmark/benchmark.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace alphonse;
+using namespace alphonse::ckpttest;
+
+namespace {
+
+/// Per-process temp path; every benchmark overwrites it freely.
+std::string benchPath() {
+  const char *Dir = std::getenv("TMPDIR");
+  return std::string(Dir ? Dir : "/tmp") + "/bench-checkpoint." +
+         std::to_string(::getpid()) + ".ckpt";
+}
+
+void cleanupPath(const std::string &Path) {
+  std::remove(Path.c_str());
+  std::remove((Path + ".tmp").c_str());
+  std::remove(deltaLogPath(Path).c_str());
+}
+
+size_t fileSize(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 ? static_cast<size_t>(St.st_size)
+                                        : 0;
+}
+
+} // namespace
+
+// CKa: full crash-atomic snapshot of a quiescent N-cell graph.
+static void BM_Ckpt_Save(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  std::string Path = benchPath();
+  CheckpointHost Host(N);
+  Host.touchAll();
+  Host.RT.pump();
+  for (auto _ : State)
+    Host.save(Path);
+  State.counters["cells"] = static_cast<double>(N);
+  State.counters["bytes"] = static_cast<double>(fileSize(Path));
+  cleanupPath(Path);
+}
+BENCHMARK(BM_Ckpt_Save)->Arg(64)->Arg(512)->Arg(4096);
+
+// CKb: restore into a fresh host (decode + rebuild + bind + verify).
+static void BM_Ckpt_Restore(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  std::string Path = benchPath();
+  {
+    CheckpointHost Host(N);
+    Host.touchAll();
+    Host.save(Path);
+  }
+  for (auto _ : State) {
+    State.PauseTiming();
+    CheckpointHost Fresh(N);
+    State.ResumeTiming();
+    Fresh.restore(Path);
+    benchmark::DoNotOptimize(Fresh.RT.graph().numLiveNodes());
+  }
+  State.counters["cells"] = static_cast<double>(N);
+  State.counters["bytes"] = static_cast<double>(fileSize(Path));
+  cleanupPath(Path);
+}
+BENCHMARK(BM_Ckpt_Restore)->Arg(64)->Arg(512)->Arg(4096);
+
+// CKc: the steady-state path — one cell write, one delta record appended
+// to the sidecar log (the log is reset outside the timed region so its
+// length stays constant).
+static void BM_Ckpt_DeltaAppend(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  std::string Path = benchPath();
+  CheckpointHost Host(N);
+  Host.touchAll();
+  Host.save(Path);
+  int V = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    removeDeltaLog(deltaLogPath(Path));
+    State.ResumeTiming();
+    ++V;
+    *Host.Cells[static_cast<size_t>(V) % N] = V;
+    Host.appendDelta(Path);
+  }
+  State.counters["cells"] = static_cast<double>(N);
+  cleanupPath(Path);
+}
+BENCHMARK(BM_Ckpt_DeltaAppend)->Arg(64)->Arg(512)->Arg(4096);
+
+ALPHONSE_BENCH_MAIN();

@@ -108,6 +108,11 @@ public:
   /// The location's dependency-graph node, or nullptr while untracked.
   DepNode *node() const { return Node.load(std::memory_order_acquire); }
 
+  /// Creates the location's node now (outside any incremental call) and
+  /// returns it. Checkpoint restore uses this to rebuild a cell that was
+  /// tracked at capture without replaying the read that tracked it.
+  DepNode &ensureTracked() { return ensureNode(); }
+
   Runtime &runtime() const { return *RT; }
 
 private:

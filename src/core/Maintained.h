@@ -173,6 +173,33 @@ public:
     enforceCapacity();
   }
 
+  /// Invokes \p F(key, cachedValue, node) on every live instance, in
+  /// unspecified order. Checkpoint capture walks the argument table with
+  /// this; records no dependencies and evaluates nothing.
+  template <typename Fn> void forEachInstance(Fn F) const {
+    for (const auto &KV : Table)
+      F(KV.first, KV.second->Cached,
+        static_cast<const DepNode &>(*KV.second));
+  }
+
+  /// Recreates the instance for \p K with \p Cached as its cached value,
+  /// without executing the body — checkpoint restore rebuilds the
+  /// argument table from the captured entries, then the GraphRestorer
+  /// re-applies consistency flags and edges. The instance must not
+  /// already exist. \returns the new node (for GraphRestorer::bind).
+  DepNode &restoreInstance(Key K, std::optional<R> Cached) {
+    assert(Table.find(K) == Table.end() &&
+           "restoring an instance that already exists");
+    auto Owned =
+        std::make_unique<InstanceNode>(RT->graph(), *this, K, Strategy);
+    InstanceNode *N = Owned.get();
+    N->setName(Name.empty() ? "proc" : Name);
+    N->Cached = std::move(Cached);
+    Table.emplace(std::move(K), std::move(Owned));
+    touchLRU(*N);
+    return *N;
+  }
+
   EvalStrategy strategy() const { return Strategy; }
   Runtime &runtime() const { return *RT; }
 

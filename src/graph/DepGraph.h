@@ -132,6 +132,8 @@ public:
 private:
   friend class DepNode;
   friend class PropagationScheduler;
+  friend class GraphCheckpoint;
+  friend class GraphRestorer;
 
   void registerNode(DepNode &N);
   void unregisterNode(DepNode &N);

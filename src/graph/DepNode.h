@@ -185,6 +185,8 @@ private:
   friend class DepGraph;
   friend class InconsistentSet;
   friend class PropagationScheduler;
+  friend class GraphCheckpoint;
+  friend class GraphRestorer;
 
   NodeKind Kind;
   EvalStrategy Strategy;

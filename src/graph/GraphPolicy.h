@@ -186,6 +186,8 @@ public:
 protected:
   friend class DepNode;
   friend class PropagationScheduler;
+  friend class GraphCheckpoint;
+  friend class GraphRestorer;
 
   /// The pending set responsible for \p N (grows SetVec on demand).
   InconsistentSet &setFor(DepNode &N);

@@ -286,6 +286,8 @@ public:
 protected:
   friend class DepNode;
   friend class PropagationScheduler;
+  friend class GraphCheckpoint;
+  friend class GraphRestorer;
 
   /// Claims a node-table slot for \p N (memory gauges refreshed).
   NodeId allocNodeSlot(DepNode &N);

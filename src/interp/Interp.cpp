@@ -7,8 +7,12 @@
 
 #include "interp/Interp.h"
 
+#include "graph/Checkpoint.h"
 #include "lang/Types.h"
 #include "support/FaultInjector.h"
+
+#include <algorithm>
+#include <chrono>
 
 using namespace alphonse::lang;
 
@@ -718,6 +722,619 @@ Value Interp::evalBinary(const BinaryExpr *B, Frame &F) {
     break; // Handled above.
   }
   fail(B->Loc, "bad binary operator");
+}
+
+//===----------------------------------------------------------------------===//
+// Durable checkpoints (DESIGN.md Section 10)
+//===----------------------------------------------------------------------===//
+//
+// Section layout of an interpreter checkpoint (inside the CheckpointIO
+// container):
+//
+//   META  module fingerprint (u64) + execution mode (u8)
+//   GRPH  GraphSnapshot (engine-side node/edge/partition state)
+//   GLBL  one slot per global: live value, plus node id + snapshot value
+//         when the slot is tracked
+//   HEAP  object count, then each object's type name, then each object's
+//         field slots (same encoding as GLBL); object-valued Values are
+//         stored as u32 indices into this heap
+//   TABL  per incremental procedure: name + argument-table entries
+//         (node id, argument vector, cached value)
+//   OUTP  output stream + failed flag + error message
+//
+// A delta record is just current storage: the heap's type names (new
+// objects appear as a longer list), every field value, every global
+// value. Restore applies the values through trackedWrite and pumps;
+// derived values are recomputed, not replayed.
+
+namespace {
+
+constexpr uint32_t TagMeta = sectionTag('M', 'E', 'T', 'A');
+constexpr uint32_t TagGraph = sectionTag('G', 'R', 'P', 'H');
+constexpr uint32_t TagGlobals = sectionTag('G', 'L', 'B', 'L');
+constexpr uint32_t TagHeap = sectionTag('H', 'E', 'A', 'P');
+constexpr uint32_t TagTables = sectionTag('T', 'A', 'B', 'L');
+constexpr uint32_t TagOutput = sectionTag('O', 'U', 'T', 'P');
+
+[[noreturn]] void ckptMalformed(const std::string &Msg) {
+  throw CheckpointError(CkptError::Malformed, Msg);
+}
+
+using HeapIndexMap = std::unordered_map<const HeapObject *, uint32_t>;
+
+void encodeValue(ByteWriter &W, const Value &V, const HeapIndexMap &Idx) {
+  W.u8(static_cast<uint8_t>(V.K));
+  switch (V.K) {
+  case Value::Kind::Nil:
+    break;
+  case Value::Kind::Int:
+    W.i64(V.Int);
+    break;
+  case Value::Kind::Bool:
+    W.u8(V.Bool ? 1 : 0);
+    break;
+  case Value::Kind::Text:
+    W.str(V.Text);
+    break;
+  case Value::Kind::Object: {
+    auto It = Idx.find(V.Obj);
+    assert(It != Idx.end() && "object value not on the interpreter heap");
+    W.u32(It->second);
+    break;
+  }
+  }
+}
+
+/// A decoded Value whose Object payload is still a heap index; resolved
+/// to a pointer only after the heap has been rebuilt.
+struct StagedValue {
+  uint8_t Kind = 0;
+  int64_t Int = 0;
+  bool Bool = false;
+  std::string Text;
+  uint32_t Obj = 0;
+};
+
+StagedValue decodeValue(ByteReader &R, size_t HeapLimit) {
+  StagedValue V;
+  V.Kind = R.u8();
+  switch (static_cast<Value::Kind>(V.Kind)) {
+  case Value::Kind::Nil:
+    break;
+  case Value::Kind::Int:
+    V.Int = R.i64();
+    break;
+  case Value::Kind::Bool: {
+    uint8_t B = R.u8();
+    if (B > 1)
+      ckptMalformed("boolean payload out of range");
+    V.Bool = B != 0;
+    break;
+  }
+  case Value::Kind::Text:
+    V.Text = R.str();
+    break;
+  case Value::Kind::Object:
+    V.Obj = R.u32();
+    if (V.Obj >= HeapLimit)
+      ckptMalformed("object value references a heap index out of range");
+    break;
+  default:
+    ckptMalformed("unknown value kind " + std::to_string(V.Kind));
+  }
+  return V;
+}
+
+/// One captured StorageSlot: live value plus (when tracked) the node id
+/// and the snapshot dependents last observed.
+struct StagedSlot {
+  bool HasNode = false;
+  uint32_t NodeBits = 0;
+  StagedValue Snapshot;
+  StagedValue Live;
+};
+
+void encodeSlot(ByteWriter &W, const StorageSlot &S, const HeapIndexMap &Idx) {
+  W.u8(S.Node ? 1 : 0);
+  if (S.Node) {
+    W.u32(S.Node->id().bits());
+    encodeValue(W, S.Node->Snapshot, Idx);
+  }
+  encodeValue(W, S.Live, Idx);
+}
+
+StagedSlot decodeSlot(ByteReader &R, size_t HeapLimit) {
+  StagedSlot S;
+  uint8_t Has = R.u8();
+  if (Has > 1)
+    ckptMalformed("slot node flag out of range");
+  S.HasNode = Has != 0;
+  if (S.HasNode) {
+    S.NodeBits = R.u32();
+    S.Snapshot = decodeValue(R, HeapLimit);
+  }
+  S.Live = decodeValue(R, HeapLimit);
+  return S;
+}
+
+/// One staged delta record: the complete storage image at one quiescent
+/// point after the base snapshot.
+struct StagedDelta {
+  std::vector<std::string> Types; ///< All heap objects, base ones first.
+  std::vector<std::vector<StagedValue>> Fields; ///< Per object.
+  std::vector<StagedValue> Globals;
+};
+
+} // namespace
+
+uint64_t Interp::moduleFingerprint() const {
+  uint64_t H = 1469598103934665603ull; // FNV-1a offset basis
+  auto Mix = [&H](const std::string &S) {
+    for (char C : S) {
+      H ^= static_cast<uint8_t>(C);
+      H *= 1099511628211ull;
+    }
+    H ^= 0xFFu; // separator, so {"ab","c"} != {"a","bc"}
+    H *= 1099511628211ull;
+  };
+  for (const GlobalDecl &G : M.Globals)
+    Mix(G.Name);
+  for (const auto &P : M.Procs)
+    Mix(P->Name);
+  for (const auto &T : Info.Types)
+    Mix(T->Name);
+  H ^= static_cast<uint8_t>(Mode);
+  H *= 1099511628211ull;
+  return H;
+}
+
+void Interp::saveCheckpoint(const std::string &Path) {
+  RT.pump();
+  // Capture enforces quiescence (throws Busy on pending work, an open
+  // batch, or mid-evaluation) — everything below sees one consistent cut.
+  GraphSnapshot GS = GraphCheckpoint::capture(RT.graph());
+
+  HeapIndexMap HeapIdx;
+  HeapIdx.reserve(Heap.size());
+  for (size_t I = 0; I < Heap.size(); ++I)
+    HeapIdx.emplace(Heap[I].get(), static_cast<uint32_t>(I));
+
+  CheckpointWriter W;
+  {
+    ByteWriter B;
+    B.u64(moduleFingerprint());
+    B.u8(static_cast<uint8_t>(Mode));
+    W.addSection(TagMeta, B.take());
+  }
+  {
+    ByteWriter B;
+    GS.encode(B);
+    W.addSection(TagGraph, B.take());
+  }
+  {
+    ByteWriter B;
+    B.u32(static_cast<uint32_t>(Globals.size()));
+    for (const auto &S : Globals)
+      encodeSlot(B, *S, HeapIdx);
+    W.addSection(TagGlobals, B.take());
+  }
+  {
+    ByteWriter B;
+    B.u32(static_cast<uint32_t>(Heap.size()));
+    for (const auto &Obj : Heap)
+      B.str(Obj->type()->Name);
+    for (const auto &Obj : Heap) {
+      uint32_t NumFields = static_cast<uint32_t>(Obj->type()->Fields.size());
+      B.u32(NumFields);
+      for (uint32_t I = 0; I < NumFields; ++I)
+        encodeSlot(B, Obj->slot(I), HeapIdx);
+    }
+    W.addSection(TagHeap, B.take());
+  }
+  {
+    ByteWriter B;
+    B.u32(static_cast<uint32_t>(Tables.size()));
+    for (const auto &TE : Tables) {
+      B.str(TE.first->Name);
+      B.u32(static_cast<uint32_t>(TE.second.size()));
+      for (const auto &E : TE.second) {
+        const InterpProcNode &N = *E.second;
+        B.u32(N.id().bits());
+        B.u8(static_cast<uint8_t>(N.strategy()));
+        B.u32(static_cast<uint32_t>(N.Key.size()));
+        for (const Value &A : N.Key)
+          encodeValue(B, A, HeapIdx);
+        B.u8(N.Cached ? 1 : 0);
+        if (N.Cached)
+          encodeValue(B, *N.Cached, HeapIdx);
+      }
+    }
+    W.addSection(TagTables, B.take());
+  }
+  {
+    ByteWriter B;
+    B.str(Output);
+    B.u8(Failed ? 1 : 0);
+    B.str(ErrorMessage);
+    W.addSection(TagOutput, B.take());
+  }
+
+  uint64_t Bytes = W.writeFile(Path);
+  // The snapshot now covers everything the old delta log recorded.
+  removeDeltaLog(deltaLogPath(Path));
+
+  Statistics &S = RT.stats();
+  ++S.CkptSnapshots;
+  S.CkptSections += W.numSections();
+  S.CkptBytesWritten += Bytes;
+}
+
+void Interp::appendDelta(const std::string &Path) {
+  RT.pump();
+  if (RT.graph().inBatch())
+    throw CheckpointError(CkptError::Busy,
+                          "cannot append a delta inside an open batch");
+  CheckpointReader Base(Path);
+  {
+    ByteReader MR = Base.section(TagMeta);
+    if (MR.u64() != moduleFingerprint() ||
+        MR.u8() != static_cast<uint8_t>(Mode))
+      ckptMalformed(
+          "snapshot was captured from a different module or mode");
+  }
+  // Continue the existing log, cutting back any tail a previous killed
+  // append left torn.
+  uint64_t Have = repairDeltaLog(deltaLogPath(Path), Base.snapshotId());
+
+  HeapIndexMap HeapIdx;
+  HeapIdx.reserve(Heap.size());
+  for (size_t I = 0; I < Heap.size(); ++I)
+    HeapIdx.emplace(Heap[I].get(), static_cast<uint32_t>(I));
+
+  ByteWriter B;
+  B.u32(static_cast<uint32_t>(Heap.size()));
+  for (const auto &Obj : Heap)
+    B.str(Obj->type()->Name);
+  for (const auto &Obj : Heap) {
+    uint32_t NumFields = static_cast<uint32_t>(Obj->type()->Fields.size());
+    B.u32(NumFields);
+    for (uint32_t I = 0; I < NumFields; ++I)
+      encodeValue(B, Obj->slot(I).Live, HeapIdx);
+  }
+  B.u32(static_cast<uint32_t>(Globals.size()));
+  for (const auto &S : Globals)
+    encodeValue(B, S->Live, HeapIdx);
+
+  DeltaAppender A(deltaLogPath(Path), Base.snapshotId(), Have + 1);
+  uint64_t Bytes = A.append(B.take());
+
+  Statistics &S = RT.stats();
+  ++S.CkptDeltas;
+  S.CkptBytesWritten += Bytes;
+}
+
+void Interp::restoreCheckpoint(const std::string &Path) {
+  auto Start = std::chrono::steady_clock::now();
+  DepGraph &G = RT.graph();
+  if (G.inBatch() || G.numLiveNodes() != 0 || !Tables.empty())
+    throw CheckpointError(
+        CkptError::Busy,
+        "restore requires a freshly constructed interpreter");
+
+  //===--- Phase 1: decode and validate everything; mutate nothing. ------===//
+
+  CheckpointReader R(Path);
+  {
+    ByteReader MR = R.section(TagMeta);
+    if (MR.u64() != moduleFingerprint())
+      ckptMalformed("checkpoint was captured from a different module");
+    if (MR.u8() != static_cast<uint8_t>(Mode))
+      ckptMalformed("checkpoint was captured under a different mode");
+    if (!MR.atEnd())
+      ckptMalformed("trailing bytes in META section");
+  }
+
+  GraphSnapshot GS;
+  {
+    ByteReader GR = R.section(TagGraph);
+    GS = GraphSnapshot::decode(GR);
+    if (!GR.atEnd())
+      ckptMalformed("trailing bytes in GRPH section");
+  }
+
+  // HEAP first: GLBL/TABL values may reference heap indices, so the heap
+  // size bounds every decode.
+  std::vector<const ObjectTypeInfo *> HeapTypes;
+  std::vector<std::vector<StagedSlot>> HeapSlots;
+  {
+    ByteReader HR = R.section(TagHeap);
+    uint32_t Count = HR.u32();
+    HeapTypes.reserve(std::min<uint32_t>(Count, 4096));
+    for (uint32_t I = 0; I < Count; ++I) {
+      std::string Name = HR.str();
+      const ObjectTypeInfo *Ty = Info.lookupType(Name);
+      if (!Ty)
+        ckptMalformed("heap object of unknown type '" + Name + "'");
+      HeapTypes.push_back(Ty);
+    }
+    HeapSlots.reserve(HeapTypes.size());
+    for (uint32_t I = 0; I < Count; ++I) {
+      uint32_t NumFields = HR.u32();
+      if (NumFields != HeapTypes[I]->Fields.size())
+        ckptMalformed("field count mismatch for type '" +
+                      HeapTypes[I]->Name + "'");
+      std::vector<StagedSlot> Slots;
+      Slots.reserve(NumFields);
+      for (uint32_t F = 0; F < NumFields; ++F)
+        Slots.push_back(decodeSlot(HR, Count));
+      HeapSlots.push_back(std::move(Slots));
+    }
+    if (!HR.atEnd())
+      ckptMalformed("trailing bytes in HEAP section");
+  }
+
+  std::vector<StagedSlot> GlobalSlots;
+  {
+    ByteReader GR = R.section(TagGlobals);
+    uint32_t Count = GR.u32();
+    if (Count != Globals.size())
+      ckptMalformed("global count mismatch (checkpoint has " +
+                    std::to_string(Count) + ", module has " +
+                    std::to_string(Globals.size()) + ")");
+    GlobalSlots.reserve(Count);
+    for (uint32_t I = 0; I < Count; ++I)
+      GlobalSlots.push_back(decodeSlot(GR, HeapTypes.size()));
+    if (!GR.atEnd())
+      ckptMalformed("trailing bytes in GLBL section");
+  }
+
+  struct StagedEntry {
+    uint32_t NodeBits = 0;
+    EvalStrategy Strategy = EvalStrategy::Demand;
+    std::vector<StagedValue> Args;
+    bool HasCached = false;
+    StagedValue Cached;
+  };
+  struct StagedTable {
+    const ProcDecl *Proc = nullptr;
+    std::vector<StagedEntry> Entries;
+  };
+  std::vector<StagedTable> StagedTables;
+  {
+    ByteReader TR = R.section(TagTables);
+    uint32_t NumTables = TR.u32();
+    for (uint32_t T = 0; T < NumTables; ++T) {
+      StagedTable Tab;
+      std::string Name = TR.str();
+      Tab.Proc = M.findProc(Name);
+      // A table belongs to a procedure reachable through the incremental
+      // call protocol: either its own pragma is CACHED/MAINTAINED, or it
+      // implements a maintained method (dispatch() keys the table by the
+      // implementing ProcDecl but takes the pragma from the binding).
+      bool Incremental = Tab.Proc && Tab.Proc->Pragma.isIncremental();
+      if (Tab.Proc && !Incremental)
+        for (const auto &Ty : Info.Types) {
+          for (const lang::MethodImpl &MI : Ty->VTable)
+            if (MI.Impl == Tab.Proc && MI.Pragma.isIncremental()) {
+              Incremental = true;
+              break;
+            }
+          if (Incremental)
+            break;
+        }
+      if (!Tab.Proc || !Incremental)
+        ckptMalformed("argument table for unknown or non-incremental "
+                      "procedure '" +
+                      Name + "'");
+      for (const StagedTable &Prev : StagedTables)
+        if (Prev.Proc == Tab.Proc)
+          ckptMalformed("duplicate argument table for '" + Name + "'");
+      uint32_t NumEntries = TR.u32();
+      for (uint32_t E = 0; E < NumEntries; ++E) {
+        StagedEntry En;
+        En.NodeBits = TR.u32();
+        uint8_t Strat = TR.u8();
+        if (Strat > static_cast<uint8_t>(EvalStrategy::Eager))
+          ckptMalformed("evaluation strategy out of range");
+        En.Strategy = static_cast<EvalStrategy>(Strat);
+        uint32_t NumArgs = TR.u32();
+        for (uint32_t A = 0; A < NumArgs; ++A)
+          En.Args.push_back(decodeValue(TR, HeapTypes.size()));
+        uint8_t Has = TR.u8();
+        if (Has > 1)
+          ckptMalformed("cached-value flag out of range");
+        En.HasCached = Has != 0;
+        if (En.HasCached)
+          En.Cached = decodeValue(TR, HeapTypes.size());
+        Tab.Entries.push_back(std::move(En));
+      }
+      StagedTables.push_back(std::move(Tab));
+    }
+    if (!TR.atEnd())
+      ckptMalformed("trailing bytes in TABL section");
+  }
+
+  std::string StagedOutput, StagedErrorMessage;
+  bool StagedFailed = false;
+  {
+    ByteReader OR = R.section(TagOutput);
+    StagedOutput = OR.str();
+    uint8_t F = OR.u8();
+    if (F > 1)
+      ckptMalformed("failed flag out of range");
+    StagedFailed = F != 0;
+    StagedErrorMessage = OR.str();
+    if (!OR.atEnd())
+      ckptMalformed("trailing bytes in OUTP section");
+  }
+
+  // Cross-check: a consistent procedure node must have a cached value to
+  // serve (Maintained's invariant), or the first post-restore call would
+  // assert instead of failing the load.
+  GraphRestorer Restorer(std::move(GS));
+  for (const StagedTable &Tab : StagedTables)
+    for (const StagedEntry &En : Tab.Entries) {
+      const CkptNode *Rec = Restorer.findNode(En.NodeBits);
+      if (Rec && Rec->Consistent && !En.HasCached)
+        ckptMalformed("consistent instance of '" + Tab.Proc->Name +
+                      "' has no cached value");
+    }
+
+  // Stage the delta log: decode every surviving record before touching
+  // live state. Heap growth must be monotone and type-stable.
+  std::vector<StagedDelta> Deltas;
+  {
+    std::vector<DeltaRecord> Raw =
+        readDeltaLog(deltaLogPath(Path), R.snapshotId(), &RestoreNote);
+    size_t RunningHeap = HeapTypes.size();
+    std::vector<std::string> RunningTypes;
+    RunningTypes.reserve(RunningHeap);
+    for (const ObjectTypeInfo *Ty : HeapTypes)
+      RunningTypes.push_back(Ty->Name);
+    for (const DeltaRecord &Rec : Raw) {
+      ByteReader DR(Rec.Payload.data(), Rec.Payload.size());
+      StagedDelta D;
+      uint32_t HeapCount = DR.u32();
+      if (HeapCount < RunningHeap)
+        ckptMalformed("delta record " + std::to_string(Rec.Seq) +
+                      " shrinks the heap");
+      for (uint32_t I = 0; I < HeapCount; ++I) {
+        std::string Name = DR.str();
+        if (I < RunningTypes.size()) {
+          if (Name != RunningTypes[I])
+            ckptMalformed("delta record " + std::to_string(Rec.Seq) +
+                          " retypes heap object " + std::to_string(I));
+        } else if (!Info.lookupType(Name)) {
+          ckptMalformed("delta record " + std::to_string(Rec.Seq) +
+                        " allocates unknown type '" + Name + "'");
+        }
+        D.Types.push_back(std::move(Name));
+      }
+      for (uint32_t I = 0; I < HeapCount; ++I) {
+        const ObjectTypeInfo *Ty = Info.lookupType(D.Types[I]);
+        uint32_t NumFields = DR.u32();
+        if (NumFields != Ty->Fields.size())
+          ckptMalformed("delta record " + std::to_string(Rec.Seq) +
+                        " field count mismatch for '" + Ty->Name + "'");
+        std::vector<StagedValue> FV;
+        FV.reserve(NumFields);
+        for (uint32_t F = 0; F < NumFields; ++F)
+          FV.push_back(decodeValue(DR, HeapCount));
+        D.Fields.push_back(std::move(FV));
+      }
+      uint32_t NumGlobals = DR.u32();
+      if (NumGlobals != Globals.size())
+        ckptMalformed("delta record " + std::to_string(Rec.Seq) +
+                      " global count mismatch");
+      for (uint32_t I = 0; I < NumGlobals; ++I)
+        D.Globals.push_back(decodeValue(DR, HeapCount));
+      if (!DR.atEnd())
+        ckptMalformed("trailing bytes in delta record " +
+                      std::to_string(Rec.Seq));
+      RunningHeap = HeapCount;
+      RunningTypes = D.Types;
+      Deltas.push_back(std::move(D));
+    }
+  }
+
+  //===--- Phase 2: rebuild. Failures below still throw, but the caller  --===//
+  //===--- was told to discard the interpreter on any restore error.     --===//
+
+  // Discard whatever the global initializers allocated; the checkpoint's
+  // heap replaces it wholesale. No nodes exist yet, so this is plain
+  // memory release.
+  Heap.clear();
+  for (const ObjectTypeInfo *Ty : HeapTypes)
+    allocate(Ty);
+
+  auto Resolve = [this](const StagedValue &V) -> Value {
+    switch (static_cast<Value::Kind>(V.Kind)) {
+    case Value::Kind::Nil:
+      return Value::nil();
+    case Value::Kind::Int:
+      return Value::integer(V.Int);
+    case Value::Kind::Bool:
+      return Value::boolean(V.Bool);
+    case Value::Kind::Text:
+      return Value::text(V.Text);
+    case Value::Kind::Object:
+      return Value::object(Heap[V.Obj].get());
+    }
+    return Value::nil(); // Unreachable: phase 1 validated the kind.
+  };
+
+  auto RestoreSlot = [&](StorageSlot &S, const StagedSlot &St) {
+    S.Live = Resolve(St.Live);
+    if (!St.HasNode)
+      return;
+    S.Node = std::make_unique<SlotNode>(G, S);
+    S.Node->setName(S.DebugName.empty() ? "slot" : S.DebugName);
+    // The constructor snapshots Live; dependents may have observed an
+    // older value (quarantined writer), so re-apply the captured one.
+    S.Node->Snapshot = Resolve(St.Snapshot);
+    Restorer.bind(St.NodeBits, *S.Node);
+  };
+
+  for (size_t I = 0; I < HeapSlots.size(); ++I)
+    for (size_t F = 0; F < HeapSlots[I].size(); ++F)
+      RestoreSlot(Heap[I]->slot(F), HeapSlots[I][F]);
+  for (size_t I = 0; I < GlobalSlots.size(); ++I)
+    RestoreSlot(*Globals[I], GlobalSlots[I]);
+
+  for (const StagedTable &Tab : StagedTables) {
+    ArgTable &Table = Tables[Tab.Proc];
+    for (const StagedEntry &En : Tab.Entries) {
+      auto Owned = std::make_unique<InterpProcNode>(G, *this, Tab.Proc,
+                                                    En.Strategy);
+      InterpProcNode *N = Owned.get();
+      N->setName(Tab.Proc->Name);
+      N->Key.reserve(En.Args.size());
+      for (const StagedValue &A : En.Args)
+        N->Key.push_back(Resolve(A));
+      if (En.HasCached)
+        N->Cached = Resolve(En.Cached);
+      if (!Table.emplace(N->Key, std::move(Owned)).second)
+        ckptMalformed("duplicate argument vector in table for '" +
+                      Tab.Proc->Name + "'");
+      Restorer.bind(En.NodeBits, *N);
+    }
+  }
+
+  // Engine state: metadata, edges, partitions, quarantine — gated behind
+  // DepGraph::verify().
+  Restorer.finish(G);
+
+  // Replay the surviving deltas as ordinary storage writes, then let
+  // propagation recompute everything derived. Procedure instances
+  // created after the base snapshot are not in the log; they rebuild on
+  // first demand, which is the normal lazy path.
+  if (!Deltas.empty()) {
+    for (const StagedDelta &D : Deltas) {
+      for (size_t I = Heap.size(); I < D.Types.size(); ++I)
+        allocate(Info.lookupType(D.Types[I]));
+      for (size_t I = 0; I < D.Fields.size(); ++I)
+        for (size_t F = 0; F < D.Fields[I].size(); ++F)
+          trackedWrite(Heap[I]->slot(F), Resolve(D.Fields[I][F]), true);
+      for (size_t I = 0; I < D.Globals.size(); ++I)
+        trackedWrite(*Globals[I], Resolve(D.Globals[I]), true);
+    }
+    RT.pump();
+    std::vector<std::string> Problems = G.verify();
+    if (!Problems.empty())
+      throw CheckpointError(CkptError::VerifyFailed,
+                            "post-delta verify failed: " + Problems.front());
+  }
+
+  Output = std::move(StagedOutput);
+  Failed = StagedFailed;
+  ErrorMessage = std::move(StagedErrorMessage);
+
+  Statistics &S = RT.stats();
+  ++S.CkptRestores;
+  S.CkptRestoreMicros += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
 }
 
 } // namespace alphonse::interp

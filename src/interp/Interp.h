@@ -138,6 +138,32 @@ public:
   /// Runs the eager evaluator ("cycles available").
   void pump() { RT.pump(); }
 
+  //===------------------------------------------------------------------===//
+  // Durable checkpoints (DESIGN.md Section 10)
+  //===------------------------------------------------------------------===//
+
+  /// Writes a full snapshot of the interpreter — graph, globals, heap,
+  /// argument tables, output stream — to \p Path, crash-atomically. The
+  /// graph must be quiescent (saveCheckpoint pumps first; an open batch
+  /// throws CheckpointError(Busy)). Resets the sidecar delta log.
+  void saveCheckpoint(const std::string &Path);
+
+  /// Appends one delta record (current storage values) to \p Path's
+  /// sidecar log. Much cheaper than a full snapshot; restore replays the
+  /// surviving prefix and recomputes derived values by propagation.
+  void appendDelta(const std::string &Path);
+
+  /// Rebuilds this interpreter from \p Path plus any surviving delta
+  /// records. Requires a freshly constructed interpreter over the same
+  /// module and mode; throws CheckpointError on any validation failure
+  /// and leaves no partial state accepted (the caller should discard the
+  /// interpreter on failure). restoreNote() describes discarded
+  /// delta-log tails, if any.
+  void restoreCheckpoint(const std::string &Path);
+
+  /// Diagnostic from the last restore ("" if the delta log was clean).
+  const std::string &restoreNote() const { return RestoreNote; }
+
   Runtime &runtime() { return RT; }
   ExecMode mode() const { return Mode; }
 
@@ -167,6 +193,9 @@ private:
 
   Value defaultValue(const lang::Type &Ty) const;
   HeapObject *allocate(const lang::ObjectTypeInfo *Ty);
+  /// FNV-1a over the module's global, procedure, and type names plus the
+  /// execution mode; a checkpoint only restores into a matching module.
+  uint64_t moduleFingerprint() const;
   [[noreturn]] void fail(SourceLocation Loc, const std::string &Message);
   /// Records the in-flight exception behind failed()/errorMessage() (the
   /// first failure wins). Must be called from inside a catch block.
@@ -202,6 +231,7 @@ private:
   std::string Output;
   bool Failed = false;
   std::string ErrorMessage;
+  std::string RestoreNote;
   int CallDepth = 0;
   // Each interpreter call level costs several C++ frames; under ASan the
   // redzones inflate them past the 8 MiB default stack well before 2000

@@ -7,6 +7,8 @@
 
 #include "spreadsheet/Spreadsheet.h"
 
+#include "support/CheckpointIO.h"
+
 namespace alphonse::spreadsheet {
 
 using attrgram::Env;
@@ -56,6 +58,7 @@ Spreadsheet::Spreadsheet(Runtime &RT, int Rows, int Cols)
   for (size_t I = 0; I < InFlight.size(); ++I)
     Grid.push_back(
         std::make_unique<Cell<Exp *>>(RT, nullptr, "sheet.func"));
+  Sources.resize(InFlight.size());
 }
 
 Spreadsheet::~Spreadsheet() = default;
@@ -71,17 +74,29 @@ Exp *Spreadsheet::makeCellRef(int Row, int Col) {
   return Tree.adopt(std::make_unique<CellRefExp>(RT, *this, Row, Col));
 }
 
+void Spreadsheet::recordSource(size_t I, std::string Src) {
+  // The graph journal restores the tree on rollback; the source text must
+  // travel with it or a rolled-back setAll would checkpoint stale text.
+  if (RT.inBatch())
+    RT.graph().logUndo([this, I, Old = Sources[I]]() { Sources[I] = Old; });
+  Sources[I] = std::move(Src);
+}
+
 bool Spreadsheet::setFormula(int Row, int Col, const std::string &Source) {
   Exp *Parsed = attrgram::parseFormula(
       Tree, Source, Diags, [this](int R, int C) { return makeCellRef(R, C); });
   if (!Parsed)
     return false;
-  Grid[index(Row, Col)]->set(Parsed);
+  size_t I = index(Row, Col);
+  Grid[I]->set(Parsed);
+  recordSource(I, Source);
   return true;
 }
 
 void Spreadsheet::setLiteral(int Row, int Col, int Value) {
-  Cell<Exp *> &Slot = *Grid[index(Row, Col)];
+  size_t I = index(Row, Col);
+  Cell<Exp *> &Slot = *Grid[I];
+  recordSource(I, std::to_string(Value));
   if (Exp *Cur = Slot.peek())
     if (IntExp *Lit = Cur->asIntExp()) {
       Lit->Lit.set(Value); // In-place edit: only the literal cell changes.
@@ -91,7 +106,9 @@ void Spreadsheet::setLiteral(int Row, int Col, int Value) {
 }
 
 void Spreadsheet::clearCell(int Row, int Col) {
-  Grid[index(Row, Col)]->set(nullptr);
+  size_t I = index(Row, Col);
+  Grid[I]->set(nullptr);
+  recordSource(I, "");
 }
 
 bool Spreadsheet::setAll(const std::vector<CellEdit> &Edits) {
@@ -173,6 +190,101 @@ int Spreadsheet::oracleValue(int Row, int Col) const {
     PassDone[I] = 1;
   }
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Durable checkpoints (DESIGN.md Section 10): the structural tier
+//===----------------------------------------------------------------------===//
+
+namespace {
+constexpr uint32_t TagSheet = sectionTag('S', 'H', 'E', 'T');
+} // namespace
+
+void Spreadsheet::saveCheckpoint(const std::string &Path) {
+  RT.pump();
+  CheckpointWriter W;
+  ByteWriter B;
+  B.u32(static_cast<uint32_t>(NumRows));
+  B.u32(static_cast<uint32_t>(NumCols));
+  B.u8(CycleFlag ? 1 : 0);
+  for (int R = 0; R < NumRows; ++R)
+    for (int C = 0; C < NumCols; ++C) {
+      B.str(Sources[index(R, C)]);
+      // The oracle value: untracked, so capture perturbs no graph state.
+      B.i64(oracleValue(R, C));
+    }
+  W.addSection(TagSheet, B.take());
+  uint64_t Bytes = W.writeFile(Path);
+  Statistics &S = RT.stats();
+  ++S.CkptSnapshots;
+  S.CkptSections += W.numSections();
+  S.CkptBytesWritten += Bytes;
+}
+
+void Spreadsheet::restoreCheckpoint(const std::string &Path) {
+  CheckpointReader R(Path);
+  ByteReader B = R.section(TagSheet);
+  uint32_t Rows = B.u32(), Cols = B.u32();
+  if (Rows != static_cast<uint32_t>(NumRows) ||
+      Cols != static_cast<uint32_t>(NumCols))
+    throw CheckpointError(CkptError::Malformed,
+                          "sheet checkpoint is " + std::to_string(Rows) +
+                              "x" + std::to_string(Cols) +
+                              ", this sheet is " + std::to_string(NumRows) +
+                              "x" + std::to_string(NumCols));
+  uint8_t Flag = B.u8();
+  if (Flag > 1)
+    throw CheckpointError(CkptError::Malformed,
+                          "cycle flag out of range in sheet checkpoint");
+
+  // Stage everything (and finish bounds-checking) before touching cells.
+  struct StagedCell {
+    std::string Source;
+    long long Expected;
+  };
+  std::vector<StagedCell> Staged;
+  Staged.reserve(Grid.size());
+  for (size_t I = 0; I < Grid.size(); ++I) {
+    StagedCell SC;
+    SC.Source = B.str();
+    SC.Expected = B.i64();
+    Staged.push_back(std::move(SC));
+  }
+  if (!B.atEnd())
+    throw CheckpointError(CkptError::Malformed,
+                          "trailing bytes in sheet checkpoint");
+
+  // Re-derive: the formula trees are pointer-keyed productions, so the
+  // sheet re-parses its way back instead of binding saved graph nodes.
+  for (int Row = 0; Row < NumRows; ++Row)
+    for (int Col = 0; Col < NumCols; ++Col) {
+      const StagedCell &SC = Staged[index(Row, Col)];
+      if (SC.Source.empty()) {
+        clearCell(Row, Col);
+        continue;
+      }
+      if (!setFormula(Row, Col, SC.Source))
+        throw CheckpointError(CkptError::Malformed,
+                              "formula for cell (" + std::to_string(Row) +
+                                  ", " + std::to_string(Col) +
+                                  ") no longer parses");
+    }
+
+  // Recompute-validate: every restored cell must evaluate to its captured
+  // value, or the checkpoint does not describe this program.
+  for (int Row = 0; Row < NumRows; ++Row)
+    for (int Col = 0; Col < NumCols; ++Col) {
+      long long Got = oracleValue(Row, Col);
+      long long Want = Staged[index(Row, Col)].Expected;
+      if (Got != Want)
+        throw CheckpointError(
+            CkptError::VerifyFailed,
+            "cell (" + std::to_string(Row) + ", " + std::to_string(Col) +
+                ") recomputed to " + std::to_string(Got) + ", checkpoint " +
+                "says " + std::to_string(Want));
+    }
+  CycleFlag = Flag != 0;
+  ++RT.stats().CkptRestores;
 }
 
 long long Spreadsheet::recomputeAllExhaustive() const {

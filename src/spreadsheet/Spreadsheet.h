@@ -86,6 +86,20 @@ public:
   /// Parse diagnostics accumulated by setFormula failures.
   const DiagnosticEngine &diagnostics() const { return Diags; }
 
+  /// Writes the sheet's durable state — dimensions, per-cell formula
+  /// source, per-cell value, cycle flag — to \p Path crash-atomically.
+  /// The formula trees themselves are pointer-keyed attrgram productions,
+  /// so the checkpoint is structural: restore re-parses every formula and
+  /// re-derives the trees instead of binding graph nodes (DESIGN.md
+  /// Section 10).
+  void saveCheckpoint(const std::string &Path);
+
+  /// Rebuilds the sheet from \p Path: dimensions must match, every
+  /// formula must re-parse, and every recomputed cell value must equal
+  /// its captured value (a recompute-validate restore). Throws
+  /// CheckpointError on any mismatch.
+  void restoreCheckpoint(const std::string &Path);
+
   /// Exhaustive baseline for experiment E4: a conventional full
   /// recalculation evaluating every cell once (cross-cell references are
   /// memoized for the duration of the pass, as any non-incremental
@@ -112,6 +126,10 @@ private:
   /// Incremental per-cell evaluation (the maintained method's body).
   int computeCellValue(int Row, int Col);
 
+  /// Remembers the formula source installed at cell \p I (journaled
+  /// inside a batch so a rolled-back setAll reverts it with the tree).
+  void recordSource(size_t I, std::string Src);
+
   /// Incremental cell read used by CellRefExp (goes through the maintained
   /// method so the reference depends on one cell-value instance).
   int cellValue(int Row, int Col) { return CellVal(Row, Col); }
@@ -126,6 +144,9 @@ private:
   Maintained<int(int, int)> CellVal;
   /// Grid[i] holds the root of cell i's formula tree (nullptr = empty).
   std::vector<std::unique_ptr<Cell<attrgram::Exp *>>> Grid;
+  /// The source text behind Grid[i] ("" = empty cell); what checkpoints
+  /// persist, since the trees themselves are pointer-keyed.
+  std::vector<std::string> Sources;
   /// Cycle detection for the *oracle* path only: cells currently being
   /// evaluated exhaustively. The incremental path reads the re-entrant
   /// depth of the cell's dependency-graph node instead (the graph's

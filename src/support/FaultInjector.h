@@ -26,6 +26,7 @@
 #define ALPHONSE_SUPPORT_FAULTINJECTOR_H
 
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -55,6 +56,7 @@ public:
     None,    ///< Site not armed (or trigger not yet reached).
     Throw,   ///< Throw InjectedFault from the site.
     Diverge, ///< Self-invalidate the executing node after its body runs.
+    Kill,    ///< Terminate the process immediately (crash simulation).
   };
 
   /// Arms \p Site to throw at its \p AtNthHit-th hit (1-based, counted
@@ -70,6 +72,15 @@ public:
                   uint64_t Times = UINT64_MAX) {
     std::lock_guard<std::mutex> L(Mu);
     Sites[std::move(Site)] = {Action::Diverge, AtNthHit, Times, 0};
+  }
+
+  /// Arms \p Site to kill the process (std::_Exit, no cleanup — a
+  /// faithful crash as far as the filesystem is concerned) at its
+  /// \p AtNthHit-th hit. The crash-recovery harness arms this in a forked
+  /// child to die between two durable-write steps.
+  void armKill(std::string Site, uint64_t AtNthHit = 1) {
+    std::lock_guard<std::mutex> L(Mu);
+    Sites[std::move(Site)] = {Action::Kill, AtNthHit, 1, 0};
   }
 
   /// Disarms \p Site (its hit count is discarded).
@@ -152,6 +163,8 @@ inline FaultInjector::Action faultInjectionPoint(std::string_view Site) {
   FaultInjector::Action A = FI->hit(Site);
   if (A == FaultInjector::Action::Throw)
     throw InjectedFault(std::string(Site));
+  if (A == FaultInjector::Action::Kill)
+    std::_Exit(137); // No destructors, no atexit, no flushing: a crash.
   return A;
 }
 

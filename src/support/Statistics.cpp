@@ -67,7 +67,14 @@ std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
      << "pool.edge_reuse      " << S.EdgeReuse.total() << '\n'
      << "graph.node_bytes     " << S.GraphNodeBytes.total() << '\n'
      << "graph.edge_bytes     " << S.GraphEdgeBytes.total() << '\n'
-     << "pool.high_water      " << S.PoolHighWater.total() << '\n';
+     << "pool.high_water      " << S.PoolHighWater.total() << '\n'
+     << "ckpt.snapshots       " << S.CkptSnapshots.total() << '\n'
+     << "ckpt.deltas          " << S.CkptDeltas.total() << '\n'
+     << "ckpt.sections        " << S.CkptSections.total() << '\n'
+     << "ckpt.bytes_written   " << S.CkptBytesWritten.total() << '\n'
+     << "ckpt.restores        " << S.CkptRestores.total() << '\n'
+     << "ckpt.restored_nodes  " << S.CkptRestoredNodes.total() << '\n'
+     << "ckpt.restore_micros  " << S.CkptRestoreMicros.total() << '\n';
   return OS;
 }
 

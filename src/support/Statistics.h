@@ -179,6 +179,20 @@ struct Statistics {
   StatCounter GraphEdgeBytes;
   /// High-water mark of total graph slab bytes (nodes + edges; gauge).
   StatCounter PoolHighWater;
+  /// Full checkpoint snapshots written (DESIGN.md §10).
+  StatCounter CkptSnapshots;
+  /// Delta records appended to checkpoint logs.
+  StatCounter CkptDeltas;
+  /// Sections written across all snapshots.
+  StatCounter CkptSections;
+  /// Bytes written durably (snapshots + delta records).
+  StatCounter CkptBytesWritten;
+  /// Checkpoint restores completed (snapshot load + delta replay + verify).
+  StatCounter CkptRestores;
+  /// Nodes rebuilt by restores.
+  StatCounter CkptRestoredNodes;
+  /// Microseconds spent in completed restores.
+  StatCounter CkptRestoreMicros;
 
   /// Resets every counter to zero.
   void reset() { *this = Statistics(); }

@@ -13,10 +13,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "spreadsheet/Spreadsheet.h"
+#include "support/CheckpointIO.h"
 #include "support/FaultInjector.h"
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
 #include <random>
 
 namespace alphonse::spreadsheet {
@@ -306,6 +311,86 @@ TEST_P(SpreadsheetRandomTest, RandomEditsMatchOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, SpreadsheetRandomTest,
                          ::testing::Values(2, 4, 8));
+
+/// Temp checkpoint path removed (with its sidecars) on scope exit.
+class TempSheetCheckpoint {
+public:
+  explicit TempSheetCheckpoint(const std::string &Stem) {
+    const char *Dir = std::getenv("TMPDIR");
+    Path = std::string(Dir ? Dir : "/tmp") + "/" + Stem + "." +
+           std::to_string(::getpid()) + ".ckpt";
+  }
+  ~TempSheetCheckpoint() {
+    std::remove(Path.c_str());
+    std::remove((Path + ".tmp").c_str());
+    std::remove(deltaLogPath(Path).c_str());
+  }
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+TEST(SpreadsheetCheckpointTest, StructuralRoundtrip) {
+  TempSheetCheckpoint File("sheet-ckpt");
+  Runtime RTA;
+  Spreadsheet A(RTA, 3, 3);
+  ASSERT_TRUE(A.setFormula(0, 0, "7"));
+  ASSERT_TRUE(A.setFormula(0, 1, "cell(0,0) * 3"));
+  ASSERT_TRUE(A.setFormula(1, 0, "let x = cell(0,1) in x + 2 ni"));
+  A.setLiteral(2, 2, 41);
+  A.saveCheckpoint(File.path());
+
+  Runtime RTB;
+  Spreadsheet B(RTB, 3, 3);
+  B.restoreCheckpoint(File.path());
+  EXPECT_EQ(B.value(0, 0), 7);
+  EXPECT_EQ(B.value(0, 1), 21);
+  EXPECT_EQ(B.value(1, 0), 23);
+  EXPECT_EQ(B.value(2, 2), 41);
+  EXPECT_FALSE(B.cycleDetected());
+  EXPECT_TRUE(RTB.graph().verify().empty());
+
+  // The restored sheet keeps recalculating incrementally.
+  B.setLiteral(0, 0, 10);
+  EXPECT_EQ(B.value(1, 0), 32);
+}
+
+TEST(SpreadsheetCheckpointTest, DimensionMismatchIsRejected) {
+  TempSheetCheckpoint File("sheet-ckpt-dims");
+  Runtime RTA;
+  Spreadsheet A(RTA, 2, 2);
+  A.setLiteral(0, 0, 5);
+  A.saveCheckpoint(File.path());
+
+  Runtime RTB;
+  Spreadsheet B(RTB, 3, 2);
+  try {
+    B.restoreCheckpoint(File.path());
+    FAIL() << "restore into a different extent must throw";
+  } catch (const CheckpointError &E) {
+    EXPECT_EQ(E.code(), CkptError::Malformed);
+  }
+}
+
+TEST(SpreadsheetCheckpointTest, RolledBackBatchIsNotPersisted) {
+  TempSheetCheckpoint File("sheet-ckpt-rollback");
+  Runtime RTA;
+  Spreadsheet A(RTA, 2, 2);
+  ASSERT_TRUE(A.setFormula(0, 0, "9"));
+  ASSERT_TRUE(A.setFormula(0, 1, "cell(0,0) + 1"));
+
+  // The batch fails on a parse error; its formula sources must not leak
+  // into a later checkpoint (they are journaled alongside the values).
+  EXPECT_FALSE(A.setAll({{0, 0, "100"}, {0, 1, "syntax ((("}}));
+  A.saveCheckpoint(File.path());
+
+  Runtime RTB;
+  Spreadsheet B(RTB, 2, 2);
+  B.restoreCheckpoint(File.path());
+  EXPECT_EQ(B.value(0, 0), 9);
+  EXPECT_EQ(B.value(0, 1), 10);
+}
 
 } // namespace
 } // namespace alphonse::spreadsheet

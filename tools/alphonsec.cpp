@@ -28,10 +28,18 @@
 //                           threads during propagation (0 = serial,
 //                           default). The ALPHONSE_JOBS environment
 //                           variable overrides this flag.
+//   --restore PATH          rebuild the interpreter from a checkpoint (and
+//                           its delta log) before running --run specs
+//   --checkpoint PATH       write a full checkpoint after the --run specs
+//   --checkpoint-delta PATH append a delta record to PATH's sidecar log
+//                           after the --run specs (PATH must exist)
+//   --fault-seed N          deterministically arm one process-kill fault
+//                           at a checkpoint I/O injection site derived
+//                           from N (crash-recovery drills from scripts)
 //
 // Exit status: 0 on success, 1 on usage or compile errors, 2 on runtime
 // errors — including runs that finish with quarantined nodes, so scripts
-// can detect degraded executions.
+// can detect degraded executions — and checkpoint save/restore failures.
 //
 // ALPHONSE_AUDIT=1 in the environment enables the structural graph audit
 // after every evaluation (DepGraph::Config::AuditAfterEvaluate).
@@ -40,6 +48,8 @@
 
 #include "interp/Interp.h"
 #include "lang/Parser.h"
+#include "support/CheckpointIO.h"
+#include "support/FaultInjector.h"
 #include "transform/StaticPartition.h"
 #include "transform/StaticRefSets.h"
 #include "transform/Transform.h"
@@ -69,6 +79,11 @@ struct Options {
   bool Stats = false;
   bool Transactional = false;
   std::string RunSpec;
+  std::string RestorePath;
+  std::string CheckpointPath;
+  std::string DeltaPath;
+  uint64_t FaultSeed = 0;
+  bool HaveFaultSeed = false;
   ExecMode Mode = ExecMode::Alphonse;
   unsigned Jobs = 0;
 };
@@ -79,7 +94,9 @@ void usage() {
       "usage: alphonsec FILE.alf [--emit-transformed] [--emit-source]\n"
       "                 [--conservative] [--analyze] [--run PROC[,INT...]]\n"
       "                 [--mode alphonse|conventional] [--transactional]\n"
-      "                 [--stats] [--jobs N]\n");
+      "                 [--stats] [--jobs N] [--restore PATH]\n"
+      "                 [--checkpoint PATH] [--checkpoint-delta PATH]\n"
+      "                 [--fault-seed N]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -129,6 +146,38 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       }
       Opts.Jobs = static_cast<unsigned>(N);
+    } else if (Arg == "--restore") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --restore needs a path\n");
+        return false;
+      }
+      Opts.RestorePath = Argv[I];
+    } else if (Arg == "--checkpoint") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --checkpoint needs a path\n");
+        return false;
+      }
+      Opts.CheckpointPath = Argv[I];
+    } else if (Arg == "--checkpoint-delta") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --checkpoint-delta needs a path\n");
+        return false;
+      }
+      Opts.DeltaPath = Argv[I];
+    } else if (Arg == "--fault-seed") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --fault-seed needs an argument\n");
+        return false;
+      }
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Argv[I], &End, 10);
+      if (!End || *End != '\0' || Argv[I][0] == '\0') {
+        std::fprintf(stderr,
+                     "error: --fault-seed needs a non-negative integer\n");
+        return false;
+      }
+      Opts.FaultSeed = N;
+      Opts.HaveFaultSeed = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return false;
@@ -143,7 +192,9 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     usage();
     return false;
   }
-  if (!Opts.EmitSource && !Opts.Analyze && Opts.RunSpec.empty())
+  if (!Opts.EmitSource && !Opts.Analyze && Opts.RunSpec.empty() &&
+      Opts.RestorePath.empty() && Opts.CheckpointPath.empty() &&
+      Opts.DeltaPath.empty())
     Opts.EmitTransformed = true; // Default action.
   return true;
 }
@@ -154,6 +205,18 @@ int runProgram(const Options &Opts, const Module &M, const SemaInfo &Info) {
   Cfg.Workers = Opts.Jobs; // ALPHONSE_JOBS overrides (Runtime env hook).
   Interp I(M, Info, Opts.Mode, Cfg);
   int Status = 0;
+  if (!Opts.RestorePath.empty()) {
+    try {
+      I.restoreCheckpoint(Opts.RestorePath);
+      if (!I.restoreNote().empty())
+        std::fprintf(stderr, "note: %s\n", I.restoreNote().c_str());
+    } catch (const CheckpointError &E) {
+      // Structured refusal: the snapshot (or its delta log) does not
+      // describe a loadable state for this program. Nothing was accepted.
+      std::fprintf(stderr, "checkpoint restore failed: %s\n", E.what());
+      return 2;
+    }
+  }
   std::stringstream Specs(Opts.RunSpec);
   std::string OneSpec;
   while (std::getline(Specs, OneSpec, ';')) {
@@ -197,6 +260,22 @@ int runProgram(const Options &Opts, const Module &M, const SemaInfo &Info) {
       std::printf("%s => %s\n", Name.c_str(), Result.render().c_str());
     }
   }
+  if (!Opts.CheckpointPath.empty()) {
+    try {
+      I.saveCheckpoint(Opts.CheckpointPath);
+    } catch (const CheckpointError &E) {
+      std::fprintf(stderr, "checkpoint save failed: %s\n", E.what());
+      Status = 2;
+    }
+  }
+  if (!Opts.DeltaPath.empty()) {
+    try {
+      I.appendDelta(Opts.DeltaPath);
+    } catch (const CheckpointError &E) {
+      std::fprintf(stderr, "checkpoint delta failed: %s\n", E.what());
+      Status = 2;
+    }
+  }
   if (!I.output().empty())
     std::printf("--- program output ---\n%s", I.output().c_str());
   if (Status == 0 && I.runtime().graph().numQuarantined() > 0) {
@@ -224,6 +303,30 @@ int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 1;
+
+  // --fault-seed: deterministically arm one process kill at a checkpoint
+  // I/O injection site. A snapshot pass hits "ckpt.io" 7 times (6 inside
+  // the temp-write/fsync/rename protocol, 1 before the delta-log reset)
+  // and a delta append hits "ckpt.delta.io" 4 times; the seed picks one
+  // of the 11 slots, so sweeping N over 0..10 covers every kill point.
+  FaultInjector Injector;
+  std::unique_ptr<FaultInjector::Scope> InjectorScope;
+  if (Opts.HaveFaultSeed) {
+    uint64_t Slot = Opts.FaultSeed % 11;
+    if (Slot < 7) {
+      Injector.armKill("ckpt.io", Slot + 1);
+      std::fprintf(stderr, "fault-seed %llu: kill at ckpt.io hit %llu\n",
+                   static_cast<unsigned long long>(Opts.FaultSeed),
+                   static_cast<unsigned long long>(Slot + 1));
+    } else {
+      Injector.armKill("ckpt.delta.io", Slot - 6);
+      std::fprintf(stderr,
+                   "fault-seed %llu: kill at ckpt.delta.io hit %llu\n",
+                   static_cast<unsigned long long>(Opts.FaultSeed),
+                   static_cast<unsigned long long>(Slot - 6));
+    }
+    InjectorScope = std::make_unique<FaultInjector::Scope>(Injector);
+  }
 
   std::ifstream In(Opts.InputPath);
   if (!In) {
@@ -285,7 +388,8 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (!Opts.RunSpec.empty())
+  if (!Opts.RunSpec.empty() || !Opts.RestorePath.empty() ||
+      !Opts.CheckpointPath.empty() || !Opts.DeltaPath.empty())
     return runProgram(Opts, M, Info);
   return 0;
 }

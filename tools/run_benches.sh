@@ -48,10 +48,37 @@ if [[ ! -d "$BENCH_DIR" ]]; then
   exit 1
 fi
 
+# The sweep is defined by bench/CMakeLists.txt, not by what happens to be
+# on disk: a registered binary that is missing means a broken build (or a
+# bench silently dropped from the sweep) and must fail the run loudly
+# rather than quietly shrink the aggregate.
+mapfile -t EXPECTED < <(sed -n 's/^add_executable(\(bench_[a-z_]*\).*/\1/p' \
+  "$REPO_ROOT/bench/CMakeLists.txt" | sort)
+if [[ ${#EXPECTED[@]} -eq 0 ]]; then
+  echo "error: no bench targets found in bench/CMakeLists.txt" >&2
+  exit 1
+fi
+
 if [[ -n "$ONLY" ]]; then
   BINARIES=("$BENCH_DIR/$ONLY")
 else
-  BINARIES=("$BENCH_DIR"/bench_*)
+  BINARIES=()
+  for NAME in "${EXPECTED[@]}"; do
+    BINARIES+=("$BENCH_DIR/$NAME")
+  done
+fi
+
+MISSING=0
+for BIN in "${BINARIES[@]}"; do
+  if [[ ! -x "$BIN" ]]; then
+    echo "error: bench binary missing or not executable: $BIN" >&2
+    MISSING=1
+  fi
+done
+if [[ $MISSING -ne 0 ]]; then
+  echo "       (every target registered in bench/CMakeLists.txt must be" >&2
+  echo "        built; rebuild, or remove the target from the sweep)" >&2
+  exit 1
 fi
 
 TMP_DIR="$(mktemp -d)"
@@ -59,7 +86,6 @@ trap 'rm -rf "$TMP_DIR"' EXIT
 
 DOCS=()
 for BIN in "${BINARIES[@]}"; do
-  [[ -x "$BIN" ]] || continue
   NAME="$(basename "$BIN")"
   JSON="$TMP_DIR/$NAME.json"
   echo "== $NAME" >&2

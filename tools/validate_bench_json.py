@@ -68,6 +68,14 @@ def main():
         default=None,
         help="fail when space.bytes_per_edge exceeds this bound",
     )
+    ap.add_argument(
+        "--require-suite",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a suite with this name is present and non-empty "
+        "(repeatable); catches a bench binary silently dropped from the sweep",
+    )
     args = ap.parse_args()
 
     try:
@@ -97,6 +105,14 @@ def main():
             check_benchmark(name, bench)
         total += len(benches)
     require(total > 0, "no benchmark runs recorded in any suite")
+
+    by_name = {s["name"]: s for s in suites}
+    for wanted in args.require_suite:
+        require(wanted in by_name, f"required suite '{wanted}' is missing")
+        require(
+            len(by_name[wanted]["benchmarks"]) > 0,
+            f"required suite '{wanted}' recorded no benchmark runs",
+        )
 
     space = doc.get("space")
     if space is not None:
