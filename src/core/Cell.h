@@ -108,6 +108,16 @@ public:
   /// The location's dependency-graph node, or nullptr while untracked.
   DepNode *node() const { return Node.load(std::memory_order_acquire); }
 
+  /// True while this location's tracked snapshot is *stale*: a budgeted
+  /// pump was cancelled before propagating a change that (transitively)
+  /// reaches it, so dependent values computed from it reflect the last
+  /// quiescent state. Cleared once a later pump repairs the cone.
+  /// Untracked cells are never stale (peek() always reads live storage).
+  bool isStale() const {
+    DepNode *N = Node.load(std::memory_order_acquire);
+    return N && N->isStale();
+  }
+
   /// Creates the location's node now (outside any incremental call) and
   /// returns it. Checkpoint restore uses this to rebuild a cell that was
   /// tracked at capture without replaying the read that tracked it.

@@ -159,6 +159,26 @@ public:
     return It != Table.end() && It->second->isConsistent();
   }
 
+  /// True while the cached value for these arguments is stale: a budgeted
+  /// pump was cancelled before re-establishing it, so calls serve the
+  /// last-quiescent result (DESIGN.md Section 11). Records no dependency.
+  bool isStale(Args... A) const {
+    auto It = Table.find(Key(A...));
+    return It != Table.end() && It->second->isStale();
+  }
+
+  /// Untracked read of the cached value for these arguments, forcing no
+  /// evaluation (nullptr when the instance or its cache does not exist).
+  /// The degraded-mode introspection path: callers inspecting stale
+  /// (last-quiescent) values without paying for repair — operator()
+  /// would evaluate pending work first.
+  const R *peekCached(Args... A) const {
+    auto It = Table.find(Key(A...));
+    if (It == Table.end() || !It->second->Cached)
+      return nullptr;
+    return &*It->second->Cached;
+  }
+
   /// Drops the instance for these arguments, if any. The instance must not
   /// be depended upon or executing. Use when an argument (say, a destroyed
   /// object) will never be passed again. Not transactional: do not call

@@ -96,8 +96,29 @@ public:
   /// Runs the evaluator over every partition. The mutator calls this when
   /// computation cycles are available (the paper's eager-evaluation hook:
   /// "the evaluation routine should be called whenever cycles are
-  /// available").
+  /// available"). Governed by the default budget (setDefaultBudget);
+  /// unlimited unless the embedding configured one.
   void pump() { Graph.evaluateAll(); }
+
+  /// Budgeted pump (DESIGN.md Section 11): propagates under \p B's
+  /// deadline / step budget / memory ceiling. On exhaustion the wave is
+  /// cooperatively cancelled, residual work stays parked for a later
+  /// pump, affected values are stamped stale (Cell::isStale), and the
+  /// degraded outcome is returned.
+  WaveOutcome pump(const WaveBudget &B) { return Graph.evaluateAll(B); }
+
+  /// Unbudgeted run-to-quiescence pump, regardless of any default budget:
+  /// drains every parked residue and clears all stale marks. Checkpoint
+  /// capture and batch opening use this — both need a truly quiescent
+  /// graph.
+  WaveOutcome pumpUnbounded() { return Graph.evaluateAll(WaveBudget()); }
+
+  /// Budget applied by every un-annotated pump (0 fields = unbounded).
+  void setDefaultBudget(const WaveBudget &B) { Graph.setDefaultBudget(B); }
+
+  /// True while the runtime serves degraded results (stale values or a
+  /// parked residue from a cancelled wave).
+  bool degraded() const { return Graph.governor().degraded(); }
 
   //===--------------------------------------------------------------------===//
   // Transactional mutation batches (DESIGN.md "Transactions and recovery")
@@ -109,7 +130,9 @@ public:
   /// inside an incremental call.
   void beginBatch() {
     assert(callDepth() == 0 && "beginBatch() inside an incremental call");
-    Graph.evaluateAll();
+    // The pre-batch pump must run to quiescence whatever the default
+    // budget: the rollback point has to be a quiescent state.
+    Graph.evaluateAll(WaveBudget());
     Graph.beginBatch();
   }
 

@@ -126,7 +126,7 @@ GraphSnapshot GraphSnapshot::decode(ByteReader &R) {
       malformed("quarantine entry for a node not in the snapshot");
     if (!Faulted.insert(F.IdBits).second)
       malformed("duplicate quarantine entry");
-    if (F.Kind > static_cast<uint8_t>(FaultKind::Poisoned))
+    if (F.Kind > static_cast<uint8_t>(FaultKind::Deadline))
       malformed("quarantine entry with an unknown fault kind");
     S.Faults.push_back(std::move(F));
   }

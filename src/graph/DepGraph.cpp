@@ -61,9 +61,10 @@ void DepNode::requireSerialEval() {
 // DepGraph: construction and node registry
 //===----------------------------------------------------------------------===//
 
-DepGraph::DepGraph(Statistics &Stats) : GraphPolicy(Stats) {}
+DepGraph::DepGraph(Statistics &Stats) : GraphPolicy(Stats), Gov(Stats) {}
 
-DepGraph::DepGraph(Statistics &Stats, Config Cfg) : GraphPolicy(Stats, Cfg) {}
+DepGraph::DepGraph(Statistics &Stats, Config Cfg)
+    : GraphPolicy(Stats, Cfg), Gov(Stats) {}
 
 DepGraph::~DepGraph() {
   assert(NumLiveNodes == 0 &&
@@ -137,6 +138,11 @@ void DepGraph::addDependency(DepNode &Sink, DepNode &Source) {
   // Level update happens even for deduplicated edges (it is idempotent).
   if (Sink.Level <= Source.Level)
     Sink.Level = Source.Level + 1;
+  // A source read mid-execution hands the sink its transient (partially
+  // rebuilt) level; remember that so the verify() level audit knows this
+  // source's successor edges may legitimately invert.
+  if (Source.Executing)
+    Source.ReadMidExecution = true;
 
   if (Cfg.DedupEdges && Sink.ExecStamp != 0 && Source.DedupSink == Sink.Id &&
       Source.DedupStamp == Sink.ExecStamp) {
@@ -234,10 +240,17 @@ void DepGraph::beginExecution(DepNode &Proc) {
     Journal.push(std::move(U));
     ++Stats.TxnUndoEntries;
   }
+  // An execution re-establishes the node's value from live inputs, so any
+  // stale mark left by a cancelled wave is repaired here.
+  if (Proc.StaleSince != 0) {
+    Proc.StaleSince = 0;
+    Gov.StaleCount.fetch_sub(1, std::memory_order_relaxed);
+  }
   // Algorithm 5 sets consistent(n) := TRUE before running the body so that
   // invalidation during the run (e.g. a self-write) is observable afterward.
   Proc.Consistent = true;
   Proc.Executing = true;
+  Proc.ReadMidExecution = false;
   Proc.Level = 0;
   Proc.ExecStamp = ++StampCounter;
   // Conservative: every execution may change the cached value.
@@ -269,6 +282,12 @@ bool DepGraph::tripsReexecutionLimit(DepNode &N) {
   return ++N.ReexecCount > Cfg.MaxReexecutions;
 }
 
+/// Nested-evaluation time (microseconds) accumulated by processNode frames
+/// below the current one on this thread, for the watchdog's self-time
+/// attribution (see the Watch block in processNode). Stack-disciplined:
+/// each watched frame zeroes it on entry and restores parent+wall on exit.
+static thread_local uint64_t WatchNestedUs = 0;
+
 void DepGraph::processNode(DepNode &N) {
   ++Stats.EvalSteps;
   uint64_t Steps = ++EvalSteps;
@@ -286,6 +305,13 @@ void DepGraph::processNode(DepNode &N) {
                        "(Section 3.5)",
                    nullptr});
     return;
+  }
+
+  // Processing repairs the node (or, for demand nodes, hands repair to the
+  // next call), so a stale mark left by a cancelled wave is lifted here.
+  if (N.StaleSince != 0) {
+    N.StaleSince = 0;
+    Gov.StaleCount.fetch_sub(1, std::memory_order_relaxed);
   }
 
   if (N.isStorage()) {
@@ -359,6 +385,32 @@ void DepGraph::processNode(DepNode &N) {
   // A throwing body quarantines the node; the drain continues with the
   // partition's remaining work.
   bool Changed;
+  // Watchdog (DESIGN.md Section 11): while a deadline-budgeted wave runs,
+  // time each single evaluation. A node whose own body repeatedly
+  // consumes the whole deadline would make every governed wave degrade
+  // without progress; after Config::WatchdogTrips *consecutive* strikes
+  // it is quarantined with a Deadline fault. Only self time counts: a
+  // body whose demand read triggers a nested drain (ensureEvaluatedFor)
+  // spends other nodes' evaluation time inside its own wall-clock window,
+  // and billing that to the enclosing node would quarantine innocent
+  // nodes whose dependencies merely had a deep backlog. WatchSelf is
+  // stack-disciplined (thread-local): each frame zeroes the accumulator,
+  // measures its wall time, subtracts what nested frames reported, and
+  // adds its full wall time to the parent's share of nested work.
+  const bool Watch = Gov.deadlineActive() && Cfg.WatchdogTrips != 0;
+  uint64_t SavedNestedUs = 0;
+  uint64_t EvalStartUs = 0;
+  if (Watch) {
+    SavedNestedUs = WatchNestedUs;
+    WatchNestedUs = 0;
+    EvalStartUs = GovClock::nowUs();
+  }
+  auto BillWatch = [&]() -> uint64_t {
+    const uint64_t WallUs = GovClock::nowUs() - EvalStartUs;
+    const uint64_t SelfUs = WallUs > WatchNestedUs ? WallUs - WatchNestedUs : 0;
+    WatchNestedUs = SavedNestedUs + WallUs;
+    return SelfUs;
+  };
   try {
     Changed = N.reexecute();
   } catch (const RetryConflict &) {
@@ -366,13 +418,34 @@ void DepGraph::processNode(DepNode &N) {
     // left inconsistent (and re-queued) by the abandoned execution, and
     // ownership of the merged partition has already moved. Unwind the
     // calling drain task.
+    if (Watch)
+      BillWatch();
     throw;
   } catch (...) {
     // The typed layer usually quarantines the node itself (with the most
     // precise fault kind) before rethrowing; this is the backstop for
     // hooks without that wrapping. quarantine() keeps the first fault.
+    if (Watch)
+      BillWatch();
     quarantine(N, captureCurrentFault(N.name()));
     return;
+  }
+  if (Watch) {
+    if (BillWatch() >= Gov.currentDeadlineUs()) {
+      ++Stats.GovDeadlineBlows;
+      if (++N.DeadlineBlows >= Cfg.WatchdogTrips) {
+        ++Stats.GovWatchdogQuarantines;
+        quarantine(N, {FaultKind::Deadline, N.name(),
+                       "single evaluation consumed an entire wave deadline " +
+                           std::to_string(N.DeadlineBlows) +
+                           " consecutive times (WatchdogTrips); the node "
+                           "would starve every governed wave",
+                       nullptr});
+        return;
+      }
+    } else {
+      N.DeadlineBlows = 0; // A clean evaluation breaks the streak.
+    }
   }
   if (Changed) {
     enqueueSuccessors(N);
@@ -387,6 +460,7 @@ void DepGraph::evaluateFor(DepNode &N) {
     return;
   }
   ++Stats.PartitionScopedEvals;
+  bool OwnWave = false;
   {
     StateGuard Guard(*this);
     ++EvalDepth;
@@ -394,19 +468,32 @@ void DepGraph::evaluateFor(DepNode &N) {
       EvalSteps = 0;
       ++EvalEpoch;
       DrainAborted = false;
+      // A top-level partition-scoped pump is a wave of its own when a
+      // default budget is configured (nested drains inherit the enclosing
+      // wave's budget through governorStop()).
+      if (!Gov.waveActive() && !TxnActive && !Gov.defaultBudget().unlimited()) {
+        Gov.openWave(Gov.defaultBudget());
+        OwnWave = true;
+      }
     }
   }
   // Restores the depth even when a wave conflict (RetryConflict) unwinds
-  // a nested drain on a worker thread.
+  // a nested drain on a worker thread, and closes a wave this entry
+  // opened so the governor never leaks an open wave past an unwind.
   struct DepthScope {
     DepGraph &G;
+    bool OwnWave;
     ~DepthScope() {
       StateGuard Guard(G);
       --G.EvalDepth;
+      if (OwnWave && G.Gov.waveActive())
+        G.Gov.closeWave(G.TotalPending);
     }
-  } Depth{*this};
+  } Depth{*this, OwnWave};
   // Re-resolve the set each round: processing can merge partitions.
   while (!DrainAborted.load(std::memory_order_relaxed)) {
+    if (governorStop())
+      break;
     DepNode *U = nullptr;
     {
       StateGuard Guard(*this);
@@ -419,26 +506,65 @@ void DepGraph::evaluateFor(DepNode &N) {
     processNode(*U);
   }
   StateGuard Guard(*this);
+  if (OwnWave) {
+    Depth.OwnWave = false; // Closed here; the scope need not repeat it.
+    WaveOutcome O = Gov.closeWave(TotalPending);
+    if (waveDegraded(O))
+      stampStaleResidue();
+    else if (TotalPending == 0)
+      clearStaleMarks();
+    Stats.GovStaleNodes = Gov.staleCount();
+  }
   if (EvalDepth == 1 && Cfg.AuditAfterEvaluate)
     for (const std::string &V : verify())
       Diags.error(SourceLocation(), "audit: " + V);
 }
 
-void DepGraph::evaluateAll() {
-  // Top-level propagation goes parallel only when it is safe to: workers
-  // configured, partitioning on (partitions are the unit of concurrency),
-  // not re-entered from inside an execution, and no transactional batch
-  // open (the journal is strictly serial).
-  if (Cfg.Workers > 0 && Cfg.Partitioning && EvalDepth == 0 && !TxnActive) {
-    if (!Scheduler)
-      Scheduler = std::make_unique<PropagationScheduler>(*this, Cfg.Workers);
-    if (Scheduler->workers() > 0) {
-      Scheduler->run();
-      return;
-    }
-    // Shard budget exhausted at pool creation: fall through to serial.
+WaveOutcome DepGraph::evaluateAll(const WaveBudget &B) {
+  // Re-entered from inside an execution: the enclosing wave (if any)
+  // governs through governorStop(); just drain serially.
+  if (EvalDepth != 0) {
+    evaluateAllSerial();
+    return WaveOutcome::Completed;
   }
-  evaluateAllSerial();
+
+  // Overload admission (skipped under a batch: commitBatch must always
+  // attempt the propagation so the abort/rollback logic decides).
+  if (!TxnActive && !Gov.admitWave(B))
+    return Gov.lastOutcome();
+
+  Gov.openWave(B);
+  try {
+    // Top-level propagation goes parallel only when it is safe to: workers
+    // configured, partitioning on (partitions are the unit of concurrency),
+    // and no transactional batch open (the journal is strictly serial).
+    bool Parallel = false;
+    if (Cfg.Workers > 0 && Cfg.Partitioning && !TxnActive) {
+      if (!Scheduler)
+        Scheduler = std::make_unique<PropagationScheduler>(*this, Cfg.Workers);
+      // Shard budget exhausted at pool creation: fall back to serial.
+      Parallel = Scheduler->workers() > 0;
+    }
+    if (Parallel)
+      Scheduler->run();
+    else
+      evaluateAllSerial();
+  } catch (...) {
+    Gov.closeWave(TotalPending);
+    throw;
+  }
+
+  WaveOutcome O = Gov.closeWave(TotalPending);
+  if (!TxnActive) {
+    // Degradation bookkeeping (under a batch the commit path rolls the
+    // whole state back instead; no stale values ever escape it).
+    if (waveDegraded(O))
+      stampStaleResidue();
+    else if (TotalPending == 0)
+      clearStaleMarks();
+    Stats.GovStaleNodes = Gov.staleCount();
+  }
+  return O;
 }
 
 void DepGraph::evaluateAllSerial() {
@@ -450,12 +576,16 @@ void DepGraph::evaluateAllSerial() {
   }
   if (!Cfg.Partitioning) {
     while (!GlobalSet.empty() && !DrainAborted) {
+      if (governorStop())
+        break;
       DepNode &U = GlobalSet.pop(*this);
       --TotalPending;
       processNode(U);
     }
   } else {
     while (TotalPending > 0 && !DrainAborted) {
+      if (governorStop())
+        break;
       if (DirtyRoots.empty()) {
         // Rebuild from the live sets (roots can go stale across merges).
         for (UnionFind::Id Root = 0; Root < SetVec.size(); ++Root)
@@ -530,18 +660,29 @@ void DepGraph::beginBatch() {
 bool DepGraph::commitBatch() {
   assert(TxnActive && "commitBatch() without beginBatch()");
   assert(!isEvaluating() && "commitBatch() inside the evaluator");
+  WaveOutcome O = WaveOutcome::Completed;
   try {
     faultInjectionPoint("txn.commit");
     // Quiescence propagation for the whole batch (the paper's Section 4.5
     // loop; Section 3.4 observes updates batch naturally). Faults inside
     // do not throw — they quarantine and bump TxnNewFaults.
-    evaluateAll();
+    O = evaluateAll(Gov.defaultBudget());
   } catch (...) {
     ++TxnNewFaults;
     if (!AbortFault)
       AbortFault = captureCurrentFault("txn.commit");
   }
-  if (TxnNewFaults != 0 || DrainAborted) {
+  if (waveDegraded(O) && !AbortFault) {
+    // A budget exhausted mid-commit aborts the batch: a transaction must
+    // be all-or-nothing, so degraded (partially propagated) state is
+    // rolled back rather than served stale.
+    AbortFault = FaultInfo{FaultKind::Deadline, std::string(),
+                           std::string("commit propagation ended ") +
+                               waveOutcomeName(O) +
+                               ": wave budget exhausted mid-batch",
+                           nullptr};
+  }
+  if (TxnNewFaults != 0 || DrainAborted || waveDegraded(O)) {
     const FaultInfo *FI = abortFault();
     Diags.note(SourceLocation(),
                "txn: commit aborted (" +
@@ -571,6 +712,9 @@ void DepGraph::rollbackBatch() {
   Journal.clear();
   TxnRollingBack = false;
   TxnActive = false;
+  // The restored state is the pre-batch quiescent one: nothing is parked.
+  Gov.ParkedResidue = 0;
+  Stats.GovParkedNodes = 0;
   ++Epoch;
   ++Stats.TxnRolledBack;
   if (Cfg.VerifyOnRollback)
@@ -649,6 +793,54 @@ void DepGraph::relinkEdge(DepNode &Source, DepNode &Sink) {
 }
 
 //===----------------------------------------------------------------------===//
+// Graceful degradation: staleness stamping (DESIGN.md Section 11)
+//===----------------------------------------------------------------------===//
+
+void DepGraph::stampStaleResidue() {
+  StateGuard Guard(*this);
+  const uint64_t Mark = Gov.waveSeq();
+
+  // Seed with everything still pending (the parked residue), then stamp
+  // the transitive successor cone: any value downstream of unrepaired
+  // work may reflect inputs the cancelled wave never propagated.
+  std::vector<NodeId> Stack;
+  auto Collect = [&](const InconsistentSet &S) {
+    S.forEach(*this, [&](const DepNode &N) { Stack.push_back(N.Id); });
+  };
+  Collect(GlobalSet);
+  for (const InconsistentSet &S : SetVec)
+    Collect(S);
+
+  while (!Stack.empty()) {
+    NodeId Id = Stack.back();
+    Stack.pop_back();
+    if (!isLiveNode(Id))
+      continue;
+    DepNode &N = node(Id);
+    if (N.StaleSince == Mark)
+      continue;
+    if (N.StaleSince == 0) {
+      Gov.StaleList.push_back(Id);
+      Gov.StaleCount.fetch_add(1, std::memory_order_relaxed);
+    }
+    N.StaleSince = Mark;
+    ++Stats.GovNodesStamped;
+    N.forEachSuccessor([&](DepNode &Succ) { Stack.push_back(Succ.Id); });
+  }
+}
+
+void DepGraph::clearStaleMarks() {
+  if (Gov.StaleList.empty())
+    return;
+  StateGuard Guard(*this);
+  for (NodeId Id : Gov.StaleList)
+    if (isLiveNode(Id))
+      node(Id).StaleSince = 0;
+  Gov.StaleList.clear();
+  Gov.StaleCount.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
 // Invariant audit
 //===----------------------------------------------------------------------===//
 
@@ -708,9 +900,16 @@ std::vector<std::string> DepGraph::verify() const {
       // source's. The source's level can only move by a later execution of
       // the source (which advances its stamp past the sink's), so for
       // edges whose source has not re-executed since, sink > source holds.
-      if (isLiveNode(E.Sink)) {
+      // Two exemptions, both from re-entrant reads of an in-flight
+      // source (which hand the sink the source's *transient* level): a
+      // sink parked in an inconsistent set will re-execute and rebuild
+      // its level, and a source flagged ReadMidExecution may keep
+      // inverted successor edges even at quiescence when its value did
+      // not change (so the readers were never re-queued).
+      if (isLiveNode(E.Sink) && !N->ReadMidExecution) {
         const DepNode &Sink = node(E.Sink);
-        if (N->ExecStamp < Sink.ExecStamp && Sink.Level <= N->Level)
+        if (!Sink.InQueue && N->ExecStamp < Sink.ExecStamp &&
+            Sink.Level <= N->Level)
           Bad.push_back("level inversion on up-to-date edge '" + Name(*N) +
                         "' -> '" + Name(Sink) + "' (" +
                         std::to_string(N->Level) + " >= " +

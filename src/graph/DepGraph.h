@@ -22,6 +22,8 @@
 #define ALPHONSE_GRAPH_DEPGRAPH_H
 
 #include "graph/GraphPolicy.h"
+#include "graph/Governor.h"
+#include "support/Budget.h"
 #include "support/FaultInfo.h"
 
 #include <atomic>
@@ -81,8 +83,31 @@ public:
   /// Drains every partition's inconsistent set. With Config::Workers > 0
   /// (and partitioning on, no batch open, top-level entry) independent
   /// partitions are drained concurrently by the propagation scheduler;
-  /// otherwise this is the classic serial drain.
-  void evaluateAll();
+  /// otherwise this is the classic serial drain. Governed by the
+  /// Governor's default budget (unlimited unless configured).
+  void evaluateAll() { evaluateAll(Gov.defaultBudget()); }
+
+  /// Budgeted quiescence propagation (DESIGN.md Section 11): drains
+  /// pending work under \p B's wall-clock deadline / evaluation-step
+  /// budget / slab-memory ceiling. When a bound is exhausted mid-wave,
+  /// every drain loop is cooperatively cancelled at the next evaluation
+  /// boundary; the residual inconsistent sets stay parked (resumable by
+  /// any later pump), the unrepaired cone is stamped stale
+  /// (DepNode::isStale()), and the degraded outcome is returned. With an
+  /// unlimited budget this is the classic run-to-quiescence wave and
+  /// always returns Completed. Under an open batch a degraded outcome is
+  /// surfaced by commitBatch() as an abort instead (no stale values ever
+  /// escape a transaction).
+  WaveOutcome evaluateAll(const WaveBudget &B);
+
+  /// Budget applied by the zero-argument evaluateAll() — i.e. by every
+  /// pump the embedding layers issue without an explicit budget.
+  /// Unlimited by default.
+  void setDefaultBudget(const WaveBudget &B) { Gov.setDefaultBudget(B); }
+
+  /// The graph's resource governor (budgets, cancellation, staleness).
+  Governor &governor() { return Gov; }
+  const Governor &governor() const { return Gov; }
 
   //===--------------------------------------------------------------------===//
   // Transactional mutation batches — see DESIGN.md "Transactions and
@@ -153,6 +178,25 @@ private:
   /// serial-affinity path and the post-wave mop-up.
   void evaluateAllSerial();
 
+  /// Cooperative-cancellation poll, called by every drain loop before
+  /// popping its next node. Free when the current wave is unbudgeted
+  /// (one bool); otherwise runs the governor's boundary check against
+  /// the live step counter and slab gauges.
+  bool governorStop() {
+    if (!Gov.checksOn())
+      return false;
+    return Gov.cancelled() ||
+           Gov.checkBoundary(EvalSteps.load(std::memory_order_relaxed),
+                             LastNodeBytes + LastEdgeBytes);
+  }
+
+  /// After a cancelled wave: stamps every still-pending node and its
+  /// transitive successor cone stale (readers of those values get the
+  /// last-quiescent snapshot, flagged via DepNode::isStale()).
+  void stampStaleResidue();
+  /// After a wave reaches full quiescence: clears every stale mark.
+  void clearStaleMarks();
+
   void applyUndo(UndoEntry &E);
   /// Recreates one edge raw during rollback: links only, no level /
   /// partition / dedup bookkeeping (levels and stamps are restored by
@@ -180,6 +224,10 @@ private:
   /// Worker pool + wave driver; created lazily on the first parallel
   /// evaluateAll() with Workers > 0.
   std::unique_ptr<PropagationScheduler> Scheduler;
+
+  /// Resource governance: wave budgets, the cancel latch, staleness and
+  /// parked-residue bookkeeping (DESIGN.md Section 11).
+  Governor Gov;
 };
 
 /// RAII pair for beginExecution/endExecution: the execution protocol is

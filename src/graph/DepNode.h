@@ -112,6 +112,14 @@ public:
   /// propagation until DepGraph::resetQuarantined() returns it to service.
   bool isQuarantined() const { return Quarantined; }
 
+  /// True while this node's cached value is *stale*: a budgeted wave was
+  /// cancelled before repairing it (or a node it transitively depends
+  /// on), so readers are being served the last-quiescent value. Cleared
+  /// the moment a later wave re-establishes the node's consistency, or
+  /// wholesale when a wave runs the graph to full quiescence. Staleness
+  /// is transient engine state — never journaled or checkpointed.
+  bool isStale() const { return StaleSince != 0; }
+
   /// Depth of re-entrant (conventional) runs of this instance currently on
   /// the stack on top of its in-flight incremental execution. Nonzero
   /// means the instance's own value is being demanded while it computes —
@@ -194,6 +202,12 @@ private:
   bool InQueue = false;
   bool Executing = false;
   bool Quarantined = false;
+  /// A dependent recorded an edge from this node while it was executing
+  /// (a re-entrant read): the dependent captured this node's *transient*
+  /// level, so the usual stamp/level ordering need not hold on those
+  /// edges. Cleared at the next execution. Scheduling-heuristic
+  /// bookkeeping only — never journaled.
+  bool ReadMidExecution = false;
   uint32_t Level = 0;
   /// Re-entrant conventional runs currently stacked on this instance.
   uint32_t ReentrantDepth = 0;
@@ -209,6 +223,12 @@ private:
   uint64_t ExecStamp = 0;
   /// Value-version stamp (see version()).
   uint64_t Version = 0;
+  /// Governor wave-sequence stamp of the cancelled wave that marked this
+  /// node stale (0 = fresh; see isStale()).
+  uint64_t StaleSince = 0;
+  /// Watchdog strikes: single evaluations of this node that each consumed
+  /// an entire wave deadline (quarantined at Config::WatchdogTrips).
+  uint32_t DeadlineBlows = 0;
   /// As a dependency source: the sink/stamp of the most recent edge created
   /// from this node, used to skip duplicate edges when one execution reads
   /// the same location repeatedly.

@@ -88,6 +88,18 @@ struct GraphConfig {
   /// two independent partitions have pending work. Capped by the
   /// process-wide shard budget (kStatShards - 1).
   unsigned Workers = 0;
+  /// Watchdog: quarantine a node (FaultKind::Deadline) after this many
+  /// single evaluations that each consumed an entire wave deadline by
+  /// themselves (0 = never). Only armed while a deadline-budgeted wave is
+  /// running; keeps one pathological node from starving every governed
+  /// wave (DESIGN.md Section 11).
+  uint32_t WatchdogTrips = 3;
+  /// Base delay for the capped exponential backoff (with jitter) the
+  /// scheduler inserts between consecutive conflicted parallel waves, in
+  /// microseconds (0 = no backoff).
+  uint64_t RetryBackoffBaseUs = 50;
+  /// Ceiling for the conflicted-retry backoff delay, in microseconds.
+  uint64_t RetryBackoffCapUs = 2000;
 };
 
 /// Dense node table: NodeId -> DepNode* with per-slot generations.

@@ -23,9 +23,16 @@ void PropagationScheduler::run() {
   G.DrainAborted = false;
   G.Stats.PropWorkers = Pool.size();
 
+  uint64_t BackoffRound = 0;
   try {
     while (G.TotalPending != 0 &&
            !G.DrainAborted.load(std::memory_order_relaxed)) {
+      // Budget boundary: a cancelled wave parks the remaining pending
+      // work (resumable by any later pump) instead of starting another
+      // round of drains.
+      if (G.governorStop())
+        break;
+      const uint64_t ConflictsBefore = G.Stats.PropConflicts.total();
       // Snapshot the current roots with pending work by scanning the
       // dense set vector. find() is safe unlocked here: no wave is in
       // flight, so this thread is the only one touching the union-find.
@@ -83,6 +90,30 @@ void PropagationScheduler::run() {
       // next wave (or, once partitions collapse below two, the serial
       // branch) picks them up. Conflicts strictly merge partitions, so
       // the wave count is bounded by the initial partition count.
+      //
+      // A conflicted wave retries under capped exponential backoff with
+      // deterministic jitter: merges mean the partition structure is
+      // churning, and immediately re-dispatching tends to re-collide on
+      // the same boundary edges. The wait is capped by the remaining
+      // wave deadline (Governor::backoffWait) and advances the virtual
+      // clock instead of sleeping under GovClock::VirtualScope.
+      if (G.Stats.PropConflicts.total() == ConflictsBefore) {
+        BackoffRound = 0;
+      } else if (RanParallel && G.TotalPending != 0 &&
+                 !G.DrainAborted.load(std::memory_order_relaxed) &&
+                 !G.Gov.cancelled() && G.Cfg.RetryBackoffBaseUs != 0) {
+        ++BackoffRound;
+        uint64_t Delay = G.Cfg.RetryBackoffBaseUs;
+        for (uint64_t R = 1; R < BackoffRound && Delay < G.Cfg.RetryBackoffCapUs;
+             ++R)
+          Delay *= 2;
+        if (Delay > G.Cfg.RetryBackoffCapUs)
+          Delay = G.Cfg.RetryBackoffCapUs;
+        JitterSeed =
+            JitterSeed * 6364136223846793005ULL + 1442695040888963407ULL;
+        const uint64_t Jitter = (JitterSeed >> 33) % (Delay / 2 + 1);
+        G.Gov.backoffWait(Delay + Jitter);
+      }
     }
   } catch (...) {
     --G.EvalDepth;
@@ -102,6 +133,12 @@ void PropagationScheduler::drainRoot(UnionFind::Id Anchor, uint32_t Me) {
     {
       std::lock_guard<std::recursive_mutex> L(G.StateMu);
       if (G.DrainAborted.load(std::memory_order_relaxed))
+        break;
+      // Cooperative cancellation: poll the governor at every evaluation
+      // boundary. A cancelled worker abandons its partition between
+      // nodes — never mid-evaluation — so no torn state is possible; the
+      // partition's remaining work stays parked in its inconsistent set.
+      if (G.governorStop())
         break;
       UnionFind::Id Root = G.Partitions.find(Anchor);
       if (G.owner(Root) != Me)

@@ -56,6 +56,9 @@ private:
 
   DepGraph &G;
   ThreadPool Pool;
+  /// LCG state for the deterministic jitter mixed into the conflicted-
+  /// retry backoff (no global RNG: runs stay reproducible).
+  uint64_t JitterSeed = 0x9e3779b97f4a7c15ULL;
 };
 
 } // namespace alphonse

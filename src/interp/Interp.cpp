@@ -889,7 +889,7 @@ uint64_t Interp::moduleFingerprint() const {
 }
 
 void Interp::saveCheckpoint(const std::string &Path) {
-  RT.pump();
+  RT.pumpUnbounded(); // Capture needs true quiescence, whatever the default budget.
   // Capture enforces quiescence (throws Busy on pending work, an open
   // batch, or mid-evaluation) — everything below sees one consistent cut.
   GraphSnapshot GS = GraphCheckpoint::capture(RT.graph());
@@ -970,7 +970,7 @@ void Interp::saveCheckpoint(const std::string &Path) {
 }
 
 void Interp::appendDelta(const std::string &Path) {
-  RT.pump();
+  RT.pumpUnbounded();
   if (RT.graph().inBatch())
     throw CheckpointError(CkptError::Busy,
                           "cannot append a delta inside an open batch");
@@ -1318,7 +1318,7 @@ void Interp::restoreCheckpoint(const std::string &Path) {
       for (size_t I = 0; I < D.Globals.size(); ++I)
         trackedWrite(*Globals[I], Resolve(D.Globals[I]), true);
     }
-    RT.pump();
+    RT.pumpUnbounded();
     std::vector<std::string> Problems = G.verify();
     if (!Problems.empty())
       throw CheckpointError(CkptError::VerifyFailed,

@@ -156,6 +156,10 @@ bool Spreadsheet::setAll(const std::vector<CellEdit> &Edits) {
 
 int Spreadsheet::value(int Row, int Col) { return CellVal(Row, Col); }
 
+bool Spreadsheet::valueIsStale(int Row, int Col) const {
+  return CellVal.isStale(Row, Col);
+}
+
 int Spreadsheet::computeCellValue(int Row, int Col) {
   // Reference cycle: evaluate to 0 and raise the flag (documented
   // divergence from the paper, which leaves cycles undefined). The signal
@@ -201,7 +205,10 @@ constexpr uint32_t TagSheet = sectionTag('S', 'H', 'E', 'T');
 } // namespace
 
 void Spreadsheet::saveCheckpoint(const std::string &Path) {
-  RT.pump();
+  // Capture requires true quiescence whatever the default budget: a
+  // checkpoint of a degraded (half-propagated) state would persist stale
+  // values as durable truth.
+  RT.pumpUnbounded();
   CheckpointWriter W;
   ByteWriter B;
   B.u32(static_cast<uint32_t>(NumRows));

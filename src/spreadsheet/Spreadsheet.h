@@ -78,6 +78,21 @@ public:
   /// The maintained value of a cell (Algorithm 10's Cell.value()).
   int value(int Row, int Col);
 
+  /// Recalculates pending edits under the runtime's default budget.
+  void recalc() { RT.pump(); }
+
+  /// Budgeted recalculation (DESIGN.md Section 11): propagates pending
+  /// edits under \p B. If the budget runs out mid-wave, the returned
+  /// outcome is degraded, unrepaired cells keep serving their
+  /// last-quiescent values (flagged by valueIsStale), and a later recalc
+  /// — or any unbudgeted pump — finishes the parked work.
+  WaveOutcome recalc(const WaveBudget &B) { return RT.pump(B); }
+
+  /// True while (\p Row, \p Col)'s value is stale: a budgeted recalc was
+  /// cancelled before re-establishing it, so value() serves the
+  /// last-quiescent result.
+  bool valueIsStale(int Row, int Col) const;
+
   /// True once any evaluation encountered a reference cycle; cleared by
   /// clearCycleFlag(). Cells on a cycle evaluate to 0.
   bool cycleDetected() const { return CycleFlag; }

@@ -1,0 +1,68 @@
+//===- Budget.cpp - Wave budgets and the governance clock -----------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include <chrono>
+
+namespace alphonse {
+
+std::atomic<bool> GovClock::Virtual{false};
+std::atomic<uint64_t> GovClock::VirtualNowUs{0};
+
+uint64_t GovClock::nowUs() {
+  if (virtualEnabled())
+    return VirtualNowUs.load(std::memory_order_acquire);
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char *overloadPolicyName(OverloadPolicy P) {
+  switch (P) {
+  case OverloadPolicy::Accept:
+    return "accept";
+  case OverloadPolicy::Defer:
+    return "defer";
+  case OverloadPolicy::Shed:
+    return "shed";
+  }
+  return "unknown";
+}
+
+bool parseOverloadPolicy(std::string_view Name, OverloadPolicy &Out) {
+  if (Name == "accept")
+    Out = OverloadPolicy::Accept;
+  else if (Name == "defer")
+    Out = OverloadPolicy::Defer;
+  else if (Name == "shed")
+    Out = OverloadPolicy::Shed;
+  else
+    return false;
+  return true;
+}
+
+const char *waveOutcomeName(WaveOutcome O) {
+  switch (O) {
+  case WaveOutcome::Completed:
+    return "completed";
+  case WaveOutcome::DegradedDeadline:
+    return "degraded-deadline";
+  case WaveOutcome::DegradedSteps:
+    return "degraded-steps";
+  case WaveOutcome::DegradedMemory:
+    return "degraded-memory";
+  case WaveOutcome::Deferred:
+    return "deferred";
+  case WaveOutcome::Shed:
+    return "shed";
+  }
+  return "unknown";
+}
+
+} // namespace alphonse

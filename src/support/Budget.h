@@ -1,0 +1,151 @@
+//===- Budget.h - Wave budgets and the governance clock ---------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource budgets for quiescence-propagation waves (DESIGN.md Section 11
+/// "Resource governance and graceful degradation"). The paper assumes
+/// every propagation runs to quiescence; a serving system cannot. A
+/// WaveBudget bounds one wave by wall-clock deadline, evaluation-step
+/// count, and graph slab memory; the engine checks it at evaluation
+/// boundaries and, when any bound is exceeded, cancels the wave
+/// cooperatively — parking the residual inconsistent set and stamping the
+/// unreached dependents stale instead of failing.
+///
+/// GovClock is the clock every deadline check reads. It is the real
+/// steady clock by default; tests flip it to a virtual clock
+/// (GovClock::VirtualScope) that only moves when explicitly advanced —
+/// the FaultInjector's Tick action advances it from instrumented sites,
+/// so deadline expiry is deterministic without real sleeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_SUPPORT_BUDGET_H
+#define ALPHONSE_SUPPORT_BUDGET_H
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace alphonse {
+
+/// What a governed wave does when it starts while the engine is already
+/// overloaded (a previous budgeted wave parked residual work it never
+/// finished).
+enum class OverloadPolicy : uint8_t {
+  /// Run anyway (the default): the new wave also drains the backlog.
+  Accept,
+  /// Skip the wave: the backlog stays parked, stale values keep being
+  /// served, and a later wave (or an unbudgeted pump) catches up.
+  Defer,
+  /// Skip the wave and report Shed, telling admission control upstream to
+  /// refuse the work that triggered it rather than queue more.
+  Shed,
+};
+
+/// Stable lowercase name ("accept", "defer", "shed").
+const char *overloadPolicyName(OverloadPolicy P);
+
+/// Parses an overload-policy name; \returns false on an unknown name.
+bool parseOverloadPolicy(std::string_view Name, OverloadPolicy &Out);
+
+/// Resource bounds for one quiescence-propagation wave. A zero field means
+/// that resource is unbounded; a default-constructed budget is unlimited
+/// and governs nothing (the classic run-to-quiescence behavior).
+struct WaveBudget {
+  /// Wall-clock (GovClock) bound on the wave, in microseconds.
+  uint64_t DeadlineUs = 0;
+  /// Bound on evaluator steps (nodes popped from inconsistent sets).
+  uint64_t StepBudget = 0;
+  /// Ceiling on graph slab bytes (node + edge tables). Checked at
+  /// evaluation boundaries against the engine's memory gauges.
+  uint64_t MemCeilingBytes = 0;
+  /// What to do when the wave starts against an already-parked backlog.
+  OverloadPolicy Policy = OverloadPolicy::Accept;
+
+  bool unlimited() const {
+    return DeadlineUs == 0 && StepBudget == 0 && MemCeilingBytes == 0;
+  }
+
+  static WaveBudget deadline(uint64_t Us) {
+    WaveBudget B;
+    B.DeadlineUs = Us;
+    return B;
+  }
+  static WaveBudget steps(uint64_t N) {
+    WaveBudget B;
+    B.StepBudget = N;
+    return B;
+  }
+};
+
+/// How a governed wave ended.
+enum class WaveOutcome : uint8_t {
+  /// Ran to quiescence (or to the classic step-limit backstop) within its
+  /// budget.
+  Completed,
+  /// Cancelled: the wall-clock deadline expired.
+  DegradedDeadline,
+  /// Cancelled: the evaluation-step budget ran out.
+  DegradedSteps,
+  /// Cancelled: the graph slab reservation crossed the memory ceiling.
+  DegradedMemory,
+  /// Never ran: OverloadPolicy::Defer skipped it over a parked backlog.
+  Deferred,
+  /// Never ran: OverloadPolicy::Shed skipped it over a parked backlog.
+  Shed,
+};
+
+/// Stable lowercase name ("completed", "degraded-deadline", ...).
+const char *waveOutcomeName(WaveOutcome O);
+
+/// True when the wave left (or kept) parked work behind: any outcome but
+/// Completed.
+inline bool waveDegraded(WaveOutcome O) { return O != WaveOutcome::Completed; }
+
+/// The clock governed deadlines read: the real monotonic clock, or — while
+/// a VirtualScope is alive — a virtual microsecond counter that only moves
+/// when advance() is called (deterministic deadline tests, no sleeps).
+class GovClock {
+public:
+  /// Microseconds on the governance clock (monotonic; origin arbitrary).
+  static uint64_t nowUs();
+
+  /// True while a VirtualScope is installed.
+  static bool virtualEnabled() {
+    return Virtual.load(std::memory_order_acquire);
+  }
+
+  /// Advances the virtual clock by \p Us. No-op on the real clock, so
+  /// instrumented tick sites are harmless outside virtual-clock tests.
+  static void advance(uint64_t Us) {
+    if (virtualEnabled())
+      VirtualNowUs.fetch_add(Us, std::memory_order_acq_rel);
+  }
+
+  /// Switches the process to the virtual clock for the scope's lifetime,
+  /// starting at zero. Tests only; scopes do not nest (the clock is
+  /// process-global, like the fault injector it pairs with).
+  class VirtualScope {
+  public:
+    VirtualScope() {
+      VirtualNowUs.store(0, std::memory_order_relaxed);
+      Virtual.store(true, std::memory_order_release);
+    }
+    ~VirtualScope() { Virtual.store(false, std::memory_order_release); }
+
+    VirtualScope(const VirtualScope &) = delete;
+    VirtualScope &operator=(const VirtualScope &) = delete;
+  };
+
+private:
+  static std::atomic<bool> Virtual;
+  static std::atomic<uint64_t> VirtualNowUs;
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_SUPPORT_BUDGET_H

@@ -43,6 +43,10 @@ enum class FaultKind : uint8_t {
   /// The node's recompute called another node that was already
   /// quarantined; the fault cascaded.
   Poisoned,
+  /// A single evaluation of the node repeatedly consumed an entire wave
+  /// deadline by itself; the governor's watchdog quarantined it so one
+  /// pathological node cannot starve every governed wave (DESIGN.md §11).
+  Deadline,
 };
 
 /// Short stable name for a FaultKind ("exception", "divergence", ...).
@@ -58,6 +62,8 @@ inline const char *faultKindName(FaultKind K) {
     return "step-limit";
   case FaultKind::Poisoned:
     return "poisoned";
+  case FaultKind::Deadline:
+    return "deadline";
   }
   return "unknown";
 }

@@ -25,6 +25,8 @@
 #ifndef ALPHONSE_SUPPORT_FAULTINJECTOR_H
 #define ALPHONSE_SUPPORT_FAULTINJECTOR_H
 
+#include "support/Budget.h"
+
 #include <cstdint>
 #include <cstdlib>
 #include <mutex>
@@ -57,6 +59,7 @@ public:
     Throw,   ///< Throw InjectedFault from the site.
     Diverge, ///< Self-invalidate the executing node after its body runs.
     Kill,    ///< Terminate the process immediately (crash simulation).
+    Tick,    ///< Advance the virtual governance clock by the site payload.
   };
 
   /// Arms \p Site to throw at its \p AtNthHit-th hit (1-based, counted
@@ -83,6 +86,20 @@ public:
     Sites[std::move(Site)] = {Action::Kill, AtNthHit, 1, 0};
   }
 
+  /// Arms \p Site to advance the virtual governance clock (GovClock) by
+  /// \p AdvanceUs microseconds at each triggering hit, starting at the
+  /// \p AtNthHit-th. The engine's budget checks hit the "gov.tick" site
+  /// once per evaluation boundary while a deadline is armed, and every
+  /// recompute site can tick too — so tests make a specific evaluation
+  /// "take" an exact amount of virtual time, and deadline expiry becomes
+  /// deterministic without a single real sleep. Meaningful only under a
+  /// GovClock::VirtualScope (advance() is a no-op on the real clock).
+  void armTick(std::string Site, uint64_t AdvanceUs, uint64_t AtNthHit = 1,
+               uint64_t Times = UINT64_MAX) {
+    std::lock_guard<std::mutex> L(Mu);
+    Sites[std::move(Site)] = {Action::Tick, AtNthHit, Times, 0, AdvanceUs};
+  }
+
   /// Disarms \p Site (its hit count is discarded).
   void disarm(const std::string &Site) {
     std::lock_guard<std::mutex> L(Mu);
@@ -100,6 +117,13 @@ public:
   /// throws; the instrumented site performs the action itself. Safe to
   /// call from parallel wave workers.
   Action hit(std::string_view Site) {
+    uint64_t PayloadUs = 0;
+    return hit(Site, PayloadUs);
+  }
+
+  /// As hit(), also returning the site's payload (the Tick advance) for
+  /// actions that carry one.
+  Action hit(std::string_view Site, uint64_t &PayloadUs) {
     std::lock_guard<std::mutex> L(Mu);
     auto It = Sites.find(std::string(Site));
     if (It == Sites.end())
@@ -111,6 +135,7 @@ public:
     if (S.Hits < S.TriggerAt || S.Hits - S.TriggerAt >= S.Times)
       return Action::None;
     ++Fired;
+    PayloadUs = S.PayloadUs;
     return S.Act;
   }
 
@@ -143,6 +168,7 @@ private:
     uint64_t TriggerAt;
     uint64_t Times;
     uint64_t Hits;
+    uint64_t PayloadUs = 0; ///< Tick: virtual-clock advance per firing.
   };
 
   static FaultInjector *Active;
@@ -160,11 +186,17 @@ inline FaultInjector::Action faultInjectionPoint(std::string_view Site) {
   FaultInjector *FI = FaultInjector::active();
   if (!FI)
     return FaultInjector::Action::None;
-  FaultInjector::Action A = FI->hit(Site);
+  uint64_t PayloadUs = 0;
+  FaultInjector::Action A = FI->hit(Site, PayloadUs);
   if (A == FaultInjector::Action::Throw)
     throw InjectedFault(std::string(Site));
   if (A == FaultInjector::Action::Kill)
     std::_Exit(137); // No destructors, no atexit, no flushing: a crash.
+  if (A == FaultInjector::Action::Tick) {
+    // Virtual time passes at this site; the site itself takes no action.
+    GovClock::advance(PayloadUs);
+    return FaultInjector::Action::None;
+  }
   return A;
 }
 

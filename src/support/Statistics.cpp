@@ -74,7 +74,20 @@ std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
      << "ckpt.bytes_written   " << S.CkptBytesWritten.total() << '\n'
      << "ckpt.restores        " << S.CkptRestores.total() << '\n'
      << "ckpt.restored_nodes  " << S.CkptRestoredNodes.total() << '\n'
-     << "ckpt.restore_micros  " << S.CkptRestoreMicros.total() << '\n';
+     << "ckpt.restore_micros  " << S.CkptRestoreMicros.total() << '\n'
+     << "gov.waves            " << S.GovWaves.total() << '\n'
+     << "gov.waves_degraded   " << S.GovWavesDegraded.total() << '\n'
+     << "gov.waves_deferred   " << S.GovWavesDeferred.total() << '\n'
+     << "gov.waves_shed       " << S.GovWavesShed.total() << '\n'
+     << "gov.deadline_expired " << S.GovDeadlineExpired.total() << '\n'
+     << "gov.step_budget_hits " << S.GovStepBudgetHits.total() << '\n'
+     << "gov.mem_ceiling_hits " << S.GovMemCeilingHits.total() << '\n'
+     << "gov.parked           " << S.GovParkedNodes.total() << '\n'
+     << "gov.stale_nodes      " << S.GovStaleNodes.total() << '\n'
+     << "gov.nodes_stamped    " << S.GovNodesStamped.total() << '\n'
+     << "gov.deadline_blows   " << S.GovDeadlineBlows.total() << '\n'
+     << "gov.watchdog_quarantined " << S.GovWatchdogQuarantines.total() << '\n'
+     << "gov.backoff_waits    " << S.GovBackoffWaits.total() << '\n';
   return OS;
 }
 

@@ -193,6 +193,37 @@ struct Statistics {
   StatCounter CkptRestoredNodes;
   /// Microseconds spent in completed restores.
   StatCounter CkptRestoreMicros;
+  /// Governed propagation waves opened (budgeted or not; DESIGN.md §11).
+  StatCounter GovWaves;
+  /// Waves cancelled by their budget (deadline, steps, or memory).
+  StatCounter GovWavesDegraded;
+  /// Waves skipped by OverloadPolicy::Defer over a parked backlog.
+  StatCounter GovWavesDeferred;
+  /// Waves skipped by OverloadPolicy::Shed over a parked backlog.
+  StatCounter GovWavesShed;
+  /// Boundary checks that saw the wall-clock deadline expired.
+  StatCounter GovDeadlineExpired;
+  /// Boundary checks that saw the evaluation-step budget exhausted.
+  StatCounter GovStepBudgetHits;
+  /// Boundary checks that saw the slab-memory ceiling crossed.
+  StatCounter GovMemCeilingHits;
+  /// Nodes parked in inconsistent sets when the last wave closed (gauge).
+  StatCounter GovParkedNodes;
+  /// Nodes currently stamped stale — their cached values predate the last
+  /// quiescent state (gauge).
+  StatCounter GovStaleNodes;
+  /// Total stale stamps applied across all cancelled waves (a node
+  /// re-stamped by a later wave counts again).
+  StatCounter GovNodesStamped;
+  /// Single evaluations that consumed an entire wave deadline by
+  /// themselves (watchdog accounting).
+  StatCounter GovDeadlineBlows;
+  /// Nodes quarantined by the watchdog for blowing the deadline
+  /// Config::WatchdogTrips times.
+  StatCounter GovWatchdogQuarantines;
+  /// Capped-exponential backoff waits taken between conflicted retry
+  /// waves.
+  StatCounter GovBackoffWaits;
 
   /// Resets every counter to zero.
   void reset() { *this = Statistics(); }

@@ -27,22 +27,60 @@ ThreadPool::ThreadPool(unsigned Requested) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::lock_guard<std::mutex> L(Mu);
     Stop = true;
   }
   WorkCv.notify_all();
+  // Workers drain the remaining backlog before exiting; a task that
+  // throws has its exception captured in FirstError by workerMain, so no
+  // exception can cross a join. join() only on joinable threads makes
+  // stop() idempotent (a second call sees an empty thread vector).
   for (std::thread &T : Threads)
-    T.join();
+    if (T.joinable())
+      T.join();
+  Threads.clear();
+  // A pool that never had workers (shard budget exhausted) may still hold
+  // queued tasks; run them inline so nothing is leaked or left to
+  // deadlock a later wait().
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      if (Queue.empty())
+        break;
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    runInline(Task);
+  }
 }
 
 void ThreadPool::run(std::function<void()> Task) {
   {
     std::lock_guard<std::mutex> L(Mu);
-    Queue.push_back(std::move(Task));
+    if (!Stop) {
+      Queue.push_back(std::move(Task));
+      WorkCv.notify_one();
+      return;
+    }
   }
-  WorkCv.notify_one();
+  // Queued after stop(): no worker will ever look at the queue again, so
+  // execute on the caller — same capture-the-first-error contract.
+  runInline(Task);
+}
+
+void ThreadPool::runInline(std::function<void()> &Task) {
+  try {
+    Task();
+  } catch (...) {
+    std::lock_guard<std::mutex> L(Mu);
+    if (!FirstError)
+      FirstError = std::current_exception();
+  }
 }
 
 void ThreadPool::wait() {

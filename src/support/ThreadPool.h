@@ -44,7 +44,10 @@ public:
   /// Number of live worker threads (may be less than requested).
   unsigned size() const { return static_cast<unsigned>(Threads.size()); }
 
-  /// Enqueues \p Task for execution on some worker.
+  /// Enqueues \p Task for execution on some worker. After stop() the task
+  /// runs inline on the calling thread instead — it is never silently
+  /// dropped, and it cannot strand wait() on a queue no worker will ever
+  /// drain.
   void run(std::function<void()> Task);
 
   /// Blocks until every enqueued task has finished. If any task escaped
@@ -52,8 +55,17 @@ public:
   /// thread) after the queue drains.
   void wait();
 
+  /// Shuts the pool down: workers finish the queued backlog (including
+  /// tasks that throw — their exceptions are captured, never propagated
+  /// into the joins) and are joined. Idempotent; the destructor calls it.
+  /// After stop() the pool has no threads and run() executes inline.
+  void stop();
+
 private:
   void workerMain(unsigned Shard);
+  /// Runs \p Task on the calling thread under the pool's error contract
+  /// (first escaped exception lands in FirstError for the next wait()).
+  void runInline(std::function<void()> &Task);
 
   std::vector<std::thread> Threads;
   std::deque<std::function<void()>> Queue;

@@ -392,5 +392,33 @@ TEST(SpreadsheetCheckpointTest, RolledBackBatchIsNotPersisted) {
   EXPECT_EQ(B.value(0, 1), 10);
 }
 
+TEST(SpreadsheetTest, BudgetedRecalcServesStaleValuesThenCatchesUp) {
+  Runtime RT;
+  Spreadsheet S(RT, 1, 6);
+  // A reference chain: each cell is its left neighbor plus one.
+  ASSERT_TRUE(S.setFormula(0, 0, "1"));
+  for (int C = 1; C < 6; ++C)
+    ASSERT_TRUE(
+        S.setFormula(0, C, "cell(0," + std::to_string(C - 1) + ") + 1"));
+  EXPECT_EQ(S.value(0, 5), 6);
+  S.recalc();
+  EXPECT_FALSE(S.valueIsStale(0, 5));
+
+  // Edit the head, then recalc under a one-step budget: the wave cancels
+  // long before the invalidation reaches the chain's tail, and the
+  // unreached cone is flagged stale (its cached values are the old ones).
+  S.setLiteral(0, 0, 100);
+  EXPECT_EQ(S.recalc(WaveBudget::steps(1)), WaveOutcome::DegradedSteps);
+  EXPECT_TRUE(S.valueIsStale(0, 5))
+      << "the tail has not seen the edit yet; reads there are degraded";
+
+  // An unbudgeted recalc finishes the parked wave exactly.
+  EXPECT_EQ(S.recalc(WaveBudget()), WaveOutcome::Completed);
+  EXPECT_FALSE(S.valueIsStale(0, 5));
+  EXPECT_EQ(S.value(0, 5), 105);
+  EXPECT_EQ(S.recomputeAllExhaustive(),
+            100 + 101 + 102 + 103 + 104 + 105);
+}
+
 } // namespace
 } // namespace alphonse::spreadsheet

@@ -1,0 +1,123 @@
+//===- ThreadPoolTest.cpp - Worker pool shutdown hardening ----------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shutdown-path regression tests for the propagation worker pool: a task
+/// that throws while the pool is stopping must not deadlock a join or
+/// escape into the destructor, a task queued after stop() must still run
+/// (inline), stop() must be idempotent, and no combination may leave
+/// wait() stranded.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace alphonse {
+namespace {
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskError) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  Pool.run([&] { ++Ran; });
+  Pool.run([&] {
+    ++Ran;
+    throw std::runtime_error("task boom");
+  });
+  Pool.run([&] { ++Ran; });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_EQ(Ran.load(), 3) << "non-throwing siblings must still run";
+  // The error was consumed by the rethrow; the pool stays usable.
+  Pool.run([&] { ++Ran; });
+  EXPECT_NO_THROW(Pool.wait());
+  EXPECT_EQ(Ran.load(), 4);
+}
+
+TEST(ThreadPoolTest, ThrowingBacklogDrainsThroughStopWithoutTerminate) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    // Queue more throwing tasks than workers so some are still in the
+    // backlog when stop() (via the destructor) begins joining. If a
+    // worker's exception crossed a join, std::terminate would kill the
+    // test run here.
+    for (int I = 0; I < 16; ++I)
+      Pool.run([&] {
+        ++Ran;
+        throw std::runtime_error("shutdown boom");
+      });
+  } // Destructor: stop() + joins; exceptions captured, never propagated.
+  EXPECT_EQ(Ran.load(), 16) << "stop() must drain the backlog, not drop it";
+}
+
+TEST(ThreadPoolTest, RunAfterStopExecutesInline) {
+  ThreadPool Pool(2);
+  Pool.stop();
+  EXPECT_EQ(Pool.size(), 0u) << "stop() joins and clears every worker";
+  std::thread::id TaskThread;
+  Pool.run([&] { TaskThread = std::this_thread::get_id(); });
+  EXPECT_EQ(TaskThread, std::this_thread::get_id())
+      << "after stop() tasks run on the caller, never silently dropped";
+  // wait() must not strand on a queue no worker will drain.
+  EXPECT_NO_THROW(Pool.wait());
+}
+
+TEST(ThreadPoolTest, RunAfterStopCapturesErrorsForWait) {
+  ThreadPool Pool(1);
+  Pool.stop();
+  Pool.run([] { throw std::runtime_error("inline boom"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, StopIsIdempotent) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 8; ++I)
+    Pool.run([&] { ++Ran; });
+  Pool.stop();
+  EXPECT_EQ(Ran.load(), 8);
+  EXPECT_NO_THROW(Pool.stop()); // Second stop: no double-join, no hang.
+  EXPECT_NO_THROW(Pool.wait());
+  // And the destructor makes a third call.
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsEverythingInline) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.size(), 0u);
+  // With no workers the queue would never drain; tasks must not be
+  // accepted into a dead queue. stop() flushes whatever got in, and
+  // wait() must return.
+  std::atomic<int> Ran{0};
+  Pool.run([&] { ++Ran; });
+  Pool.stop();
+  EXPECT_EQ(Ran.load(), 1);
+  EXPECT_NO_THROW(Pool.wait());
+}
+
+TEST(ThreadPoolTest, SlowTasksFinishBeforeJoin) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 4; ++I)
+      Pool.run([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ++Ran;
+      });
+    // Destroy immediately: stop() must wait for the in-flight and queued
+    // tasks, not abandon them.
+  }
+  EXPECT_EQ(Ran.load(), 4);
+}
+
+} // namespace
+} // namespace alphonse

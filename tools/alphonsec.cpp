@@ -36,10 +36,25 @@
 //   --fault-seed N          deterministically arm one process-kill fault
 //                           at a checkpoint I/O injection site derived
 //                           from N (crash-recovery drills from scripts)
+//   --deadline-ms N         wall-clock budget per propagation wave: a
+//                           wave still running after N ms is cancelled
+//                           cooperatively at the next evaluation
+//                           boundary, unrepaired values go stale, and
+//                           the residue stays parked for a later pump
+//   --step-budget N         evaluation-step budget per wave (same
+//                           degradation semantics)
+//   --mem-ceiling BYTES     slab-memory ceiling per wave (same semantics)
+//   --overload-policy P     accept | defer | shed: what a budgeted wave
+//                           does when parked residue from a previous
+//                           degraded wave still exists (accept = run
+//                           anyway, the default)
 //
 // Exit status: 0 on success, 1 on usage or compile errors, 2 on runtime
 // errors — including runs that finish with quarantined nodes, so scripts
 // can detect degraded executions — and checkpoint save/restore failures.
+// Exit 3 marks a run whose answers are complete but *degraded*: a wave
+// budget expired and some values are served stale (gov.* statistics are
+// printed to stderr so scripts can see how far propagation got).
 //
 // ALPHONSE_AUDIT=1 in the environment enables the structural graph audit
 // after every evaluation (DepGraph::Config::AuditAfterEvaluate).
@@ -86,6 +101,7 @@ struct Options {
   bool HaveFaultSeed = false;
   ExecMode Mode = ExecMode::Alphonse;
   unsigned Jobs = 0;
+  WaveBudget Budget;
 };
 
 void usage() {
@@ -96,7 +112,9 @@ void usage() {
       "                 [--mode alphonse|conventional] [--transactional]\n"
       "                 [--stats] [--jobs N] [--restore PATH]\n"
       "                 [--checkpoint PATH] [--checkpoint-delta PATH]\n"
-      "                 [--fault-seed N]\n");
+      "                 [--fault-seed N] [--deadline-ms N] [--step-budget N]\n"
+      "                 [--mem-ceiling BYTES] "
+      "[--overload-policy accept|defer|shed]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -164,6 +182,37 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       }
       Opts.DeltaPath = Argv[I];
+    } else if (Arg == "--deadline-ms" || Arg == "--step-budget" ||
+               Arg == "--mem-ceiling") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", Arg.c_str());
+        return false;
+      }
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Argv[I], &End, 10);
+      if (!End || *End != '\0' || Argv[I][0] == '\0') {
+        std::fprintf(stderr, "error: %s needs a non-negative integer\n",
+                     Arg.c_str());
+        return false;
+      }
+      if (Arg == "--deadline-ms")
+        Opts.Budget.DeadlineUs = N * 1000;
+      else if (Arg == "--step-budget")
+        Opts.Budget.StepBudget = N;
+      else
+        Opts.Budget.MemCeilingBytes = N;
+    } else if (Arg == "--overload-policy") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --overload-policy needs an argument\n");
+        return false;
+      }
+      if (!parseOverloadPolicy(Argv[I], Opts.Budget.Policy)) {
+        std::fprintf(stderr,
+                     "error: unknown overload policy '%s' (accept, defer, "
+                     "or shed)\n",
+                     Argv[I]);
+        return false;
+      }
     } else if (Arg == "--fault-seed") {
       if (++I >= Argc) {
         std::fprintf(stderr, "error: --fault-seed needs an argument\n");
@@ -204,6 +253,12 @@ int runProgram(const Options &Opts, const Module &M, const SemaInfo &Info) {
   DepGraph::Config Cfg;
   Cfg.Workers = Opts.Jobs; // ALPHONSE_JOBS overrides (Runtime env hook).
   Interp I(M, Info, Opts.Mode, Cfg);
+  // The budget flags govern every un-annotated pump the run performs
+  // (checkpoint capture still pumps unbounded — it needs true
+  // quiescence).
+  if (!Opts.Budget.unlimited() ||
+      Opts.Budget.Policy != OverloadPolicy::Accept)
+    I.runtime().setDefaultBudget(Opts.Budget);
   int Status = 0;
   if (!Opts.RestorePath.empty()) {
     try {
@@ -286,6 +341,30 @@ int runProgram(const Options &Opts, const Module &M, const SemaInfo &Info) {
                  "node(s)\n",
                  I.runtime().graph().numQuarantined());
     Status = 2;
+  }
+  if (Status == 0 && I.runtime().degraded()) {
+    // Every call answered, but a wave budget expired mid-propagation:
+    // some values are the last-quiescent (stale) ones and parked work
+    // remains. Exit 3 is the "complete but degraded" signal (mirroring
+    // the exit-2 quarantine convention), and the gov.* counters tell
+    // scripts how far propagation got.
+    const Statistics &S = I.runtime().stats();
+    std::fprintf(stderr,
+                 "warning: run ended degraded (%llu stale node(s), %llu "
+                 "parked)\n",
+                 static_cast<unsigned long long>(S.GovStaleNodes.total()),
+                 static_cast<unsigned long long>(S.GovParkedNodes.total()));
+    std::ostringstream GS;
+    GS << S;
+    std::string Txt = GS.str();
+    // Print just the gov.* block of the statistics dump.
+    for (size_t Pos = 0; (Pos = Txt.find("gov.", Pos)) != std::string::npos;) {
+      size_t End = Txt.find('\n', Pos);
+      std::fprintf(stderr, "%s\n",
+                   Txt.substr(Pos, End - Pos).c_str());
+      Pos = End == std::string::npos ? Txt.size() : End + 1;
+    }
+    Status = 3;
   }
   // Stats print even for failed runs: the fault.* and txn.* counters are
   // exactly what a degraded run needs to report.
