@@ -1,0 +1,165 @@
+//===- bench_sessions.cpp - Experiment E14: session service ---------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The session service under serving-shaped traffic (DESIGN.md "Session
+// service"): tens of thousands of isolated spreadsheet sessions
+// multiplexed over one shared worker pool, mutated at Zipf-distributed
+// rates (a few hot sessions take most of the edits, a long tail is
+// mostly idle — the standard shape of per-user serving load).
+//
+//  E14a: steady churn — every iteration applies a Zipf batch of edits
+//        and runs one batched drain cycle to quiescence. Reported:
+//        p50/p99/p999 dirty-to-quiescent wave latency from the service
+//        histogram, plus admitted/degraded/deferred/shed wave counts.
+//
+//  E14b: governed churn — the same traffic under a two-step per-session
+//        budget with OverloadPolicy::Defer: hot sessions degrade, park
+//        residue, and are deferred while they lag, demonstrating
+//        per-session admission control at service scale. A final
+//        drainAll() catch-up is included in the run (and timed), so the
+//        benchmark ends with every session quiescent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "service/SessionManager.h"
+#include "spreadsheet/Spreadsheet.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+using namespace alphonse;
+using spreadsheet::Spreadsheet;
+
+namespace {
+
+/// Zipf(s = 1.1) sampler over session ranks: precomputed CDF + binary
+/// search, deterministic seed — runs are reproducible and the hot set is
+/// stable across iterations.
+class ZipfSampler {
+public:
+  ZipfSampler(size_t N, uint64_t Seed) : Rng(Seed) {
+    Cdf.reserve(N);
+    double Sum = 0.0;
+    for (size_t I = 1; I <= N; ++I) {
+      Sum += 1.0 / std::pow(static_cast<double>(I), 1.1);
+      Cdf.push_back(Sum);
+    }
+  }
+
+  size_t next() {
+    double U = std::uniform_real_distribution<double>(0.0, Cdf.back())(Rng);
+    return static_cast<size_t>(
+        std::lower_bound(Cdf.begin(), Cdf.end(), U) - Cdf.begin());
+  }
+
+private:
+  std::vector<double> Cdf;
+  std::mt19937_64 Rng;
+};
+
+/// S sessions, each a warmed-up 2x2 sheet ((0,0) literal feeding (0,1)
+/// and (1,1)), over a 4-worker shared pool.
+struct ServiceFixture {
+  ServiceFixture(size_t S, const WaveBudget &Budget) {
+    ServiceConfig C;
+    C.Workers = 4;
+    C.SessionBudget = Budget;
+    M = std::make_unique<SessionManager>(C);
+    Ids.reserve(S);
+    for (size_t I = 0; I < S; ++I) {
+      Session &Sess = M->open();
+      Ids.push_back(Sess.id());
+      Spreadsheet &Sheet =
+          Sess.emplaceProgram<Spreadsheet>(Sess.runtime(), 2, 2);
+      Sheet.setLiteral(0, 0, static_cast<int>(I));
+      Sheet.setFormula(0, 1, "cell(0,0) * 2 + 1");
+      Sheet.setFormula(1, 1, "cell(0,1) + cell(0,0)");
+      Sheet.value(0, 1); // Bind the dependency cones up front;
+      Sheet.value(1, 1); // steady-state edits are then incremental.
+    }
+  }
+
+  std::unique_ptr<SessionManager> M;
+  std::vector<Session::Id> Ids;
+};
+
+void reportServiceCounters(benchmark::State &State, const ServiceFixture &F) {
+  const ServiceStats &S = F.M->stats();
+  State.counters["sessions"] = static_cast<double>(F.M->openSessions());
+  State.counters["p50_us"] = static_cast<double>(S.WaveLatency.quantileUs(0.50));
+  State.counters["p99_us"] = static_cast<double>(S.WaveLatency.quantileUs(0.99));
+  State.counters["p999_us"] =
+      static_cast<double>(S.WaveLatency.quantileUs(0.999));
+  State.counters["waves_admitted"] = static_cast<double>(S.WavesAdmitted.total());
+  State.counters["waves_degraded"] = static_cast<double>(S.WavesDegraded.total());
+  State.counters["waves_deferred"] = static_cast<double>(S.WavesDeferred.total());
+  State.counters["waves_shed"] = static_cast<double>(S.WavesShed.total());
+  State.counters["queue_peak"] = static_cast<double>(S.QueuePeak.total());
+}
+
+// E14a: Zipf edit batches, unbounded per-session waves. One iteration =
+// one batch of 64 edits + one batched drain cycle.
+void BM_E14a_SessionChurn(benchmark::State &State) {
+  size_t S = static_cast<size_t>(State.range(0));
+  ServiceFixture F(S, WaveBudget());
+  F.M->drainAll();
+  ZipfSampler Zipf(S, 0x5e55);
+  int V = 0;
+  for (auto _ : State) {
+    for (int E = 0; E < 64; ++E) {
+      size_t I = Zipf.next();
+      F.M->mutate(F.Ids[I], [&](Session &Sess) {
+        Sess.program<Spreadsheet>()->setLiteral(0, 0, ++V);
+      });
+    }
+    F.M->drainCycle();
+  }
+  reportServiceCounters(State, F);
+}
+BENCHMARK(BM_E14a_SessionChurn)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(100)
+    ->Unit(benchmark::kMicrosecond);
+
+// E14b: the same traffic under a two-step budget with Defer — hot
+// sessions degrade and get deferred while they lag; the final catch-up
+// drain is part of the measured run.
+void BM_E14b_GovernedSessionChurn(benchmark::State &State) {
+  size_t S = static_cast<size_t>(State.range(0));
+  WaveBudget B = WaveBudget::steps(2);
+  B.Policy = OverloadPolicy::Defer;
+  ServiceFixture F(S, B);
+  F.M->drainAll();
+  ZipfSampler Zipf(S, 0x5e55);
+  int V = 0;
+  for (auto _ : State) {
+    for (int E = 0; E < 64; ++E) {
+      size_t I = Zipf.next();
+      F.M->mutate(F.Ids[I], [&](Session &Sess) {
+        Sess.program<Spreadsheet>()->setLiteral(0, 0, ++V);
+      });
+    }
+    F.M->drainCycle();
+  }
+  F.M->drainAll();
+  reportServiceCounters(State, F);
+}
+BENCHMARK(BM_E14b_GovernedSessionChurn)
+    ->Arg(10000)
+    ->Iterations(100)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+ALPHONSE_BENCH_MAIN()

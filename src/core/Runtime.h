@@ -34,6 +34,16 @@ public:
   explicit Runtime(DepGraph::Config Cfg = DepGraph::Config())
       : Graph(Stats, applyEnvOverrides(Cfg)) {}
 
+  /// Tag selecting the exact-config constructor below.
+  struct ExactConfig {};
+
+  /// Constructs with \p Cfg exactly as given — no ALPHONSE_AUDIT /
+  /// ALPHONSE_JOBS environment overrides. Embeddings that manage many
+  /// runtimes themselves (the session service) use this: a debugging env
+  /// var must not silently hand every one of ten thousand sessions its
+  /// own worker pool.
+  Runtime(DepGraph::Config Cfg, ExactConfig) : Graph(Stats, Cfg) {}
+
   DepGraph &graph() { return Graph; }
   Statistics &stats() { return Stats; }
 

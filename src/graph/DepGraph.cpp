@@ -541,8 +541,10 @@ WaveOutcome DepGraph::evaluateAll(const WaveBudget &B) {
     bool Parallel = false;
     if (Cfg.Workers > 0 && Cfg.Partitioning && !TxnActive) {
       if (!Scheduler)
-        Scheduler = std::make_unique<PropagationScheduler>(*this, Cfg.Workers);
-      // Shard budget exhausted at pool creation: fall back to serial.
+        Scheduler = std::make_unique<PropagationScheduler>(*this, Cfg.Workers,
+                                                           Cfg.Pool);
+      // Zero-width pool (shard budget exhausted at creation, or an
+      // attached external pool with no workers): fall back to serial.
       Parallel = Scheduler->workers() > 0;
     }
     if (Parallel)

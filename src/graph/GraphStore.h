@@ -43,6 +43,7 @@
 namespace alphonse {
 
 class PropagationScheduler;
+class ThreadPool;
 
 /// Engine tunables; the defaults match the paper, the flags exist for the
 /// ablation experiments in DESIGN.md Section 5. (DepGraph::Config is an
@@ -88,6 +89,13 @@ struct GraphConfig {
   /// two independent partitions have pending work. Capped by the
   /// process-wide shard budget (kStatShards - 1).
   unsigned Workers = 0;
+  /// Externally owned worker pool for parallel propagation. When set, the
+  /// scheduler dispatches waves onto this pool instead of creating its
+  /// own Workers-sized pool — many embedded graphs (the session service,
+  /// DESIGN.md Section 12) then share one fixed set of threads. The pool
+  /// must outlive the graph; Workers still gates whether parallel waves
+  /// run at all (0 keeps propagation serial even with a pool attached).
+  ThreadPool *Pool = nullptr;
   /// Watchdog: quarantine a node (FaultKind::Deadline) after this many
   /// single evaluations that each consumed an entire wave deadline by
   /// themselves (0 = never). Only armed while a deadline-budgeted wave is

@@ -13,15 +13,21 @@
 
 namespace alphonse {
 
-PropagationScheduler::PropagationScheduler(DepGraph &G, unsigned Workers)
-    : G(G), Pool(Workers) {}
+PropagationScheduler::PropagationScheduler(DepGraph &G, unsigned Workers,
+                                           ThreadPool *Shared)
+    : G(G), Pool(Shared) {
+  if (!Pool) {
+    Owned = std::make_unique<ThreadPool>(Workers);
+    Pool = Owned.get();
+  }
+}
 
 void PropagationScheduler::run() {
   ++G.EvalDepth;
   G.EvalSteps = 0;
   ++G.EvalEpoch;
   G.DrainAborted = false;
-  G.Stats.PropWorkers = Pool.size();
+  G.Stats.PropWorkers = Pool->size();
 
   uint64_t BackoffRound = 0;
   try {
@@ -65,10 +71,10 @@ void PropagationScheduler::run() {
         for (size_t I = 0; I < Par.size(); ++I) {
           UnionFind::Id Root = Par[I];
           uint32_t Me = static_cast<uint32_t>(I + 1);
-          Pool.run([this, Root, Me] { drainRoot(Root, Me); });
+          Pool->run([this, Root, Me] { drainRoot(Root, Me); });
         }
         try {
-          Pool.wait();
+          Pool->wait();
         } catch (...) {
           G.ParallelOn.store(false, std::memory_order_release);
           G.clearOwners();

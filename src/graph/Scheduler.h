@@ -27,6 +27,7 @@
 #include "support/UnionFind.h"
 
 #include <cstdint>
+#include <memory>
 
 namespace alphonse {
 
@@ -35,11 +36,15 @@ class DepGraph;
 /// Drains a graph's pending partitions concurrently on a fixed pool.
 class PropagationScheduler {
 public:
-  /// Spins up a pool of up to \p Workers threads (bounded by the global
-  /// shard budget; workers() reports the real size).
-  PropagationScheduler(DepGraph &G, unsigned Workers);
+  /// Drives waves on \p Shared when non-null (the pool must outlive the
+  /// scheduler, and must not be carrying unrelated tasks during run() —
+  /// wave barriers use pool-global wait()); otherwise spins up an owned
+  /// pool of up to \p Workers threads (bounded by the per-pool shard
+  /// budget; workers() reports the real size).
+  PropagationScheduler(DepGraph &G, unsigned Workers,
+                       ThreadPool *Shared = nullptr);
 
-  unsigned workers() const { return Pool.size(); }
+  unsigned workers() const { return Pool->size(); }
 
   /// One full top-level propagation: repeats waves of concurrent
   /// per-partition drains until the graph is quiescent (or the drain is
@@ -55,7 +60,10 @@ private:
   void drainRoot(UnionFind::Id Anchor, uint32_t Me);
 
   DepGraph &G;
-  ThreadPool Pool;
+  /// The pool waves dispatch onto: Owned when the scheduler created it,
+  /// an external (shared) pool otherwise.
+  ThreadPool *Pool;
+  std::unique_ptr<ThreadPool> Owned;
   /// LCG state for the deterministic jitter mixed into the conflicted-
   /// retry backoff (no global RNG: runs stay reproducible).
   uint64_t JitterSeed = 0x9e3779b97f4a7c15ULL;

@@ -1,0 +1,111 @@
+//===- LatencyHistogram.h - Log-linear latency histogram --------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small HDR-style log-linear histogram for per-wave service latencies
+/// (DESIGN.md "Session service"). Values are microseconds; buckets are 16
+/// linear sub-buckets per power-of-two octave, so relative error is
+/// bounded at ~6% across the full range with a fixed 5 KB footprint — the
+/// tail quantiles (p99/p999) the bench harness reports stay meaningful
+/// without storing every sample.
+///
+/// Single-writer: the session manager records from its driver thread only
+/// (drain tasks hand their timings back through the session record), so
+/// the counters are plain integers, not atomics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_SERVICE_LATENCYHISTOGRAM_H
+#define ALPHONSE_SERVICE_LATENCYHISTOGRAM_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace alphonse {
+
+/// Fixed-size log-linear histogram of microsecond latencies.
+class LatencyHistogram {
+public:
+  /// Linear sub-buckets per octave: 1 << SubBits.
+  static constexpr unsigned SubBits = 4;
+  static constexpr unsigned Subs = 1u << SubBits;
+  /// Octaves above the linear range; covers values up to ~2^40 us (~13
+  /// days), far beyond any wave latency. Larger values clamp to the top
+  /// bucket.
+  static constexpr unsigned Octaves = 36;
+  static constexpr unsigned NumBuckets = Subs + Octaves * Subs;
+
+  void record(uint64_t Us) {
+    ++Counts[bucketOf(Us)];
+    ++Total;
+    if (Us > MaxUs)
+      MaxUs = Us;
+  }
+
+  uint64_t count() const { return Total; }
+  uint64_t maxUs() const { return MaxUs; }
+
+  /// Upper bound of the bucket containing the \p Q quantile (0 < Q <= 1)
+  /// by cumulative rank; 0 when empty. quantileUs(0.5) is the p50,
+  /// quantileUs(0.999) the p999.
+  uint64_t quantileUs(double Q) const {
+    if (Total == 0)
+      return 0;
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total));
+    if (Rank >= Total)
+      Rank = Total - 1;
+    uint64_t Seen = 0;
+    for (unsigned B = 0; B < NumBuckets; ++B) {
+      Seen += Counts[B];
+      if (Seen > Rank)
+        return bucketHighUs(B);
+    }
+    return MaxUs;
+  }
+
+  void reset() {
+    std::memset(Counts, 0, sizeof(Counts));
+    Total = 0;
+    MaxUs = 0;
+  }
+
+private:
+  /// Values < Subs get exact unit buckets; above that, the top SubBits
+  /// bits below the leading bit select a linear sub-bucket within the
+  /// value's octave (the classic HDR mapping).
+  static unsigned bucketOf(uint64_t V) {
+    if (V < Subs)
+      return static_cast<unsigned>(V);
+    unsigned Msb = 63u - static_cast<unsigned>(__builtin_clzll(V));
+    unsigned Octave = Msb - SubBits + 1; // 1-based above the linear range.
+    if (Octave > Octaves)
+      return NumBuckets - 1;
+    unsigned Sub = static_cast<unsigned>((V >> (Msb - SubBits)) & (Subs - 1));
+    return Octave * Subs + Sub;
+  }
+
+  /// Largest value mapping into bucket \p B (the reported quantile is a
+  /// bucket upper bound, never an underestimate).
+  static uint64_t bucketHighUs(unsigned B) {
+    if (B < Subs)
+      return B;
+    unsigned Octave = B / Subs;
+    unsigned Sub = B % Subs;
+    unsigned Shift = Octave - 1;
+    uint64_t Base = static_cast<uint64_t>(Subs) << Shift;
+    uint64_t Width = static_cast<uint64_t>(1) << Shift;
+    return Base + Width * (Sub + 1) - 1;
+  }
+
+  uint64_t Counts[NumBuckets] = {};
+  uint64_t Total = 0;
+  uint64_t MaxUs = 0;
+};
+
+} // namespace alphonse
+
+#endif // ALPHONSE_SERVICE_LATENCYHISTOGRAM_H

@@ -1,0 +1,31 @@
+//===- ServiceStats.cpp - Session-service counters ------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceStats.h"
+
+namespace alphonse {
+
+std::ostream &operator<<(std::ostream &OS, const ServiceStats &S) {
+  OS << "svc.sessions_opened  " << S.SessionsOpened.total() << '\n'
+     << "svc.sessions_closed  " << S.SessionsClosed.total() << '\n'
+     << "svc.sessions_open    " << S.openSessions() << '\n'
+     << "svc.mutations        " << S.Mutations.total() << '\n'
+     << "svc.drain_cycles     " << S.DrainCycles.total() << '\n'
+     << "svc.waves_admitted   " << S.WavesAdmitted.total() << '\n'
+     << "svc.waves_degraded   " << S.WavesDegraded.total() << '\n'
+     << "svc.waves_deferred   " << S.WavesDeferred.total() << '\n'
+     << "svc.waves_shed       " << S.WavesShed.total() << '\n'
+     << "svc.waves_faulted    " << S.WavesFaulted.total() << '\n'
+     << "svc.queue_peak       " << S.QueuePeak.total() << '\n'
+     << "svc.wave_p50_us      " << S.WaveLatency.quantileUs(0.50) << '\n'
+     << "svc.wave_p99_us      " << S.WaveLatency.quantileUs(0.99) << '\n'
+     << "svc.wave_p999_us     " << S.WaveLatency.quantileUs(0.999) << '\n'
+     << "svc.wave_max_us      " << S.WaveLatency.maxUs() << '\n';
+  return OS;
+}
+
+} // namespace alphonse

@@ -133,19 +133,24 @@ private:
 /// tables keep explicit free lists with generation counters).
 template <typename T> class Slab {
 public:
-  static constexpr uint32_t ChunkSlotsLog2 = 12;
+  static constexpr uint32_t ChunkSlotsLog2 = 8;
   static constexpr uint32_t ChunkSlots = 1u << ChunkSlotsLog2;
   /// Geometry covers the full 24-bit handle index space.
   static constexpr uint32_t MaxChunks = 1u << (24 - ChunkSlotsLog2);
+  /// Directory entries allocated up front (covers the first 4096 slots —
+  /// enough for every single-session workload measured in EXPERIMENTS.md
+  /// without a single grow).
+  static constexpr uint32_t InitialDirChunks = 16;
 
-  Slab() {
-    for (uint32_t I = 0; I < MaxChunks; ++I)
-      Chunks[I].store(nullptr, std::memory_order_relaxed);
-  }
+  Slab() { Dir.store(newDir(InitialDirChunks), std::memory_order_relaxed); }
 
   ~Slab() {
-    for (uint32_t I = 0; I < MaxChunks; ++I)
-      delete[] Chunks[I].load(std::memory_order_relaxed);
+    std::atomic<T *> *D = Dir.load(std::memory_order_relaxed);
+    for (uint32_t I = 0; I < DirCap; ++I)
+      delete[] D[I].load(std::memory_order_relaxed);
+    delete[] D;
+    for (std::atomic<T *> *Old : Retired)
+      delete[] Old;
   }
 
   Slab(const Slab &) = delete;
@@ -155,12 +160,12 @@ public:
   uint32_t size() const { return Count.load(std::memory_order_acquire); }
 
   T &operator[](uint32_t Index) {
-    return Chunks[Index >> ChunkSlotsLog2].load(std::memory_order_acquire)
-        [Index & (ChunkSlots - 1)];
+    return Dir.load(std::memory_order_acquire)[Index >> ChunkSlotsLog2]
+        .load(std::memory_order_acquire)[Index & (ChunkSlots - 1)];
   }
   const T &operator[](uint32_t Index) const {
-    return Chunks[Index >> ChunkSlotsLog2].load(std::memory_order_acquire)
-        [Index & (ChunkSlots - 1)];
+    return Dir.load(std::memory_order_acquire)[Index >> ChunkSlotsLog2]
+        .load(std::memory_order_acquire)[Index & (ChunkSlots - 1)];
   }
 
   /// Appends one value-initialized slot and returns its index. Writer-side
@@ -168,9 +173,11 @@ public:
   uint32_t push() {
     uint32_t Index = Count.load(std::memory_order_relaxed);
     uint32_t Chunk = Index >> ChunkSlotsLog2;
-    if ((Index & (ChunkSlots - 1)) == 0 &&
-        !Chunks[Chunk].load(std::memory_order_relaxed)) {
-      Chunks[Chunk].store(new T[ChunkSlots](), std::memory_order_release);
+    if ((Index & (ChunkSlots - 1)) == 0) {
+      if (Chunk == DirCap)
+        growDir();
+      Dir.load(std::memory_order_relaxed)[Chunk].store(
+          new T[ChunkSlots](), std::memory_order_release);
       ++NumChunks;
     }
     Count.store(Index + 1, std::memory_order_release);
@@ -183,14 +190,46 @@ public:
   }
 
 private:
-  /// The directory is embedded (32 KB for the full 24-bit index space)
-  /// rather than heap-allocated: handle resolution is the innermost
-  /// operation of the propagation engine, and an embedded array saves one
-  /// dependent load per resolution. One Slab exists per graph table, so
-  /// the footprint is per-engine, not per-object.
-  std::atomic<T *> Chunks[MaxChunks];
+  static std::atomic<T *> *newDir(uint32_t Cap) {
+    std::atomic<T *> *D = new std::atomic<T *>[Cap];
+    for (uint32_t I = 0; I < Cap; ++I)
+      D[I].store(nullptr, std::memory_order_relaxed);
+    return D;
+  }
+
+  /// Doubles the chunk directory. The old directory is retired, not
+  /// freed: a concurrent reader that loaded Dir just before the swap may
+  /// still be indexing into it, and every index it can legally hold
+  /// (published before the grow) resolves identically through either
+  /// directory — chunks never move. Retired directories are reclaimed at
+  /// destruction. Readers needing an index minted after the grow
+  /// observed its publication, which happened after the release store of
+  /// the new directory, so their acquire load of Dir sees the new one.
+  void growDir() {
+    uint32_t NewCap = DirCap * 2 < MaxChunks ? DirCap * 2 : MaxChunks;
+    std::atomic<T *> *New = newDir(NewCap);
+    std::atomic<T *> *Old = Dir.load(std::memory_order_relaxed);
+    for (uint32_t I = 0; I < DirCap; ++I)
+      New[I].store(Old[I].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    Retired.push_back(Old);
+    Dir.store(New, std::memory_order_release);
+    DirCap = NewCap;
+  }
+
+  /// The chunk directory is heap-allocated and grown on demand (doubling
+  /// from InitialDirChunks) rather than sized for the full 24-bit index
+  /// space up front: a graph's baseline footprint is what bounds how many
+  /// embedded engines one process can hold (DESIGN.md "Session service"),
+  /// and an embedded full-space directory would cost 512 KB per slab at
+  /// this chunk granularity. Resolution pays one extra dependent load
+  /// over an embedded array; measured against bench_space/bench_overhead
+  /// this is inside run-to-run noise.
+  std::atomic<std::atomic<T *> *> Dir;
   std::atomic<uint32_t> Count{0};
+  uint32_t DirCap = InitialDirChunks;
   uint32_t NumChunks = 0;
+  std::vector<std::atomic<T *> *> Retired;
 };
 
 } // namespace alphonse

@@ -7,36 +7,7 @@
 
 #include "support/Statistics.h"
 
-#include <mutex>
-
 namespace alphonse {
-
-namespace detail {
-
-namespace {
-std::mutex ShardMu;
-bool ShardUsed[kStatShards]; // Slot 0 is permanently the main thread's.
-} // namespace
-
-unsigned acquireStatShard() {
-  std::lock_guard<std::mutex> L(ShardMu);
-  for (unsigned I = 1; I < kStatShards; ++I) {
-    if (!ShardUsed[I]) {
-      ShardUsed[I] = true;
-      return I;
-    }
-  }
-  return 0; // Budget exhausted; the caller creates fewer workers.
-}
-
-void releaseStatShard(unsigned Shard) {
-  if (Shard == 0 || Shard >= kStatShards)
-    return;
-  std::lock_guard<std::mutex> L(ShardMu);
-  ShardUsed[Shard] = false;
-}
-
-} // namespace detail
 
 std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
   OS << "nodes.created        " << S.NodesCreated.total() << '\n'

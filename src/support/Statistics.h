@@ -12,10 +12,24 @@
 /// (experiments E7, E8, E11 in DESIGN.md).
 ///
 /// Counters are sharded per worker thread (DESIGN.md "Parallel
-/// propagation"): each thread owns one cache-line-padded slot it updates
-/// with plain load/store pairs (no contended read-modify-write), and reads
-/// merge the slots. On the serial path every update lands in slot 0, so
-/// Workers = 0 behaves exactly like the plain integers it replaced.
+/// propagation"): each pool worker owns one cache-line-padded slot it
+/// updates with plain load/store pairs (no contended read-modify-write),
+/// and reads merge the slots. Shard ids are pool-scoped — every ThreadPool
+/// numbers its own workers 1..kStatShards-1 — so any number of pools can
+/// coexist without starving each other of shards. The ownership rule that
+/// makes the load/store slots sound: at most one pool's workers may update
+/// a given Statistics block at a time (each pool drains its own graphs).
+/// Slot 0 is different: it is shared by the main thread and every thread
+/// without a shard, so it is updated with fetch_add — concurrent shard-0
+/// writers (e.g. session drains running as tasks on a shared pool) never
+/// lose increments.
+///
+/// Memory: the worker slots are allocated lazily per counter, the first
+/// time a worker-shard thread bumps it. A counter only ever touched from
+/// shard 0 — every counter of a serially-drained session runtime — costs
+/// 16 bytes instead of a kStatShards-sized padded array, which is what
+/// makes tens of thousands of per-session Statistics blocks affordable
+/// (DESIGN.md "Session service").
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,22 +42,37 @@
 
 namespace alphonse {
 
-/// Shard budget: slot 0 is the main thread (and every untracked thread);
-/// slots 1..kStatShards-1 are handed to propagation worker threads by
-/// ThreadPool, bounding the process-wide concurrent worker count.
+/// Shard budget: slot 0 is the main thread (and every thread without a
+/// shard); slots 1..kStatShards-1 are handed to a pool's worker threads by
+/// ThreadPool, bounding the per-pool concurrent worker count.
 inline constexpr unsigned kStatShards = 17;
 
 namespace detail {
 /// The calling thread's counter slot. 0 outside worker threads.
 inline thread_local unsigned StatShard = 0;
-/// Worker-slot allocator (ThreadPool.cpp). acquire returns 0 when the
-/// budget is exhausted — the pool then simply creates fewer threads.
-unsigned acquireStatShard();
-void releaseStatShard(unsigned Shard);
 } // namespace detail
 
 /// The calling thread's statistics/evaluator shard id.
 inline unsigned statShardId() { return detail::StatShard; }
+
+/// RAII override of the calling thread's shard id. The session service
+/// uses StatShardScope(0) around a per-session serial drain running on a
+/// pool worker: the session's counters then land in the (fetch_add,
+/// multi-writer-safe) slot 0 instead of lazily allocating worker-slot
+/// blocks in every session's Statistics.
+class StatShardScope {
+public:
+  explicit StatShardScope(unsigned Shard) : Saved(detail::StatShard) {
+    detail::StatShard = Shard;
+  }
+  ~StatShardScope() { detail::StatShard = Saved; }
+
+  StatShardScope(const StatShardScope &) = delete;
+  StatShardScope &operator=(const StatShardScope &) = delete;
+
+private:
+  unsigned Saved;
+};
 
 /// One sharded event counter. Converts implicitly to uint64_t (the merged
 /// total), so call sites read and compare it like the plain integer it
@@ -52,27 +81,27 @@ class StatCounter {
 public:
   StatCounter() = default;
 
-  StatCounter(uint64_t V) { Slots[0].V.store(V, std::memory_order_relaxed); }
+  StatCounter(uint64_t V) { Main.store(V, std::memory_order_relaxed); }
 
   StatCounter(const StatCounter &O) {
-    Slots[0].V.store(O.total(), std::memory_order_relaxed);
+    Main.store(O.total(), std::memory_order_relaxed);
   }
 
-  /// Copy-assignment merges the source into slot 0 (and zeroes the rest),
-  /// so Statistics::reset() — a whole-struct assignment from a fresh
-  /// Statistics — still zeroes everything.
+  ~StatCounter() { delete Workers.load(std::memory_order_relaxed); }
+
+  /// Copy-assignment merges the source into slot 0 (and zeroes the worker
+  /// slots), so Statistics::reset() — a whole-struct assignment from a
+  /// fresh Statistics — still zeroes everything.
   StatCounter &operator=(const StatCounter &O) {
     uint64_t T = O.total();
-    for (Slot &S : Slots)
-      S.V.store(0, std::memory_order_relaxed);
-    Slots[0].V.store(T, std::memory_order_relaxed);
+    zeroWorkerSlots();
+    Main.store(T, std::memory_order_relaxed);
     return *this;
   }
 
   StatCounter &operator=(uint64_t V) {
-    for (Slot &S : Slots)
-      S.V.store(0, std::memory_order_relaxed);
-    Slots[0].V.store(V, std::memory_order_relaxed);
+    zeroWorkerSlots();
+    Main.store(V, std::memory_order_relaxed);
     return *this;
   }
 
@@ -88,27 +117,63 @@ public:
 
   /// Merged value across all shards.
   uint64_t total() const {
-    uint64_t Sum = 0;
-    for (const Slot &S : Slots)
-      Sum += S.V.load(std::memory_order_relaxed);
+    uint64_t Sum = Main.load(std::memory_order_relaxed);
+    if (const ShardBlock *B = Workers.load(std::memory_order_acquire))
+      for (const Slot &S : B->Slots)
+        Sum += S.V.load(std::memory_order_relaxed);
     return Sum;
   }
 
   operator uint64_t() const { return total(); }
 
 private:
-  void bump(uint64_t N) {
-    // Owner-exclusive slot: a plain load/store pair, not a fetch_add —
-    // there is never a second writer to this slot.
-    std::atomic<uint64_t> &S = Slots[statShardId()].V;
-    S.store(S.load(std::memory_order_relaxed) + N,
-            std::memory_order_relaxed);
-  }
-
   struct alignas(64) Slot {
     std::atomic<uint64_t> V{0};
   };
-  Slot Slots[kStatShards];
+  /// Padded slots for shards 1..kStatShards-1, allocated on the first
+  /// bump from a worker-shard thread.
+  struct ShardBlock {
+    Slot Slots[kStatShards - 1];
+  };
+
+  void bump(uint64_t N) {
+    unsigned Shard = statShardId();
+    if (Shard == 0) {
+      // Slot 0 has any number of writers (the main thread, overflow
+      // threads, session drains pinned to shard 0): a read-modify-write
+      // load/store pair here loses increments, so it must be fetch_add.
+      Main.fetch_add(N, std::memory_order_relaxed);
+      return;
+    }
+    // Owner-exclusive worker slot: a plain load/store pair, not a
+    // fetch_add — within the one pool allowed to drive this Statistics
+    // block, no second thread ever writes this slot.
+    std::atomic<uint64_t> &S = workerSlots().Slots[Shard - 1].V;
+    S.store(S.load(std::memory_order_relaxed) + N, std::memory_order_relaxed);
+  }
+
+  /// The worker-slot block, allocated on first use (CAS-installed: racing
+  /// workers agree on one block, losers free theirs).
+  ShardBlock &workerSlots() {
+    ShardBlock *B = Workers.load(std::memory_order_acquire);
+    if (B)
+      return *B;
+    ShardBlock *Fresh = new ShardBlock();
+    if (Workers.compare_exchange_strong(B, Fresh, std::memory_order_acq_rel))
+      return *Fresh;
+    delete Fresh; // Lost the race; B now holds the winner.
+    return *B;
+  }
+
+  void zeroWorkerSlots() {
+    if (ShardBlock *B = Workers.load(std::memory_order_relaxed))
+      for (Slot &S : B->Slots)
+        S.V.store(0, std::memory_order_relaxed);
+  }
+
+  /// Slot 0: the main thread and every unsharded thread (fetch_add).
+  std::atomic<uint64_t> Main{0};
+  std::atomic<ShardBlock *> Workers{nullptr};
 };
 
 /// Aggregate event counters maintained by one Runtime instance.

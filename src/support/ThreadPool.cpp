@@ -12,24 +12,23 @@
 namespace alphonse {
 
 ThreadPool::ThreadPool(unsigned Requested) {
+  // Pool-scoped shard assignment: worker I owns shard I+1 of this pool.
+  // No process-global allocator — concurrent pools number their workers
+  // independently (the ownership rule in Statistics.h keeps the slots
+  // sound: one pool drives a given Statistics block at a time).
   unsigned N = Requested < kStatShards - 1 ? Requested : kStatShards - 1;
   Threads.reserve(N);
   for (unsigned I = 0; I < N; ++I) {
-    unsigned Shard = detail::acquireStatShard();
-    if (Shard == 0)
-      break; // Process-wide worker budget exhausted: smaller pool.
-    try {
-      Threads.emplace_back([this, Shard] { workerMain(Shard); });
-    } catch (...) {
-      detail::releaseStatShard(Shard);
-      throw;
-    }
+    unsigned Shard = I + 1;
+    Threads.emplace_back([this, Shard] { workerMain(Shard); });
   }
 }
 
-ThreadPool::~ThreadPool() { stop(); }
+ThreadPool::~ThreadPool() {
+  shutdown(); // Pending error (if any) discarded: destructors cannot throw.
+}
 
-void ThreadPool::stop() {
+std::exception_ptr ThreadPool::shutdown() noexcept {
   {
     std::lock_guard<std::mutex> L(Mu);
     Stop = true;
@@ -38,14 +37,13 @@ void ThreadPool::stop() {
   // Workers drain the remaining backlog before exiting; a task that
   // throws has its exception captured in FirstError by workerMain, so no
   // exception can cross a join. join() only on joinable threads makes
-  // stop() idempotent (a second call sees an empty thread vector).
+  // shutdown idempotent (a second call sees an empty thread vector).
   for (std::thread &T : Threads)
     if (T.joinable())
       T.join();
   Threads.clear();
-  // A pool that never had workers (shard budget exhausted) may still hold
-  // queued tasks; run them inline so nothing is leaked or left to
-  // deadlock a later wait().
+  // A pool that never had workers may still hold queued tasks; run them
+  // inline so nothing is leaked or left to deadlock a later wait().
   for (;;) {
     std::function<void()> Task;
     {
@@ -57,20 +55,32 @@ void ThreadPool::stop() {
     }
     runInline(Task);
   }
+  std::lock_guard<std::mutex> L(Mu);
+  std::exception_ptr E = FirstError;
+  FirstError = nullptr;
+  return E;
+}
+
+void ThreadPool::stop() {
+  // Rethrow the first unconsumed task error after the drain: a caller
+  // that stops the pool without a final wait() must still see failures.
+  if (std::exception_ptr E = shutdown())
+    std::rethrow_exception(E);
 }
 
 void ThreadPool::run(std::function<void()> Task) {
   {
     std::lock_guard<std::mutex> L(Mu);
-    if (!Stop) {
+    if (!Stop && !Threads.empty()) {
       Queue.push_back(std::move(Task));
       WorkCv.notify_one();
       return;
     }
   }
-  // Queued after stop(): no worker will ever look at the queue again, so
-  // execute on the caller — same capture-the-first-error contract.
-  runInline(Task);
+  // No worker will ever look at the queue (stopped, or a zero-worker
+  // pool): execute on the caller, and let an exception propagate to the
+  // caller directly — there is no later wait() guaranteed to surface it.
+  Task();
 }
 
 void ThreadPool::runInline(std::function<void()> &Task) {
@@ -123,7 +133,6 @@ void ThreadPool::workerMain(unsigned Shard) {
         IdleCv.notify_all();
     }
   }
-  detail::releaseStatShard(Shard);
 }
 
 } // namespace alphonse

@@ -7,13 +7,14 @@
 ///
 /// \file
 /// A minimal fixed-size worker pool for the parallel propagation scheduler
-/// (DESIGN.md "Parallel propagation"). Threads are created once, pull tasks
-/// from a shared queue, and are joined at destruction. Each worker thread
-/// acquires one global statistics shard id (Statistics.h) at startup, so
-/// the StatCounter slots and Runtime's per-shard call stacks are
-/// owner-exclusive for the pool's lifetime; the process-wide shard budget
-/// caps how many workers can exist at once, and a pool simply comes up
-/// smaller when the budget is short.
+/// and the session service (DESIGN.md "Parallel propagation", "Session
+/// service"). Threads are created once, pull tasks from a shared queue,
+/// and are joined at destruction. Shard ownership is pool-scoped: worker I
+/// of any pool runs with statistics shard id I+1 (Statistics.h), so the
+/// StatCounter slots and Runtime's per-shard call stacks are
+/// owner-exclusive for any Statistics block driven by one pool at a time,
+/// and any number of pools can coexist without starving each other of
+/// shards. kStatShards-1 caps the per-pool worker count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,8 +34,8 @@ namespace alphonse {
 /// Fixed pool of worker threads draining a shared task queue.
 class ThreadPool {
 public:
-  /// Creates up to \p Requested workers (bounded by the global statistics
-  /// shard budget; size() reports how many actually exist).
+  /// Creates up to \p Requested workers (bounded by the per-pool shard
+  /// budget kStatShards - 1; size() reports how many actually exist).
   explicit ThreadPool(unsigned Requested);
   ~ThreadPool();
 
@@ -44,10 +45,12 @@ public:
   /// Number of live worker threads (may be less than requested).
   unsigned size() const { return static_cast<unsigned>(Threads.size()); }
 
-  /// Enqueues \p Task for execution on some worker. After stop() the task
-  /// runs inline on the calling thread instead — it is never silently
-  /// dropped, and it cannot strand wait() on a queue no worker will ever
-  /// drain.
+  /// Enqueues \p Task for execution on some worker. On a pool with no
+  /// workers — constructed with 0, or already stop()ped — the task runs
+  /// inline on the calling thread instead: it is never silently dropped,
+  /// it cannot strand wait() on a queue no worker will ever drain, and an
+  /// exception it throws propagates directly to the caller (there is no
+  /// later wait() guaranteed to surface it).
   void run(std::function<void()> Task);
 
   /// Blocks until every enqueued task has finished. If any task escaped
@@ -57,12 +60,21 @@ public:
 
   /// Shuts the pool down: workers finish the queued backlog (including
   /// tasks that throw — their exceptions are captured, never propagated
-  /// into the joins) and are joined. Idempotent; the destructor calls it.
-  /// After stop() the pool has no threads and run() executes inline.
+  /// into the joins) and are joined. If any task escaped with an
+  /// exception that no wait() consumed, the first one is rethrown here
+  /// after the drain — a caller that stops without waiting does not
+  /// silently swallow task failures. Idempotent; the destructor performs
+  /// the same shutdown but swallows the pending error (destructors must
+  /// not throw). After stop() the pool has no threads and run() executes
+  /// inline.
   void stop();
 
 private:
   void workerMain(unsigned Shard);
+  /// Joins the workers and drains any queued backlog inline. Returns the
+  /// pending first error (cleared from the pool), which stop() rethrows
+  /// and the destructor discards.
+  std::exception_ptr shutdown() noexcept;
   /// Runs \p Task on the calling thread under the pool's error contract
   /// (first escaped exception lands in FirstError for the next wait()).
   void runInline(std::function<void()> &Task);

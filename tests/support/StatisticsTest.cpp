@@ -1,0 +1,160 @@
+//===- StatisticsTest.cpp - Sharded counter soundness ---------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression tests for the sharded statistics counters. The load-bearing
+/// one is SlotZeroFetchAddIsExactAcrossThreads: slot 0 of StatCounter used
+/// to be a plain load/store pair like the worker slots, so whenever more
+/// threads than shards bumped a counter (guaranteed once the session
+/// service multiplies pools and pins session drains to shard 0) the slot
+/// had multiple writers and lost increments. Slot 0 is now fetch_add; the
+/// test fails deterministically against the old implementation. The
+/// two-pool tests cover the companion fix: shard ids are pool-scoped, so
+/// concurrent pools no longer starve each other out of a process-global
+/// shard budget.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace alphonse {
+namespace {
+
+TEST(StatisticsTest, SlotZeroFetchAddIsExactAcrossThreads) {
+  // Plain threads carry no shard: every bump lands in slot 0. With the
+  // pre-fix load/store slot this loses increments under contention; with
+  // fetch_add the count is exact.
+  constexpr int Threads = 8;
+  constexpr uint64_t PerThread = 1 << 16;
+  StatCounter C;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&C] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        ++C;
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(C.total(), Threads * PerThread)
+      << "slot 0 has concurrent writers and must not lose increments";
+}
+
+TEST(StatisticsTest, ConcurrentPoolsGetFullShardComplements) {
+  // Pool-scoped shard numbering: a second (and third) live pool gets the
+  // same full worker complement as the first, instead of draining a
+  // process-global shard budget dry.
+  ThreadPool A(8);
+  ThreadPool B(8);
+  ThreadPool C(kStatShards); // Over-asking still caps per pool, not globally.
+  EXPECT_EQ(A.size(), 8u);
+  EXPECT_EQ(B.size(), 8u);
+  EXPECT_EQ(C.size(), kStatShards - 1);
+}
+
+TEST(StatisticsTest, TwoPoolStressCountsExactlyPerPool) {
+  // The shard-ownership rule under real concurrency: each pool drives its
+  // own Statistics block (as each session drain drives its session's),
+  // both pools run flat out at the same time, and every per-pool count
+  // must come out exact. Pre-fix this configuration exhausted the global
+  // shard budget, dumped the second pool's workers onto the lossy shared
+  // slot 0, and undercounted.
+  constexpr int Tasks = 64;
+  constexpr uint64_t PerTask = 1 << 12;
+  Statistics SA, SB;
+  {
+    ThreadPool A(8);
+    ThreadPool B(8);
+    for (int T = 0; T < Tasks; ++T) {
+      A.run([&SA] {
+        for (uint64_t I = 0; I < PerTask; ++I)
+          ++SA.EvalSteps;
+      });
+      B.run([&SB] {
+        for (uint64_t I = 0; I < PerTask; ++I)
+          ++SB.EvalSteps;
+      });
+    }
+    A.wait();
+    B.wait();
+  }
+  EXPECT_EQ(SA.EvalSteps.total(), Tasks * PerTask);
+  EXPECT_EQ(SB.EvalSteps.total(), Tasks * PerTask);
+}
+
+TEST(StatisticsTest, StatShardScopeOverridesAndRestores) {
+  ASSERT_EQ(statShardId(), 0u) << "test body runs unsharded";
+  {
+    StatShardScope Pin(5);
+    EXPECT_EQ(statShardId(), 5u);
+    {
+      StatShardScope Inner(0); // Session drains re-pin workers to slot 0.
+      EXPECT_EQ(statShardId(), 0u);
+    }
+    EXPECT_EQ(statShardId(), 5u);
+  }
+  EXPECT_EQ(statShardId(), 0u);
+}
+
+TEST(StatisticsTest, WorkerSlotBumpsMergeIntoTotal) {
+  StatCounter C;
+  ++C; // Slot 0.
+  {
+    StatShardScope Pin(3);
+    C += 10; // Lazily allocates the worker block, lands in slot 3.
+  }
+  {
+    StatShardScope Pin(kStatShards - 1);
+    C += 100; // Highest legal shard.
+  }
+  EXPECT_EQ(C.total(), 111u);
+}
+
+TEST(StatisticsTest, ResetZeroesEverySlot) {
+  Statistics S;
+  ++S.EvalSteps;
+  {
+    StatShardScope Pin(2);
+    S.EvalSteps += 7;
+  }
+  ASSERT_EQ(S.EvalSteps.total(), 8u);
+  S.reset();
+  EXPECT_EQ(S.EvalSteps.total(), 0u)
+      << "reset() must clear worker slots, not just slot 0";
+  // The counter stays usable from both shard classes after a reset.
+  ++S.EvalSteps;
+  {
+    StatShardScope Pin(2);
+    ++S.EvalSteps;
+  }
+  EXPECT_EQ(S.EvalSteps.total(), 2u);
+}
+
+TEST(StatisticsTest, CopyMergesShardsIntoSlotZero) {
+  StatCounter Src;
+  {
+    StatShardScope Pin(4);
+    Src += 41;
+  }
+  ++Src;
+  StatCounter Dst;
+  {
+    StatShardScope Pin(9);
+    Dst += 1000; // Dead worker-slot residue the copy must clear.
+  }
+  Dst = Src;
+  EXPECT_EQ(Dst.total(), 42u);
+  EXPECT_EQ(Src.total(), 42u);
+}
+
+} // namespace
+} // namespace alphonse

@@ -9,8 +9,9 @@
 /// Shutdown-path regression tests for the propagation worker pool: a task
 /// that throws while the pool is stopping must not deadlock a join or
 /// escape into the destructor, a task queued after stop() must still run
-/// (inline), stop() must be idempotent, and no combination may leave
-/// wait() stranded.
+/// (inline, with its exception reaching the caller), stop() must rethrow
+/// errors no wait() consumed yet stay idempotent, and no combination may
+/// leave wait() stranded.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -72,11 +73,37 @@ TEST(ThreadPoolTest, RunAfterStopExecutesInline) {
   EXPECT_NO_THROW(Pool.wait());
 }
 
-TEST(ThreadPoolTest, RunAfterStopCapturesErrorsForWait) {
+TEST(ThreadPoolTest, RunAfterStopThrowsInline) {
+  // Regression: an inline post-stop task used to stash its exception in
+  // the pool's deferred-error slot, which only a *later* wait() would
+  // surface — a caller done with the pool (it just stopped it!) almost
+  // never waits again, so the failure was silently swallowed. Inline
+  // execution has a live caller on the stack; throw straight at it.
   ThreadPool Pool(1);
   Pool.stop();
-  Pool.run([] { throw std::runtime_error("inline boom"); });
-  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_THROW(Pool.run([] { throw std::runtime_error("inline boom"); }),
+               std::runtime_error);
+  // Nothing may linger for the next wait()/stop()/destructor.
+  EXPECT_NO_THROW(Pool.wait());
+  EXPECT_NO_THROW(Pool.stop());
+}
+
+TEST(ThreadPoolTest, StopRethrowsPendingTaskError) {
+  // Regression: a worker-task exception that no wait() consumed used to
+  // be dropped on the floor by stop() (and the destructor). stop() now
+  // rethrows the first pending error after the drain.
+  ThreadPool Pool(1);
+  std::atomic<int> Ran{0};
+  Pool.run([&] {
+    ++Ran;
+    throw std::runtime_error("unconsumed boom");
+  });
+  Pool.run([&] { ++Ran; });
+  EXPECT_THROW(Pool.stop(), std::runtime_error);
+  EXPECT_EQ(Ran.load(), 2) << "stop() drains the backlog before rethrowing";
+  // The rethrow consumed the error; stop() stays idempotent.
+  EXPECT_NO_THROW(Pool.stop());
+  EXPECT_NO_THROW(Pool.wait());
 }
 
 TEST(ThreadPoolTest, StopIsIdempotent) {
@@ -94,14 +121,14 @@ TEST(ThreadPoolTest, StopIsIdempotent) {
 TEST(ThreadPoolTest, ZeroWorkerPoolRunsEverythingInline) {
   ThreadPool Pool(0);
   EXPECT_EQ(Pool.size(), 0u);
-  // With no workers the queue would never drain; tasks must not be
-  // accepted into a dead queue. stop() flushes whatever got in, and
-  // wait() must return.
+  // With no workers the queue would never drain; run() must execute on
+  // the caller immediately instead of queueing into a dead pool, and
+  // wait() must return without stranding.
   std::atomic<int> Ran{0};
   Pool.run([&] { ++Ran; });
-  Pool.stop();
-  EXPECT_EQ(Ran.load(), 1);
+  EXPECT_EQ(Ran.load(), 1) << "zero-worker run() completes before returning";
   EXPECT_NO_THROW(Pool.wait());
+  EXPECT_NO_THROW(Pool.stop());
 }
 
 TEST(ThreadPoolTest, SlowTasksFinishBeforeJoin) {

@@ -51,11 +51,28 @@ fi
 # The sweep is defined by bench/CMakeLists.txt, not by what happens to be
 # on disk: a registered binary that is missing means a broken build (or a
 # bench silently dropped from the sweep) and must fail the run loudly
-# rather than quietly shrink the aggregate.
-mapfile -t EXPECTED < <(sed -n 's/^add_executable(\(bench_[a-z_]*\).*/\1/p' \
+# rather than quietly shrink the aggregate. The character class includes
+# digits: a target like bench_sessions2 must not be silently truncated
+# out of the sweep.
+mapfile -t EXPECTED < <(sed -n 's/^add_executable(\(bench_[a-z0-9_]*\).*/\1/p' \
   "$REPO_ROOT/bench/CMakeLists.txt" | sort)
 if [[ ${#EXPECTED[@]} -eq 0 ]]; then
   echo "error: no bench targets found in bench/CMakeLists.txt" >&2
+  exit 1
+fi
+
+# Discovery self-check: the parsed target set must exactly match the
+# bench_* binaries a finished build leaves on disk. A mismatch either way
+# means the sed pattern above rotted or the build is stale — both are
+# silent-shrink hazards the sweep exists to prevent.
+mapfile -t ONDISK < <(find "$BENCH_DIR" -maxdepth 1 -name 'bench_*' -type f \
+  -perm -u+x -printf '%f\n' 2>/dev/null | sort)
+if [[ "$(printf '%s\n' "${EXPECTED[@]}")" != "$(printf '%s\n' "${ONDISK[@]}")" ]]; then
+  echo "error: bench discovery mismatch" >&2
+  echo "  registered in bench/CMakeLists.txt: ${EXPECTED[*]}" >&2
+  echo "  executables in $BENCH_DIR: ${ONDISK[*]:-none}" >&2
+  echo "  (stale build, or the discovery regex no longer matches a" >&2
+  echo "   registered target name — fix before trusting the sweep)" >&2
   exit 1
 fi
 

@@ -76,6 +76,15 @@ def main():
         help="fail unless a suite with this name is present and non-empty "
         "(repeatable); catches a bench binary silently dropped from the sweep",
     )
+    ap.add_argument(
+        "--latency-suite",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless this suite has at least one benchmark reporting "
+        "monotone p50_us <= p99_us <= p999_us latency counters (repeatable); "
+        "used for serving-shaped suites like bench_sessions",
+    )
     args = ap.parse_args()
 
     try:
@@ -112,6 +121,29 @@ def main():
         require(
             len(by_name[wanted]["benchmarks"]) > 0,
             f"required suite '{wanted}' recorded no benchmark runs",
+        )
+
+    quantile_keys = ("p50_us", "p99_us", "p999_us")
+    for wanted in args.latency_suite:
+        require(wanted in by_name, f"latency suite '{wanted}' is missing")
+        found = 0
+        for bench in by_name[wanted]["benchmarks"]:
+            counters = bench.get("counters", {})
+            if not all(k in counters for k in quantile_keys):
+                continue
+            found += 1
+            where = f"latency suite '{wanted}', benchmark '{bench['name']}'"
+            p50, p99, p999 = (counters[k] for k in quantile_keys)
+            require(p50 >= 0, f"{where}: negative p50_us {p50!r}")
+            require(
+                p50 <= p99 <= p999,
+                f"{where}: quantiles not monotone "
+                f"(p50={p50!r}, p99={p99!r}, p999={p999!r})",
+            )
+        require(
+            found > 0,
+            f"latency suite '{wanted}' has no benchmark reporting "
+            f"{'/'.join(quantile_keys)} counters",
         )
 
     space = doc.get("space")
