@@ -174,8 +174,11 @@ GraphSnapshot GraphCheckpoint::capture(DepGraph &G) {
     R.Name = N->DebugName;
     UnionFind::Id Root = G.Partitions.find(N->Partition);
     R.PartitionTag = Root;
-    R.Serial =
-        (Root < G.SerialTag.size() && G.SerialTag[Root]) ? 1 : 0;
+    // Per-node pin, not the partition tag: restore re-pins exactly the
+    // nodes that held pins, rebuilding the partition counts — a partition
+    // serial only because of since-destroyed neighbors must not come back
+    // serial.
+    R.Serial = N->SerialPinned ? 1 : 0;
 
     if (N->FirstPred) {
       CkptPredList P;
@@ -295,7 +298,9 @@ void GraphRestorer::finish(DepGraph &G) {
     }
   }
 
-  // Serial-affinity tags, after the unions so the merged root is tagged.
+  // Serial pins, after the unions so the merged root carries the count.
+  // requireSerialEval is idempotent per node, so nodes the typed layer
+  // already pinned at re-creation are not double-counted.
   for (const CkptNode &R : Snap.Nodes)
     if (R.Serial)
       Bound.at(R.IdBits)->requireSerialEval();

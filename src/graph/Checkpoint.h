@@ -50,7 +50,7 @@ struct CkptNode {
   uint8_t Kind = 0;       ///< NodeKind
   uint8_t Strategy = 0;   ///< EvalStrategy
   uint8_t Consistent = 0; ///< consistent(u) bit
-  uint8_t Serial = 0;     ///< partition was serial-affine
+  uint8_t Serial = 0;     ///< node held a serial pin (requireSerialEval)
   uint32_t Level = 0;
   /// Capture-time union-find root of the node's partition. An opaque
   /// label: restore unites nodes that share it.

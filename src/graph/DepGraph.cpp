@@ -54,6 +54,9 @@ size_t DepNode::numSuccessors() const {
 
 void DepNode::requireSerialEval() {
   assert(Graph && "node not attached to a graph");
+  if (SerialPinned)
+    return; // One pin per node; the partition count stays balanced.
+  SerialPinned = true;
   Graph->tagSerialPartition(*this);
 }
 
@@ -84,6 +87,13 @@ void DepGraph::registerNode(DepNode &N) {
 
 void DepGraph::unregisterNode(DepNode &N) {
   StateGuard Guard(*this);
+  // Release the node's serial pin: when the last pinned node of a
+  // partition dies, the partition reverts to parallel eligibility
+  // instead of staying serial-affine forever.
+  if (N.SerialPinned) {
+    untagSerialPartition(N);
+    N.SerialPinned = false;
+  }
   // Drop any pending entry for the dying node.
   eraseFromPendingSets(N);
   if (size_t I = findFault(N.Id); I != SIZE_MAX) {

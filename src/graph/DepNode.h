@@ -168,7 +168,17 @@ public:
   /// recompute touches shared non-graph state (e.g. the interpreter's
   /// output stream and heap), where thread affinity — not just mutual
   /// exclusion — preserves deterministic observable order.
+  ///
+  /// The pin is per-node and counted at the partition level: when the
+  /// last pinned node of a partition is destroyed, the partition reverts
+  /// to parallel eligibility (it does not stay serial-affine forever).
+  /// Idempotent per node.
   void requireSerialEval();
+
+  /// True if this node itself holds a serial pin (requireSerialEval was
+  /// called on it). The partition may be serial-affine because of *other*
+  /// pinned nodes even when this is false.
+  bool isSerialPinned() const { return SerialPinned; }
 
   /// Evaluator hook for Storage nodes: reconcile the cached snapshot with
   /// the live storage value. \returns true if they differed (the change is
@@ -202,6 +212,10 @@ private:
   bool InQueue = false;
   bool Executing = false;
   bool Quarantined = false;
+  /// This node holds a serial pin on its partition (see
+  /// requireSerialEval()); the pin is released when the node is
+  /// unregistered.
+  bool SerialPinned = false;
   /// A dependent recorded an edge from this node while it was executing
   /// (a re-entrant read): the dependent captured this node's *transient*
   /// level, so the usual stamp/level ordering need not hold on those

@@ -80,15 +80,22 @@ UnionFind::Id GraphPolicy::uniteRoots(UnionFind::Id RootA,
   UnionFind::Id Root = Partitions.unite(RootA, RootB);
   ++Stats.PartitionUnions;
 
-  // Serial affinity is sticky across merges.
-  char Tag = 0;
-  if (RootA < SerialTag.size())
-    Tag |= SerialTag[RootA];
-  if (RootB < SerialTag.size())
-    Tag |= SerialTag[RootB];
+  // The merged partition carries the sum of both pin counts, so it stays
+  // serial exactly as long as at least one pinned node survives in it.
+  // Stale (non-root) slots are zeroed: only root slots are ever read, and
+  // a later merge must not double-count a pin.
+  uint32_t Pins = 0;
+  if (RootA < SerialTag.size()) {
+    Pins += SerialTag[RootA];
+    SerialTag[RootA] = 0;
+  }
+  if (RootB < SerialTag.size()) {
+    Pins += SerialTag[RootB];
+    SerialTag[RootB] = 0;
+  }
   if (Root >= SerialTag.size())
     SerialTag.resize(Root + 1, 0);
-  SerialTag[Root] = Tag;
+  SerialTag[Root] = Pins;
 
   UnionFind::Id Other = (Root == RootA) ? RootB : RootA;
   if (Other < SetVec.size() && !SetVec[Other].empty()) {
@@ -161,7 +168,22 @@ void GraphPolicy::tagSerialPartition(DepNode &N) {
   UnionFind::Id Root = Partitions.find(N.Partition);
   if (Root >= SerialTag.size())
     SerialTag.resize(Root + 1, 0);
-  SerialTag[Root] = 1;
+  ++SerialTag[Root];
+}
+
+void GraphPolicy::untagSerialPartition(DepNode &N) {
+  StateGuard Guard(*this);
+  UnionFind::Id Root = Partitions.find(N.Partition);
+  assert(Root < SerialTag.size() && SerialTag[Root] > 0 &&
+         "un-pinning a partition with no serial pins");
+  if (Root < SerialTag.size() && SerialTag[Root] > 0)
+    --SerialTag[Root];
+}
+
+bool GraphPolicy::serialEvalRequired(DepNode &N) {
+  StateGuard Guard(*this);
+  UnionFind::Id Root = Partitions.find(N.Partition);
+  return Root < SerialTag.size() && SerialTag[Root] != 0;
 }
 
 //===----------------------------------------------------------------------===//

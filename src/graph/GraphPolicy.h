@@ -183,6 +183,11 @@ public:
   /// post-wave serial mop-up. No-op on the main thread and outside waves.
   void ensureWorkerAccess(DepNode &Target, DepNode *Accessor);
 
+  /// True if \p N's partition currently holds at least one serial pin —
+  /// i.e. the parallel scheduler would drain it on the mutator thread.
+  /// Diagnostic/test accessor.
+  bool serialEvalRequired(DepNode &N);
+
 protected:
   friend class DepNode;
   friend class PropagationScheduler;
@@ -213,8 +218,14 @@ protected:
   /// RetryConflict. \returns the merged root.
   UnionFind::Id uniteRoots(UnionFind::Id RootA, UnionFind::Id RootB);
 
-  /// Marks \p N's partition serial-affine (DepNode::requireSerialEval).
+  /// Adds one serial pin to \p N's partition (DepNode::requireSerialEval).
   void tagSerialPartition(DepNode &N);
+
+  /// Releases one serial pin from \p N's partition (the node is being
+  /// unregistered, or its recompiled form no longer needs thread
+  /// affinity). When the count reaches zero the partition reverts to
+  /// parallel eligibility.
+  void untagSerialPartition(DepNode &N);
 
   /// Queues every dependent of \p N (change notification, Section 4.4).
   /// Guarded: a sibling wave worker recording a new dependency on \p N
@@ -282,9 +293,12 @@ protected:
   /// Wave ownership indexed by union-find root: drain-task id (1..N), 0 =
   /// unowned. Meaningful only while ParallelOn; cleared between waves.
   std::vector<uint32_t> Owners;
-  /// Serial-affinity tags indexed by union-find element id; a set tag on
-  /// a root means the whole partition drains on the calling thread.
-  std::vector<char> SerialTag;
+  /// Serial-affinity pin counts indexed by union-find element id; a
+  /// nonzero count on a root means the whole partition drains on the
+  /// calling thread. Counted (not a sticky bit) so that destroying the
+  /// last pinned node of a partition returns it to the parallel waves;
+  /// merges sum the two roots' counts.
+  std::vector<uint32_t> SerialTag;
 };
 
 } // namespace alphonse

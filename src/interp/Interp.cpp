@@ -8,11 +8,15 @@
 #include "interp/Interp.h"
 
 #include "graph/Checkpoint.h"
+#include "interp/bytecode/Compiler.h"
+#include "interp/bytecode/VM.h"
 #include "lang/Types.h"
 #include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <thread>
 
 using namespace alphonse::lang;
 
@@ -45,12 +49,16 @@ public:
 /// dependents last observed (compared by Algorithm 4 and at refresh).
 class SlotNode final : public DepNode {
 public:
-  SlotNode(DepGraph &G, StorageSlot &Owner)
+  SlotNode(DepGraph &G, StorageSlot &Owner, bool SerialPin)
       : DepNode(G, NodeKind::Storage), Owner(&Owner), Snapshot(Owner.Live) {
-    // Interpreter recomputes share one output stream, heap, and
-    // conventional call depth; thread affinity (not just locking) keeps
-    // the observable print order deterministic under --jobs.
-    requireSerialEval();
+    // Tree-walking recomputes share one output stream, heap, and
+    // conventional call depth, so without the bytecode tier every
+    // language node pins its partition serial. With compiled bodies the
+    // per-thread VM state makes refresh safe on wave workers; only the
+    // nodes of procedures the effect analysis could not clear stay
+    // pinned (see InterpProcNode).
+    if (SerialPin)
+      requireSerialEval();
   }
 
   bool refreshStorage() override {
@@ -77,7 +85,12 @@ public:
                  EvalStrategy Strategy)
       : DepNode(G, NodeKind::Procedure, Strategy), Owner(&Owner),
         Proc(Proc) {
-    requireSerialEval(); // See SlotNode: interpreter state is serial-affine.
+    // A compiled, side-effect-free body executes in per-thread VM state
+    // and may re-run on parallel wave workers; anything the effect
+    // analysis could not clear (prints, NEW, global or field writes,
+    // uncompiled bodies) keeps the serial pin.
+    if (!Owner.BC || !Owner.BC->parallelSafe(Proc))
+      requireSerialEval();
   }
 
   bool reexecute() override { return Owner->reexecuteInstance(*this); }
@@ -132,8 +145,20 @@ struct Interp::Frame {
 };
 
 Interp::Interp(const Module &M, const SemaInfo &Info, ExecMode Mode,
-               DepGraph::Config Cfg)
+               DepGraph::Config Cfg, bool EnableBytecode)
     : M(M), Info(Info), Mode(Mode), RT(Cfg) {
+  // Compile before any language node exists: InterpProcNode consults BC
+  // to decide whether its partition needs the serial pin. Compiled chunks
+  // are derived state — never checkpointed, rebuilt from the module here
+  // on every construction (including the fresh interpreter a restore
+  // requires).
+  if (const char *E = std::getenv("ALPHONSE_NO_BYTECODE"))
+    if (E[0] && !(E[0] == '0' && !E[1]))
+      EnableBytecode = false;
+  if (EnableBytecode) {
+    BC = bytecode::compileModule(M, Info);
+    BCState = std::make_unique<bytecode::ExecArena>();
+  }
   for (const Type &Ty : Info.GlobalTypes) {
     auto Slot = std::make_unique<StorageSlot>();
     Slot->Live = defaultValue(Ty);
@@ -214,11 +239,18 @@ Value Interp::trackedRead(StorageSlot &S, bool Tracked) {
   if (Mode != ExecMode::Alphonse || !Tracked || !RT.inIncrementalCall())
     return S.Live;
   if (!S.Node) {
-    S.Node = std::make_unique<SlotNode>(RT.graph(), S);
-    S.Node->setName(S.DebugName.empty() ? "slot" : S.DebugName);
-    // Slot nodes created inside a batch are destroyed again on rollback.
-    if (RT.inBatch())
-      RT.graph().logUndo([&S]() { S.Node.reset(); });
+    // Double-checked under the graph's state guard: with compiled bodies
+    // on wave workers, two refreshes can race to materialize the same
+    // slot's node (same pattern as Cell::ensureNode).
+    DepGraph::StateGuard Guard(RT.graph());
+    if (!S.Node) {
+      S.Node =
+          std::make_unique<SlotNode>(RT.graph(), S, /*SerialPin=*/BC == nullptr);
+      S.Node->setName(S.DebugName.empty() ? "slot" : S.DebugName);
+      // Slot nodes created inside a batch are destroyed again on rollback.
+      if (RT.inBatch())
+        RT.graph().logUndo([&S]() { S.Node.reset(); });
+    }
   }
   RT.recordAccess(*S.Node);
   return S.Live;
@@ -269,28 +301,42 @@ Value Interp::dispatch(const ProcDecl *P, const PragmaInfo &Pragma,
 
 Value Interp::incrementalCall(const ProcDecl *P, const PragmaInfo &Pragma,
                               std::vector<Value> Args) {
-  ArgTable &Table = Tables[P];
   InterpProcNode *N;
-  auto It = Table.find(Args);
-  if (It == Table.end()) {
-    auto Owned = std::make_unique<InterpProcNode>(RT.graph(), *this, P,
-                                                  Pragma.Strategy);
-    N = Owned.get();
-    N->setName(P->Name);
-    N->Key = Args;
-    Table.emplace(std::move(Args), std::move(Owned));
-    // Argument-table entries inserted inside a batch are dropped again on
-    // rollback (references to the node were journaled later, so they are
-    // undone first).
-    if (RT.inBatch())
-      RT.graph().logUndo(
-          [&Table, DeadKey = N->Key]() { Table.erase(DeadKey); });
-  } else {
-    N = It->second.get();
-    // Algorithm 5: before reusing an existing instance, apply any batched
-    // changes that could affect it.
-    RT.ensureEvaluatedFor(*N);
+  bool Existing = false;
+  {
+    // Table lookup/insert under the graph's state guard: compiled callers
+    // on different wave workers can reach the same instance concurrently
+    // (mirrors Maintained::operator()). unordered_map reference stability
+    // keeps &Table valid for the undo closure.
+    DepGraph::StateGuard Guard(RT.graph());
+    ArgTable &Table = Tables[P];
+    auto It = Table.find(Args);
+    if (It == Table.end()) {
+      auto Owned = std::make_unique<InterpProcNode>(RT.graph(), *this, P,
+                                                    Pragma.Strategy);
+      N = Owned.get();
+      N->setName(P->Name);
+      N->Key = Args;
+      Table.emplace(std::move(Args), std::move(Owned));
+      // Argument-table entries inserted inside a batch are dropped again on
+      // rollback (references to the node were journaled later, so they are
+      // undone first).
+      if (RT.inBatch())
+        RT.graph().logUndo(
+            [&Table, DeadKey = N->Key]() { Table.erase(DeadKey); });
+    } else {
+      N = It->second.get();
+      Existing = true;
+    }
   }
+  // Partition-ownership handshake before touching the instance's state:
+  // claim an unowned partition for this worker, or throw RetryConflict to
+  // defer behind the current owner (the scheduler re-runs the accessor).
+  RT.graph().ensureWorkerAccess(*N, RT.currentProcedure());
+  // Algorithm 5: before reusing an existing instance, apply any batched
+  // changes that could affect it. Outside the guard — this can evaluate.
+  if (Existing)
+    RT.ensureEvaluatedFor(*N);
   if (RT.inIncrementalCall())
     RT.recordAccess(*N);
   if (N->isQuarantined()) {
@@ -334,6 +380,12 @@ Value Interp::executeInstance(InterpProcNode &N) {
       G.selfInvalidate(N);
     N.Cached = Ret;
     return Ret;
+  } catch (const RetryConflict &) {
+    // A wave conflict is a scheduling event, not a fault: leave the
+    // instance inconsistent for the scheduler's retry instead of
+    // quarantining it.
+    G.selfInvalidate(N);
+    throw;
   } catch (...) {
     G.quarantine(N, captureCurrentFault(N.name()));
     throw;
@@ -460,6 +512,12 @@ private:
 } // namespace
 
 Value Interp::runBody(const ProcDecl *P, const std::vector<Value> &Args) {
+  // Compiled bodies run in the VM with per-thread frames and depth —
+  // CallDepth is shared interpreter state and must stay untouched here,
+  // or parallel drains would race on it.
+  if (BC)
+    if (const bytecode::Chunk *Ch = BC->chunk(P))
+      return runChunk(*Ch, Args);
   if (CallDepth >= MaxCallDepth)
     fail(P->Loc, "call depth exceeded in '" + P->Name +
                      "' (runaway recursion?)");
@@ -641,6 +699,14 @@ Value Interp::evalCall(const CallExpr *C, Frame &F) {
     case Builtin::Abs: {
       Value A = evalExpr(C->Args[0].get(), F);
       return Value::integer(A.Int < 0 ? -A.Int : A.Int);
+    }
+    case Builtin::Pause: {
+      Value A = evalExpr(C->Args[0].get(), F);
+      // Simulated blocking external work: sleeps this thread only, touches
+      // no interpreter state (so bodies using it stay parallel-clearable).
+      if (A.Int > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(A.Int));
+      return Value();
     }
     case Builtin::NumBuiltins:
       break;
@@ -1267,7 +1333,7 @@ void Interp::restoreCheckpoint(const std::string &Path) {
     S.Live = Resolve(St.Live);
     if (!St.HasNode)
       return;
-    S.Node = std::make_unique<SlotNode>(G, S);
+    S.Node = std::make_unique<SlotNode>(G, S, /*SerialPin=*/BC == nullptr);
     S.Node->setName(S.DebugName.empty() ? "slot" : S.DebugName);
     // The constructor snapshots Live; dependents may have observed an
     // older value (quarantined writer), so re-apply the captured one.

@@ -51,6 +51,12 @@
 
 namespace alphonse::interp {
 
+namespace bytecode {
+struct Chunk;
+class BytecodeModule;
+class ExecArena;
+} // namespace bytecode
+
 /// How the interpreter treats the incremental annotations.
 enum class ExecMode : uint8_t {
   Conventional,
@@ -93,9 +99,14 @@ private:
 class Interp {
 public:
   /// \p M and \p Info must outlive the interpreter. Pass the graph config
-  /// to ablate partitioning / cutoffs in benchmarks.
+  /// to ablate partitioning / cutoffs in benchmarks. \p EnableBytecode
+  /// compiles procedure bodies to register bytecode at construction
+  /// (derived state, never checkpointed); pass false — or set
+  /// ALPHONSE_NO_BYTECODE=1, which wins — to force the tree-walker, in
+  /// which case every language node keeps its serial pin.
   Interp(const lang::Module &M, const lang::SemaInfo &Info, ExecMode Mode,
-         DepGraph::Config Cfg = DepGraph::Config());
+         DepGraph::Config Cfg = DepGraph::Config(),
+         bool EnableBytecode = true);
   ~Interp();
 
   /// Calls a top-level procedure by name (the mutator's entry point).
@@ -167,12 +178,20 @@ public:
   Runtime &runtime() { return RT; }
   ExecMode mode() const { return Mode; }
 
+  /// The compiled module, or nullptr when the bytecode tier is disabled
+  /// (--no-bytecode / ALPHONSE_NO_BYTECODE). Tooling: alphonsec
+  /// --dump-bytecode disassembles it; tests assert on effect masks.
+  const bytecode::BytecodeModule *bytecodeModule() const { return BC.get(); }
+
 private:
   friend class InterpProcNode;
   struct Frame;
 
-  // Execution engine.
+  // Execution engine. runBody dispatches compiled bodies to the bytecode
+  // VM (runChunk, defined in bytecode/VM.cpp) and walks the tree
+  // otherwise.
   Value runBody(const lang::ProcDecl *P, const std::vector<Value> &Args);
+  Value runChunk(const bytecode::Chunk &Ch, const std::vector<Value> &Args);
   void execStmts(const std::vector<lang::StmtPtr> &Stmts, Frame &F);
   void execStmt(const lang::Stmt *S, Frame &F);
   Value evalExpr(const lang::Expr *E, Frame &F);
@@ -216,6 +235,12 @@ private:
   const lang::Module &M;
   const lang::SemaInfo &Info;
   ExecMode Mode;
+
+  /// Compiled form of the module (derived state, rebuilt per
+  /// construction) and the per-thread VM execution arena. Both null when
+  /// the bytecode tier is disabled.
+  std::unique_ptr<bytecode::BytecodeModule> BC;
+  std::unique_ptr<bytecode::ExecArena> BCState;
 
   Runtime RT;
   std::vector<std::unique_ptr<StorageSlot>> Globals;

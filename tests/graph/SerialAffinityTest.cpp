@@ -1,0 +1,115 @@
+//===- SerialAffinityTest.cpp - serial-pin lifecycle tests ----------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serial-affinity pins are reference counts per partition, not sticky
+/// tags: a partition that loses its last serial-pinned node becomes
+/// eligible for parallel wave drains again. Historically the tag was a
+/// boolean that survived node destruction, so one short-lived pinned node
+/// permanently demoted its whole (merged) partition to the serial mop-up
+/// — these tests pin the corrected lifecycle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/DepGraph.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace alphonse {
+namespace {
+
+/// Procedure-kind node (addDependency sinks must be procedures) that can
+/// be born pinned, like the interpreter's serial-affine nodes.
+struct PlainNode final : DepNode {
+  explicit PlainNode(DepGraph &G, bool Pin = false)
+      : DepNode(G, NodeKind::Procedure) {
+    if (Pin)
+      requireSerialEval();
+  }
+};
+
+class SerialAffinityTest : public ::testing::Test {
+protected:
+  Statistics Stats;
+};
+
+TEST_F(SerialAffinityTest, PinIsReleasedWhenLastSerialNodeDies) {
+  DepGraph G(Stats);
+  PlainNode Free(G);
+  {
+    PlainNode Pinned(G, /*Pin=*/true);
+    EXPECT_TRUE(Pinned.isSerialPinned());
+    G.addDependency(Pinned, Free); // Merge the two partitions.
+    EXPECT_TRUE(G.serialEvalRequired(Free));
+  }
+  // The pinned node is gone; the surviving partition must be drainable
+  // by wave workers again.
+  EXPECT_FALSE(G.serialEvalRequired(Free));
+}
+
+TEST_F(SerialAffinityTest, TwoPinsNeedTwoReleases) {
+  DepGraph G(Stats);
+  PlainNode Free(G);
+  auto A = std::make_unique<PlainNode>(G, /*Pin=*/true);
+  auto B = std::make_unique<PlainNode>(G, /*Pin=*/true);
+  G.addDependency(*A, Free);
+  G.addDependency(*B, Free);
+  EXPECT_TRUE(G.serialEvalRequired(Free));
+  A.reset();
+  // One pinned node remains in the merged partition.
+  EXPECT_TRUE(G.serialEvalRequired(Free));
+  B.reset();
+  EXPECT_FALSE(G.serialEvalRequired(Free));
+}
+
+TEST_F(SerialAffinityTest, MergeSumsPinCountsAcrossRoots) {
+  DepGraph G(Stats);
+  // Two separately pinned partitions merge: the union carries both pins,
+  // and releasing only one keeps the merged partition serial.
+  auto A = std::make_unique<PlainNode>(G, /*Pin=*/true);
+  auto B = std::make_unique<PlainNode>(G, /*Pin=*/true);
+  PlainNode Bridge(G);
+  G.addDependency(*A, Bridge);
+  G.addDependency(*B, Bridge);
+  EXPECT_TRUE(G.serialEvalRequired(Bridge));
+  B.reset();
+  EXPECT_TRUE(G.serialEvalRequired(Bridge));
+  A.reset();
+  EXPECT_FALSE(G.serialEvalRequired(Bridge));
+}
+
+TEST_F(SerialAffinityTest, RequireSerialEvalIsIdempotentPerNode) {
+  DepGraph G(Stats);
+  PlainNode Free(G);
+  {
+    PlainNode Pinned(G, /*Pin=*/true);
+    // A second pin request on the same node must not double-count — the
+    // node's destruction still releases the partition.
+    Pinned.requireSerialEval();
+    Pinned.requireSerialEval();
+    EXPECT_TRUE(Pinned.isSerialPinned());
+    G.addDependency(Pinned, Free);
+    EXPECT_TRUE(G.serialEvalRequired(Free));
+  }
+  EXPECT_FALSE(G.serialEvalRequired(Free));
+}
+
+TEST_F(SerialAffinityTest, UnpinnedNodesNeverTagTheirPartition) {
+  DepGraph G(Stats);
+  PlainNode A(G);
+  PlainNode B(G);
+  G.addDependency(A, B);
+  EXPECT_FALSE(A.isSerialPinned());
+  EXPECT_FALSE(G.serialEvalRequired(A));
+  EXPECT_FALSE(G.serialEvalRequired(B));
+}
+
+} // namespace
+} // namespace alphonse

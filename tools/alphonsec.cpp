@@ -28,6 +28,12 @@
 //                           threads during propagation (0 = serial,
 //                           default). The ALPHONSE_JOBS environment
 //                           variable overrides this flag.
+//   --no-bytecode           force the tree-walking interpreter for --run
+//                           (every language node keeps its serial pin;
+//                           ALPHONSE_NO_BYTECODE=1 does the same)
+//   --dump-bytecode         disassemble the compiled form of every
+//                           procedure, with its side-effect mask and
+//                           whether it cleared the parallel-safety check
 //   --restore PATH          rebuild the interpreter from a checkpoint (and
 //                           its delta log) before running --run specs
 //   --checkpoint PATH       write a full checkpoint after the --run specs
@@ -62,6 +68,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "interp/Interp.h"
+#include "interp/bytecode/Bytecode.h"
+#include "interp/bytecode/Compiler.h"
 #include "lang/Parser.h"
 #include "support/CheckpointIO.h"
 #include "support/FaultInjector.h"
@@ -101,6 +109,8 @@ struct Options {
   bool HaveFaultSeed = false;
   ExecMode Mode = ExecMode::Alphonse;
   unsigned Jobs = 0;
+  bool NoBytecode = false;
+  bool DumpBytecode = false;
   WaveBudget Budget;
 };
 
@@ -110,7 +120,8 @@ void usage() {
       "usage: alphonsec FILE.alf [--emit-transformed] [--emit-source]\n"
       "                 [--conservative] [--analyze] [--run PROC[,INT...]]\n"
       "                 [--mode alphonse|conventional] [--transactional]\n"
-      "                 [--stats] [--jobs N] [--restore PATH]\n"
+      "                 [--stats] [--jobs N] [--no-bytecode]\n"
+      "                 [--dump-bytecode] [--restore PATH]\n"
       "                 [--checkpoint PATH] [--checkpoint-delta PATH]\n"
       "                 [--fault-seed N] [--deadline-ms N] [--step-budget N]\n"
       "                 [--mem-ceiling BYTES] "
@@ -132,6 +143,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Stats = true;
     } else if (Arg == "--transactional") {
       Opts.Transactional = true;
+    } else if (Arg == "--no-bytecode") {
+      Opts.NoBytecode = true;
+    } else if (Arg == "--dump-bytecode") {
+      Opts.DumpBytecode = true;
     } else if (Arg == "--run") {
       if (++I >= Argc) {
         std::fprintf(stderr, "error: --run needs an argument\n");
@@ -241,9 +256,9 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     usage();
     return false;
   }
-  if (!Opts.EmitSource && !Opts.Analyze && Opts.RunSpec.empty() &&
-      Opts.RestorePath.empty() && Opts.CheckpointPath.empty() &&
-      Opts.DeltaPath.empty())
+  if (!Opts.EmitSource && !Opts.Analyze && !Opts.DumpBytecode &&
+      Opts.RunSpec.empty() && Opts.RestorePath.empty() &&
+      Opts.CheckpointPath.empty() && Opts.DeltaPath.empty())
     Opts.EmitTransformed = true; // Default action.
   return true;
 }
@@ -252,7 +267,7 @@ int runProgram(const Options &Opts, const Module &M, const SemaInfo &Info) {
   // RunSpec: "Proc" or "Proc,1,2,3"; several specs separated by ';'.
   DepGraph::Config Cfg;
   Cfg.Workers = Opts.Jobs; // ALPHONSE_JOBS overrides (Runtime env hook).
-  Interp I(M, Info, Opts.Mode, Cfg);
+  Interp I(M, Info, Opts.Mode, Cfg, /*EnableBytecode=*/!Opts.NoBytecode);
   // The budget flags govern every un-annotated pump the run performs
   // (checkpoint capture still pumps unbounded — it needs true
   // quiescence).
@@ -445,6 +460,26 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(TS.WritesTotal),
                 static_cast<unsigned long long>(TS.CallsChecked),
                 static_cast<unsigned long long>(TS.CallsTotal));
+  }
+
+  if (Opts.DumpBytecode) {
+    // Compile the (transformed) module exactly as Interp's constructor
+    // would, and show each procedure's lowered form plus the effect mask
+    // the parallel-safety analysis derived for it.
+    auto BC = interp::bytecode::compileModule(M, Info);
+    for (const auto &P : M.Procs) {
+      uint8_t Eff = BC->effects(P.get());
+      std::printf("; effects: %s — %s\n",
+                  interp::bytecode::effectsString(Eff).c_str(),
+                  BC->parallelSafe(P.get())
+                      ? "joins parallel waves"
+                      : "serial-pinned");
+      if (const interp::bytecode::Chunk *Ch = BC->chunk(P.get()))
+        std::printf("%s\n", interp::bytecode::disassemble(*Ch).c_str());
+      else
+        std::printf("%s: <not compiled — tree-walker only>\n\n",
+                    P->Name.c_str());
+    }
   }
 
   if (Opts.Analyze) {
