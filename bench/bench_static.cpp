@@ -1,0 +1,215 @@
+//===- bench_static.cpp - Experiment E16 ----------------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Static graph construction (paper Section 6.2, DESIGN.md Section 14), two
+// claims measured on a plan-eligible Alphonse-L module (nullary cached
+// procedures over globals):
+//
+//  1. Zero-allocation steady state. After warm-up, the pool high-water
+//     mark is re-based (Runtime::resetPoolHighWater) and >= 10k churn
+//     waves run — each wave writes a global and demands the whole cached
+//     cone, so every re-execution tears down and re-records its edges.
+//     All of that recycles through the pre-reserved slabs:
+//     BM_StaticSteadyState reports pool_high_water_start/_end, and the
+//     two must be equal (tools/validate_bench_json.py --flat-gauge).
+//
+//  2. The static call path is cheaper. incrementalCall on a plan slot is
+//     an indexed load instead of a StateGuard + table find-or-emplace;
+//     BM_StaticVsDynamicCalls interleaves identical cache-hit-heavy waves
+//     through both paths and reports static_vs_dynamic = dynamic-ns /
+//     static-ns (> 1 means the static path is faster).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "transform/Transform.h"
+
+#include "BenchSupport.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+
+using namespace alphonse;
+using namespace alphonse::lang;
+using namespace alphonse::interp;
+
+namespace {
+
+// Eight globals feeding a three-level cone of nullary cached procedures —
+// every one of them plan-eligible (|R(p)| compile-time bounded), so the
+// whole shape instantiates from one bulk reservation at load time.
+const char *ConeProgram = R"(
+VAR
+  g0, g1, g2, g3, g4, g5, g6, g7 : INTEGER;
+
+(*CACHED*) PROCEDURE C0() : INTEGER = BEGIN RETURN g0 + g1; END C0;
+(*CACHED*) PROCEDURE C1() : INTEGER = BEGIN RETURN g1 + g2; END C1;
+(*CACHED*) PROCEDURE C2() : INTEGER = BEGIN RETURN g2 + g3; END C2;
+(*CACHED*) PROCEDURE C3() : INTEGER = BEGIN RETURN g3 + g4; END C3;
+(*CACHED*) PROCEDURE C4() : INTEGER = BEGIN RETURN g4 + g5; END C4;
+(*CACHED*) PROCEDURE C5() : INTEGER = BEGIN RETURN g5 + g6; END C5;
+(*CACHED*) PROCEDURE C6() : INTEGER = BEGIN RETURN g6 + g7; END C6;
+(*CACHED*) PROCEDURE C7() : INTEGER = BEGIN RETURN g7 + g0; END C7;
+
+(*CACHED*) PROCEDURE Lo() : INTEGER =
+BEGIN
+  RETURN C0() + C1() + C2() + C3();
+END Lo;
+
+(*CACHED*) PROCEDURE Hi() : INTEGER =
+BEGIN
+  RETURN C4() + C5() + C6() + C7();
+END Hi;
+
+(*CACHED*) PROCEDURE All() : INTEGER =
+BEGIN
+  RETURN Lo() + Hi();
+END All;
+
+PROCEDURE Poke(i, v : INTEGER) =
+BEGIN
+  IF i = 0 THEN g0 := v;
+  ELSIF i = 1 THEN g1 := v;
+  ELSIF i = 2 THEN g2 := v;
+  ELSIF i = 3 THEN g3 := v;
+  ELSIF i = 4 THEN g4 := v;
+  ELSIF i = 5 THEN g5 := v;
+  ELSIF i = 6 THEN g6 := v;
+  ELSE g7 := v;
+  END;
+END Poke;
+)";
+
+struct CompiledProgram {
+  Module M;
+  SemaInfo Info;
+  DiagnosticEngine Diags;
+};
+
+std::unique_ptr<CompiledProgram> compileProgram(const char *Source) {
+  auto C = std::make_unique<CompiledProgram>();
+  C->M = parseModule(Source, C->Diags);
+  C->Info = analyze(C->M, C->Diags);
+  assert(!C->Diags.hasErrors());
+  transform::transform(C->M, C->Info, transform::TransformOptions());
+  return C;
+}
+
+std::unique_ptr<Interp> makeInterp(const CompiledProgram &C, bool Static) {
+  DepGraph::Config Cfg;
+  return std::make_unique<Interp>(C.M, C.Info, ExecMode::Alphonse, Cfg,
+                                  /*EnableBytecode=*/true, Static);
+}
+
+/// One churn wave: dirty one global, then demand the full cone plus every
+/// leaf — one re-execution cascade (edge teardown + re-record) and ten
+/// cache-hit incremental calls per wave.
+long wave(Interp &I, long Tick) {
+  I.call("Poke", {Value::integer(Tick % 8), Value::integer(Tick)});
+  long S = I.call("All").Int;
+  S += I.call("Lo").Int + I.call("Hi").Int;
+  for (const char *Leaf : {"C0", "C1", "C2", "C3", "C4", "C5", "C6", "C7"})
+    S += I.call(Leaf).Int;
+  return S;
+}
+
+/// Claim 1: after warm-up, >= 10k waves of churn grow nothing. Fixed
+/// iteration count so the steady-state window is the acceptance window.
+void BM_StaticSteadyState(benchmark::State &State) {
+  auto C = compileProgram(ConeProgram);
+  auto I = makeInterp(*C, /*Static=*/true);
+  long Tick = 1;
+  // Warm-up: materialize every instance, cycle each global at least once
+  // (so edge teardown has recycled slots and the free-list vectors have
+  // their steady capacity), then re-base the high-water mark.
+  for (int W = 0; W < 256; ++W)
+    benchmark::DoNotOptimize(wave(*I, Tick++));
+  assert(!I->failed());
+  I->runtime().resetPoolHighWater();
+  const uint64_t Start = I->runtime().stats().PoolHighWater.total();
+  const uint64_t Calls0 = I->runtime().stats().StaticCalls.total();
+
+  long Sink = 0;
+  for (auto _ : State)
+    Sink += wave(*I, Tick++);
+  benchmark::DoNotOptimize(Sink);
+
+  State.counters["pool_high_water_start"] = static_cast<double>(Start);
+  State.counters["pool_high_water_end"] =
+      static_cast<double>(I->runtime().stats().PoolHighWater.total());
+  State.counters["waves"] = static_cast<double>(Tick - 257);
+  State.counters["static_calls"] = static_cast<double>(
+      I->runtime().stats().StaticCalls.total() - Calls0);
+}
+BENCHMARK(BM_StaticSteadyState)
+    ->Iterations(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Claim 2: interleaved identical waves through the static and dynamic
+/// call paths; static_vs_dynamic > 1 means the indexed lookup beats the
+/// guarded find-or-emplace.
+void BM_StaticVsDynamicCalls(benchmark::State &State) {
+  auto C = compileProgram(ConeProgram);
+  auto St = makeInterp(*C, /*Static=*/true);
+  auto Dy = makeInterp(*C, /*Static=*/false);
+  long TickS = 1, TickD = 1;
+  for (int W = 0; W < 64; ++W) {
+    benchmark::DoNotOptimize(wave(*St, TickS++));
+    benchmark::DoNotOptimize(wave(*Dy, TickD++));
+  }
+  double StNs = 0, DyNs = 0;
+  using Clock = std::chrono::steady_clock;
+  long Sink = 0;
+  for (auto _ : State) {
+    auto T0 = Clock::now();
+    Sink += wave(*St, TickS++);
+    auto T1 = Clock::now();
+    State.PauseTiming();
+    auto T2 = Clock::now();
+    Sink += wave(*Dy, TickD++);
+    auto T3 = Clock::now();
+    StNs += std::chrono::duration<double, std::nano>(T1 - T0).count();
+    DyNs += std::chrono::duration<double, std::nano>(T3 - T2).count();
+    State.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(Sink);
+  State.counters["static_vs_dynamic"] = StNs > 0 ? DyNs / StNs : 0;
+}
+BENCHMARK(BM_StaticVsDynamicCalls)->Unit(benchmark::kMicrosecond);
+
+/// Construction cost context: building the interpreter with the shape
+/// pre-instantiated vs. dynamic lazy construction plus the first full
+/// demand. Static pays reservation up front; the counter reports the
+/// ratio of first-answer latencies (dynamic / static).
+void BM_StaticFirstAnswer(benchmark::State &State) {
+  auto C = compileProgram(ConeProgram);
+  double StNs = 0, DyNs = 0;
+  using Clock = std::chrono::steady_clock;
+  for (auto _ : State) {
+    auto T0 = Clock::now();
+    auto St = makeInterp(*C, /*Static=*/true);
+    benchmark::DoNotOptimize(St->call("All").Int);
+    auto T1 = Clock::now();
+    State.PauseTiming();
+    auto T2 = Clock::now();
+    auto Dy = makeInterp(*C, /*Static=*/false);
+    benchmark::DoNotOptimize(Dy->call("All").Int);
+    auto T3 = Clock::now();
+    StNs += std::chrono::duration<double, std::nano>(T1 - T0).count();
+    DyNs += std::chrono::duration<double, std::nano>(T3 - T2).count();
+    State.ResumeTiming();
+  }
+  State.counters["first_answer_dyn_vs_static"] = StNs > 0 ? DyNs / StNs : 0;
+}
+BENCHMARK(BM_StaticFirstAnswer)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+ALPHONSE_BENCH_MAIN();

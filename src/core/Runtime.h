@@ -50,6 +50,12 @@ public:
   /// Resets the statistics counters (the graph itself is untouched).
   void resetStats() { Stats.reset(); }
 
+  /// Rebases the pool.high_water gauge to the graph's current slab
+  /// reservation. Benches scope the gauge to a churn phase with this:
+  /// reset after warm-up, then assert it stayed flat (zero steady-state
+  /// slab growth, DESIGN.md §14).
+  void resetPoolHighWater() { Graph.resetHighWater(); }
+
   /// The dependency-graph node of the most recently called incremental
   /// procedure still executing on the calling thread, or nullptr outside
   /// incremental execution and inside UncheckedScope frames (paper:

@@ -272,13 +272,19 @@ void GraphRestorer::finish(DepGraph &G) {
     G.Quarantine.emplace_back(N.Id, std::move(FI));
   }
 
-  // Edges. Captured front-to-back per sink; relinked in reverse so the
-  // push-front linkage recovers the original list order (the same trick
-  // rollback's PredsRemoved replay uses).
-  for (const CkptPredList &P : Snap.Preds) {
-    DepNode &Sink = *Bound.at(P.SinkBits);
-    for (auto It = P.SourceBits.rbegin(); It != P.SourceBits.rend(); ++It)
-      G.relinkEdge(*Bound.at(*It), Sink);
+  // Edges: each snapshot adjacency row goes through the bulk-link API in
+  // one call (it re-reverses internally so the push-front linkage
+  // recovers the captured list order).
+  {
+    std::vector<DepNode *> Row;
+    for (const CkptPredList &P : Snap.Preds) {
+      DepNode &Sink = *Bound.at(P.SinkBits);
+      Row.clear();
+      Row.reserve(P.SourceBits.size());
+      for (uint64_t Bits : P.SourceBits)
+        Row.push_back(Bound.at(Bits));
+      G.relinkPredecessors(Sink, Row);
+    }
   }
 
   // Partitions: nodes that shared a capture-time root are reunited. This
@@ -316,6 +322,11 @@ void GraphRestorer::finish(DepGraph &G) {
   G.Epoch = std::max(G.Epoch, Snap.Epoch);
 
   G.Stats.CkptRestoredNodes += Snap.Nodes.size();
+
+  // Restore rebuilt the tables wholesale; the growth-triggered gauge
+  // hooks may never have fired (e.g. when restoring into freshly
+  // reserved slabs), so re-publish the memory gauges explicitly.
+  G.republishMemoryGauges();
 
   // The gate: no restored graph is handed back without passing the same
   // structural audit ALPHONSE_AUDIT runs after every evaluation.

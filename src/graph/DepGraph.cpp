@@ -649,6 +649,27 @@ void DepGraph::selfInvalidate(DepNode &Proc) {
   Proc.Consistent = false;
 }
 
+bool DepGraph::settleUnobservedWrite(DepNode &N) {
+  StateGuard Guard(*this);
+  if (!N.isStorage() || N.Quarantined || N.FirstSucc)
+    return false;
+  // Same bookkeeping as processNode's storage branch: refresh the
+  // snapshot, and on a real change stamp a fresh version (journaled so a
+  // rollback restores the old stamp). enqueueSuccessors is vacuous here.
+  if (N.refreshStorage()) {
+    if (journaling()) {
+      UndoEntry U;
+      U.K = UndoEntry::Kind::VersionStamp;
+      U.Sink = N.Id;
+      U.OldVersion = N.Version;
+      Journal.push(std::move(U));
+      ++Stats.TxnUndoEntries;
+    }
+    N.Version = ++VersionCounter;
+  }
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // Transactional mutation batches (see DESIGN.md "Transactions and recovery")
 //===----------------------------------------------------------------------===//
@@ -729,6 +750,10 @@ void DepGraph::rollbackBatch() {
   Stats.GovParkedNodes = 0;
   ++Epoch;
   ++Stats.TxnRolledBack;
+  // Undo replay freed nodes and edges wholesale without touching the
+  // growth-triggered gauge hooks; re-publish so graph.node_bytes /
+  // graph.edge_bytes / pool.high_water reflect the restored state.
+  republishMemoryGauges();
   if (Cfg.VerifyOnRollback)
     for (const std::string &V : verify())
       Diags.error(SourceLocation(), "rollback audit: " + V);
@@ -802,6 +827,13 @@ void DepGraph::relinkEdge(DepNode &Source, DepNode &Sink) {
   linkEdge(E, Source, Sink);
   ++Stats.EdgesCreated;
   ++NumLiveEdges;
+}
+
+void DepGraph::relinkPredecessors(DepNode &Sink,
+                                  const std::vector<DepNode *> &Sources) {
+  StateGuard Guard(*this);
+  for (auto It = Sources.rbegin(); It != Sources.rend(); ++It)
+    relinkEdge(**It, Sink);
 }
 
 //===----------------------------------------------------------------------===//

@@ -55,6 +55,41 @@ void GraphStore::refreshMemoryGauges() {
   }
 }
 
+void GraphStore::reserveShape(size_t Nodes, size_t Edges) {
+  StateGuard Guard(*this);
+  NodeTab.reserve(Nodes);
+  EdgeTab.reserve(Edges);
+  Stats.ShapeNodesReserved += Nodes;
+  Stats.ShapeEdgesReserved += Edges;
+  refreshMemoryGauges();
+}
+
+void GraphStore::republishMemoryGauges() {
+  StateGuard Guard(*this);
+  size_t NodeBytes = NodeTab.bytesReserved();
+  size_t EdgeBytes = EdgeTab.bytesReserved();
+  LastNodeBytes = NodeBytes;
+  LastEdgeBytes = EdgeBytes;
+  Stats.GraphNodeBytes = NodeBytes;
+  Stats.GraphEdgeBytes = EdgeBytes;
+  // The high-water mark is monotone here (resetHighWater rebases it);
+  // re-publish even when unchanged so a stats reset cannot leave the
+  // published gauge behind the tracked peak.
+  if (NodeBytes + EdgeBytes > HighWaterBytes)
+    HighWaterBytes = NodeBytes + EdgeBytes;
+  Stats.PoolHighWater = HighWaterBytes;
+}
+
+void GraphStore::resetHighWater() {
+  StateGuard Guard(*this);
+  HighWaterBytes = NodeTab.bytesReserved() + EdgeTab.bytesReserved();
+  LastNodeBytes = NodeTab.bytesReserved();
+  LastEdgeBytes = EdgeTab.bytesReserved();
+  Stats.GraphNodeBytes = LastNodeBytes;
+  Stats.GraphEdgeBytes = LastEdgeBytes;
+  Stats.PoolHighWater = HighWaterBytes;
+}
+
 NodeId GraphStore::allocNodeSlot(DepNode &N) {
   NodeId Id = NodeTab.alloc(N);
   if (NodeTab.bytesReserved() != LastNodeBytes)

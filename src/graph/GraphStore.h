@@ -145,6 +145,25 @@ public:
     Free.push_back(Index);
   }
 
+  /// Pre-grows the table by \p N slots, parking them on the free list so
+  /// the next \p N alloc() calls are free-list pops with no slab growth
+  /// (static graph construction, DESIGN.md §14). Writer-side only, like
+  /// alloc().
+  void reserve(size_t N) {
+    for (size_t I = 0; I < N; ++I) {
+      uint32_t Index = Slots.push();
+      uint32_t GenIndex = Gens.push();
+      (void)GenIndex;
+      assert(GenIndex == Index && "node slabs out of lockstep");
+      assert(Index <= NodeId::MaxIndex && "node table exhausted (2^24 slots)");
+      Gens[Index] = NodeId::FirstGen;
+      Free.push_back(Index);
+    }
+  }
+
+  /// Slots currently parked on the free list.
+  size_t numFree() const { return Free.size(); }
+
   /// True when \p Id names a currently allocated slot of its generation.
   bool isLive(NodeId Id) const {
     return Id && Id.index() < Slots.size() && Gens[Id.index()] == Id.gen() &&
@@ -215,6 +234,23 @@ public:
     Free.push_back(Index);
   }
 
+  /// Pre-grows the table by \p N slots, parking them on the free list (see
+  /// NodeTable::reserve).
+  void reserve(size_t N) {
+    for (size_t I = 0; I < N; ++I) {
+      uint32_t Index = Slots.push();
+      uint32_t GenIndex = Gens.push();
+      (void)GenIndex;
+      assert(GenIndex == Index && "edge slabs out of lockstep");
+      assert(Index <= EdgeId::MaxIndex && "edge table exhausted (2^24 slots)");
+      Gens[Index] = EdgeId::FirstGen;
+      Free.push_back(Index);
+    }
+  }
+
+  /// Slots currently parked on the free list.
+  size_t numFree() const { return Free.size(); }
+
   bool isLive(EdgeId Id) const {
     return Id && Id.index() < Slots.size() && Gens[Id.index()] == Id.gen();
   }
@@ -277,6 +313,32 @@ public:
 
   size_t numPredecessors(const DepNode &N) const;
   size_t numSuccessors(const DepNode &N) const;
+
+  /// Bulk pre-reservation for static graph construction (paper §6.2,
+  /// DESIGN.md §14): grows the node and edge tables by \p Nodes / \p Edges
+  /// slots in one step, parking the new slots on the free lists, so the
+  /// instantiation (and the steady-state churn that follows it) is served
+  /// entirely by free-list pops — zero slab growth, directly assertable
+  /// via the pool.high_water gauge. Publishes the memory gauges once.
+  void reserveShape(size_t Nodes, size_t Edges);
+
+  /// Free node-table slots available before the next slab growth.
+  size_t nodeSlotsFree() const { return NodeTab.numFree(); }
+  /// Free edge-table slots available before the next slab growth.
+  size_t edgeSlotsFree() const { return EdgeTab.numFree(); }
+
+  /// Unconditionally re-publishes graph.node_bytes / graph.edge_bytes /
+  /// pool.high_water from the tables' current reservations. The growth
+  /// hooks only publish when a slab actually grows, so embeddings that
+  /// swap table contents wholesale (checkpoint restore, batch rollback)
+  /// call this to keep the gauges from going stale until the next growth.
+  void republishMemoryGauges();
+
+  /// Rebases the pool.high_water mark to the tables' current combined
+  /// reservation (and re-publishes all three gauges), so a bench can
+  /// scope the mark to a churn phase: reset after warm-up, then assert
+  /// the gauge stayed flat.
+  void resetHighWater();
 
   /// RAII conditional lock over the graph's shared bookkeeping (pending
   /// sets, union-find, edge tables, journal, quarantine). On the serial

@@ -23,6 +23,10 @@
 #include <memory>
 #include <unordered_map>
 
+namespace alphonse::transform {
+struct GraphPlan;
+} // namespace alphonse::transform
+
 namespace alphonse::interp::bytecode {
 
 /// The compiled module: one chunk per procedure plus the per-procedure
@@ -54,8 +58,13 @@ public:
 
 /// Compiles every procedure of \p M. \p M and \p Info must outlive the
 /// result (chunks hold ProcDecl / ObjectTypeInfo pointers into them).
-std::unique_ptr<BytecodeModule> compileModule(const lang::Module &M,
-                                              const lang::SemaInfo &Info);
+/// With a \p Plan, call sites whose callee the plan covers get the
+/// static-instance slot baked into the chunk's procedure pool
+/// (ProcRef::StaticSlot), making hot-path node resolution an indexed
+/// load; without one, every site keeps the dynamic path.
+std::unique_ptr<BytecodeModule>
+compileModule(const lang::Module &M, const lang::SemaInfo &Info,
+              const transform::GraphPlan *Plan = nullptr);
 
 } // namespace alphonse::interp::bytecode
 

@@ -173,13 +173,15 @@ Value Interp::runChunk(const Chunk &Ch, const std::vector<Value> &Args) {
       VM_NEXT();
     }
     VM_CASE(CallProc) : {
-      const ProcDecl *Callee = Ch.Procs[static_cast<size_t>(IP->Imm)].P;
+      const bytecode::ProcRef &PR = Ch.Procs[static_cast<size_t>(IP->Imm)];
       std::vector<Value> CallArgs(
           ES.Regs.begin() + static_cast<long>(Base + IP->B),
           ES.Regs.begin() + static_cast<long>(Base + IP->B + IP->C));
-      Value Ret = dispatch(Callee, Callee->Pragma,
+      // PR.StaticSlot was resolved at compile time; a planned callee's
+      // instance node is then an indexed load inside incrementalCall.
+      Value Ret = dispatch(PR.P, PR.P->Pragma,
                            (IP->Flags & FlagTracked) != 0,
-                           std::move(CallArgs));
+                           std::move(CallArgs), PR.StaticSlot);
       VM_R(IP->A) = std::move(Ret);
       VM_NEXT();
     }

@@ -237,6 +237,7 @@ private:
         continue;
       }
       ProcInfo PI;
+      PI.DeclIndex = static_cast<int>(&P - M.Procs.data());
       for (const ParamDecl &PD : P->Params)
         PI.ParamTypes.push_back(resolveTypeRef(PD.Type));
       PI.RetType =

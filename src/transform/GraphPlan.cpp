@@ -1,0 +1,53 @@
+//===- GraphPlan.cpp - Static graph shape emission ------------------------===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/GraphPlan.h"
+
+#include <algorithm>
+
+using namespace alphonse::lang;
+
+namespace alphonse::transform {
+
+GraphPlan buildGraphPlan(const Module &M, const SemaInfo &Info) {
+  GraphPlan Plan;
+  Plan.RefSets = analyzeStaticRefSets(M, Info);
+  Plan.GlobalSlots = M.Globals.size();
+
+  // Collect eligible procedures, then assign slots in module declaration
+  // order (ProcInfo::DeclIndex) so the plan — and therefore every node id
+  // the compiler bakes into bytecode — is deterministic across runs.
+  std::vector<const ProcDecl *> Eligible;
+  for (const auto &P : M.Procs) {
+    if (P->Pragma.Kind != ProcPragma::Cached)
+      continue; // Only cached procedures own graph instances.
+    if (!P->Params.empty())
+      continue; // Parameterized: one instance per argument vector.
+    const RefSetInfo *RI = Plan.RefSets.info(P.get());
+    if (!RI || !RI->IsStatic)
+      continue; // Unbounded R(p): dynamic path.
+    Eligible.push_back(P.get());
+  }
+  std::sort(Eligible.begin(), Eligible.end(),
+            [&](const ProcDecl *A, const ProcDecl *B) {
+              const ProcInfo *IA = Info.procInfo(A);
+              const ProcInfo *IB = Info.procInfo(B);
+              return (IA ? IA->DeclIndex : -1) < (IB ? IB->DeclIndex : -1);
+            });
+
+  for (const ProcDecl *P : Eligible) {
+    PlanInstance PI;
+    PI.Proc = P;
+    PI.Slot = static_cast<int>(Plan.Instances.size());
+    PI.EdgeBound = Plan.RefSets.info(P)->Bound;
+    Plan.SlotIndex[P] = PI.Slot;
+    Plan.Instances.push_back(PI);
+  }
+  return Plan;
+}
+
+} // namespace alphonse::transform

@@ -1,0 +1,102 @@
+//===- GraphPlan.h - Static graph shape emission ----------------*- C++ -*-===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper §6.2's static graph construction (DESIGN.md §14): "As the
+/// referenced argument set for many Alphonse procedures is static, the
+/// compiler could generate a similar subgraph." This pass turns the
+/// StaticRefSets classification into a concrete shape table — node
+/// templates, argument-table slots, and per-instance edge-adjacency
+/// capacity — that the runtime instantiates in bulk into pre-reserved
+/// slabs (GraphStore::reserveShape) instead of creating nodes lazily via
+/// find-or-emplace on the first call.
+///
+/// What the plan covers:
+///
+///  - every top-level variable gets a storage-node template (the global's
+///    SlotNode exists before the first tracked read, so trackedRead's
+///    lazy-creation branch never fires);
+///  - every nullary (*CACHED*) procedure with a bounded R(p) gets exactly
+///    one instance template with a compile-time slot id — its single
+///    argument-table entry is known at transform time, so the hot-path
+///    call resolves to an indexed load with no StateGuard find-or-emplace.
+///
+/// Parameterized and unbounded-R(p) procedures keep the dynamic path: a
+/// parameterized cached procedure's instance set is data-dependent (one
+/// node per distinct argument vector), which is exactly the shape the
+/// analysis cannot bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALPHONSE_TRANSFORM_GRAPHPLAN_H
+#define ALPHONSE_TRANSFORM_GRAPHPLAN_H
+
+#include "transform/StaticRefSets.h"
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace alphonse::transform {
+
+/// One statically planned procedure instance (a nullary bounded-R(p)
+/// cached procedure has exactly one).
+struct PlanInstance {
+  const lang::ProcDecl *Proc = nullptr;
+  /// Dense compile-time slot id; the runtime's static-instance table is
+  /// indexed by this, and the bytecode compiler bakes it into the Chunk
+  /// procedure pool (ProcRef::StaticSlot).
+  int Slot = -1;
+  /// Upper bound on |R(p)|: the edge-adjacency capacity reserved for
+  /// this instance's predecessor row.
+  int EdgeBound = 0;
+};
+
+/// The static shape table for one module: what to instantiate, and how
+/// much slab capacity instantiation plus steady-state churn needs. Built
+/// once per compile; purely derived state — never persisted (checkpoint
+/// restore demolishes and re-instantiates it from the module).
+struct GraphPlan {
+  /// Global storage-slot templates, by GlobalDecl::Index order. (The
+  /// count is all the runtime needs; globals are templated wholesale.)
+  size_t GlobalSlots = 0;
+  /// Statically planned instances, dense in Slot order (slots follow
+  /// ProcInfo::DeclIndex module order, so plans are deterministic).
+  std::vector<PlanInstance> Instances;
+  /// The full R(p) classification the plan was derived from (kept for
+  /// diagnostics and for callers that route unbounded procedures).
+  StaticRefSetResult RefSets;
+
+  /// Slot id for \p P, or -1 when it stays on the dynamic path.
+  int slotOf(const lang::ProcDecl *P) const {
+    auto It = SlotIndex.find(P);
+    return It == SlotIndex.end() ? -1 : It->second;
+  }
+
+  /// Node slots the instantiation consumes: one per global storage slot
+  /// plus one per planned instance.
+  size_t nodeCount() const { return GlobalSlots + Instances.size(); }
+
+  /// Edge slots steady-state execution of the planned instances needs:
+  /// the sum of the per-instance R(p) bounds.
+  size_t edgeCount() const {
+    size_t Total = 0;
+    for (const PlanInstance &PI : Instances)
+      Total += static_cast<size_t>(PI.EdgeBound);
+    return Total;
+  }
+
+  std::unordered_map<const lang::ProcDecl *, int> SlotIndex;
+};
+
+/// Builds the module's static shape table (runs analyzeStaticRefSets
+/// internally).
+GraphPlan buildGraphPlan(const lang::Module &M, const lang::SemaInfo &Info);
+
+} // namespace alphonse::transform
+
+#endif // ALPHONSE_TRANSFORM_GRAPHPLAN_H

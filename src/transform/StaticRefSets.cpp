@@ -41,6 +41,7 @@ public:
       RefSetInfo RI;
       RI.IsStatic = Bound != Unbounded;
       RI.Bound = RI.IsStatic ? Bound : 0;
+      RI.Widened = RI.IsStatic ? WidenReason::None : Reasons[P.get()];
       R.Procs[P.get()] = RI;
     }
     return R;
@@ -48,13 +49,21 @@ public:
 
 private:
   /// Memoized per-procedure bound, with an in-progress marker so direct
-  /// or mutual recursion resolves to Unbounded.
+  /// or mutual recursion widens to Unbounded. Each in-flight procedure
+  /// keeps a frame recording the first cause of widening; the cause is
+  /// stored alongside the memoized bound so callers can surface *why* a
+  /// procedure fell back to the dynamic path.
   int boundOf(const ProcDecl *P) {
     auto It = Memo.find(P);
-    if (It != Memo.end())
+    if (It != Memo.end()) {
+      if (It->second == Unbounded)
+        widen(Reasons[P]); // Propagate the callee's cause into the caller.
       return It->second;
+    }
     if (!InProgress.insert(P).second)
-      return Unbounded; // Recursion: the set can grow with the data.
+      return widen(WidenReason::Recursion); // Cycle through the call graph.
+    WidenReason Cause = WidenReason::None;
+    Frames.push_back(&Cause);
     int Bound = 0;
     for (const LocalDecl &L : P->Locals)
       if (L.Init)
@@ -64,9 +73,22 @@ private:
       if (Bound == Unbounded)
         break;
     }
+    Frames.pop_back();
     InProgress.erase(P);
     Memo[P] = Bound;
+    if (Bound == Unbounded) {
+      Reasons[P] = Cause;
+      widen(Cause); // A widened inlinee widens its caller too.
+    }
     return Bound;
+  }
+
+  /// Records \p R as the current procedure's widening cause (first cause
+  /// wins) and returns the Unbounded sentinel.
+  int widen(WidenReason R) {
+    if (!Frames.empty() && *Frames.back() == WidenReason::None)
+      *Frames.back() = R;
+    return Unbounded;
   }
 
   int stmtBound(const Stmt *S) {
@@ -101,7 +123,7 @@ private:
     }
     case StmtKind::While:
     case StmtKind::For:
-      return Unbounded; // Data-dependent iteration count.
+      return widen(WidenReason::Loop); // Data-dependent iteration count.
     case StmtKind::Return: {
       const auto *R = static_cast<const ReturnStmt *>(S);
       return R->Value ? exprBound(R->Value.get()) : 0;
@@ -109,7 +131,7 @@ private:
     case StmtKind::Expr:
       return exprBound(static_cast<const ExprStmt *>(S)->E.get());
     }
-    return Unbounded;
+    return widen(WidenReason::UnresolvedCall);
   }
 
   int exprBound(const Expr *E) {
@@ -136,7 +158,7 @@ private:
       if (C->BuiltinIndex >= 0)
         return Bound; // Builtins reference nothing.
       if (!C->Resolved)
-        return Unbounded;
+        return widen(WidenReason::UnresolvedCall);
       if (C->Resolved->Pragma.Kind == ProcPragma::Cached)
         return addBounds(Bound, 1); // One edge to the cached instance.
       return addBounds(Bound, boundOf(C->Resolved)); // Inlined refs.
@@ -151,7 +173,7 @@ private:
       // bindings inline.
       auto It = MethodBindings.find(C->Method);
       if (It == MethodBindings.end())
-        return Unbounded;
+        return widen(WidenReason::OpenDispatch); // No binding to bound over.
       int Worst = 0;
       for (const MethodImpl *MI : It->second) {
         int One = (MI->Pragma.Kind == ProcPragma::Maintained)
@@ -172,7 +194,7 @@ private:
     case ExprKind::Unchecked:
       return 0; // Section 6.4: these references are never recorded.
     }
-    return Unbounded;
+    return widen(WidenReason::UnresolvedCall);
   }
 
   const Module &M;
@@ -180,10 +202,29 @@ private:
   std::unordered_map<std::string, std::vector<const MethodImpl *>>
       MethodBindings;
   std::unordered_map<const ProcDecl *, int> Memo;
+  std::unordered_map<const ProcDecl *, WidenReason> Reasons;
   std::unordered_set<const ProcDecl *> InProgress;
+  /// Widening-cause frame of each procedure currently being analyzed.
+  std::vector<WidenReason *> Frames;
 };
 
 } // namespace
+
+const char *widenReasonName(WidenReason R) {
+  switch (R) {
+  case WidenReason::None:
+    return "none";
+  case WidenReason::Recursion:
+    return "recursion";
+  case WidenReason::Loop:
+    return "loop";
+  case WidenReason::OpenDispatch:
+    return "open-dispatch";
+  case WidenReason::UnresolvedCall:
+    return "unresolved-call";
+  }
+  return "unknown";
+}
 
 StaticRefSetResult analyzeStaticRefSets(const Module &M,
                                         const SemaInfo &Info) {

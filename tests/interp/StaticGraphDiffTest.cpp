@@ -1,0 +1,317 @@
+//===- StaticGraphDiffTest.cpp - static vs dynamic graph differential -----===//
+//
+// Part of the Alphonse reproduction (Hoover, PLDI 1992).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static graph construction (DESIGN.md §14) must be observationally
+/// identical to dynamic find-or-emplace: same return values, same print
+/// output, same fault and quarantine outcomes, same checkpoint round-trips
+/// — at Workers = 0 and 4, under both the tree-walker and the bytecode
+/// engine. The corpus centers on nullary cached procedures over globals
+/// (the plan-eligible shape) plus the canonical AVL module (plan with
+/// global slots only), with fixed-seed randomized interleavings that mix
+/// reads, writes, never-read writes, and injected division faults.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "lang/CompileTestHelper.h"
+#include "support/CheckpointIO.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace alphonse::interp {
+namespace {
+
+using testing::compile;
+using testing::Compiled;
+
+static Value IV(long X) { return Value::integer(X); }
+
+/// Nullary cached procedures over globals: the exact shape the plan proves
+/// bounded and instantiates statically. 'unread' is written but never read
+/// by any incremental procedure — its pre-built slot node must not leak
+/// pending work.
+static const char *gaugeProgram() {
+  return R"(
+VAR
+  a, b, scale, unread : INTEGER;
+
+(*CACHED*) PROCEDURE Sum() : INTEGER =
+BEGIN
+  RETURN a + b;
+END Sum;
+
+(*CACHED*) PROCEDURE Scaled() : INTEGER =
+BEGIN
+  RETURN Sum() * scale;
+END Scaled;
+
+(*CACHED*) PROCEDURE Ratio() : INTEGER =
+BEGIN
+  RETURN Sum() DIV scale;
+END Ratio;
+
+PROCEDURE SetA(v : INTEGER) = BEGIN a := v; END SetA;
+PROCEDURE SetB(v : INTEGER) = BEGIN b := v; END SetB;
+PROCEDURE SetScale(v : INTEGER) = BEGIN scale := v; END SetScale;
+PROCEDURE Touch(v : INTEGER) = BEGIN unread := v; END Touch;
+)";
+}
+
+struct Step {
+  std::string Proc;
+  std::vector<long> Args;
+};
+
+struct RunResult {
+  std::vector<std::string> Rendered;
+  std::string Output;
+  bool Failed = false;
+  std::string Error;
+  size_t Quarantined = 0;
+  size_t Pending = 0;
+  uint64_t StaticCalls = 0;
+};
+
+static RunResult runScript(const Compiled &C, const std::vector<Step> &Script,
+                           bool Static, unsigned Workers,
+                           bool Bytecode = true) {
+  DepGraph::Config Cfg;
+  Cfg.Workers = Workers;
+  Interp I(C.M, C.Info, ExecMode::Alphonse, Cfg, Bytecode, Static);
+  RunResult R;
+  for (const Step &S : Script) {
+    std::vector<Value> Args;
+    for (long A : S.Args)
+      Args.push_back(IV(A));
+    Value V = I.call(S.Proc, std::move(Args));
+    if (I.failed()) {
+      R.Failed = true;
+      R.Error = I.errorMessage();
+      R.Rendered.push_back("!");
+      break;
+    }
+    R.Rendered.push_back(V.K == Value::Kind::Object ? "<obj>" : V.render());
+  }
+  R.Output = I.output();
+  R.Quarantined = I.runtime().graph().numQuarantined();
+  R.Pending = I.runtime().graph().numPending();
+  R.StaticCalls = I.runtime().stats().StaticCalls.total();
+  return R;
+}
+
+/// The differential check: dynamic construction (serial tree-walk) is the
+/// reference; the static path must match under every engine/worker mix.
+/// \p ExpectStaticHits additionally requires that the static fast path
+/// actually fired (the corpus would otherwise silently test nothing).
+static void checkDifferential(const Compiled &C,
+                              const std::vector<Step> &Script,
+                              bool ExpectStaticHits) {
+  RunResult Ref = runScript(C, Script, /*Static=*/false, /*Workers=*/0,
+                            /*Bytecode=*/false);
+  EXPECT_EQ(Ref.StaticCalls, 0u);
+  for (bool Bytecode : {false, true}) {
+    for (unsigned Workers : {0u, 4u}) {
+      SCOPED_TRACE(std::string(Bytecode ? "bytecode" : "treewalk") +
+                   " workers=" + std::to_string(Workers));
+      RunResult St = runScript(C, Script, /*Static=*/true, Workers, Bytecode);
+      ASSERT_EQ(Ref.Rendered, St.Rendered);
+      EXPECT_EQ(Ref.Output, St.Output);
+      EXPECT_EQ(Ref.Failed, St.Failed);
+      EXPECT_EQ(Ref.Error, St.Error);
+      EXPECT_EQ(Ref.Quarantined, St.Quarantined);
+      EXPECT_EQ(Ref.Pending, St.Pending);
+      if (ExpectStaticHits && !std::getenv("ALPHONSE_NO_STATIC_GRAPH"))
+        EXPECT_GT(St.StaticCalls, 0u);
+    }
+  }
+}
+
+TEST(StaticGraphDiffTest, PlanCoversNullaryCachedProcs) {
+  auto C = compile(gaugeProgram());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  if (std::getenv("ALPHONSE_NO_STATIC_GRAPH"))
+    GTEST_SKIP() << "static graph disabled by environment";
+  Interp I(C->M, C->Info, ExecMode::Alphonse);
+  ASSERT_NE(I.graphPlan(), nullptr);
+  EXPECT_EQ(I.graphPlan()->GlobalSlots, 4u);
+  EXPECT_EQ(I.graphPlan()->Instances.size(), 3u);
+  // The shape is live before the first call: globals plus one instance
+  // per plan slot, all served out of one bulk reservation.
+  EXPECT_GE(I.runtime().graph().numLiveNodes(), 7u);
+  EXPECT_EQ(I.runtime().stats().StaticInstances.total(), 3u);
+}
+
+TEST(StaticGraphDiffTest, ValuesAgree) {
+  auto C = compile(gaugeProgram());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  checkDifferential(*C,
+                    {
+                        {"SetA", {3}},
+                        {"SetB", {4}},
+                        {"SetScale", {2}},
+                        {"Sum", {}},
+                        {"Scaled", {}},
+                        {"Ratio", {}},
+                        {"SetA", {10}},
+                        {"Sum", {}},
+                        {"Scaled", {}},
+                        {"Touch", {99}},
+                        {"Sum", {}},
+                    },
+                    /*ExpectStaticHits=*/true);
+}
+
+TEST(StaticGraphDiffTest, FaultsAgree) {
+  // scale starts at 0: the first Ratio call divides by zero. Both paths
+  // must fail at the same step with the same message and quarantine the
+  // same instance count.
+  auto C = compile(gaugeProgram());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  checkDifferential(*C,
+                    {
+                        {"SetA", {6}},
+                        {"SetB", {2}},
+                        {"Sum", {}},
+                        {"Ratio", {}}, // division by zero
+                    },
+                    /*ExpectStaticHits=*/true);
+}
+
+TEST(StaticGraphDiffTest, AvlModuleUnaffected) {
+  // The AVL module has no nullary cached procedures: its plan carries
+  // global slots only. The static machinery must be a pure no-op for it.
+  auto C = compile(testing::avlProgram());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  std::vector<Step> Script = {{"InitTree", {}}};
+  for (long K : {50, 20, 70, 10, 30, 60, 80})
+    Script.push_back({"Insert", {K}});
+  Script.push_back({"Rebalance", {}});
+  Script.push_back({"IsBalanced", {}});
+  Script.push_back({"TreeHeight", {}});
+  for (long K : {5, 60, 100})
+    Script.push_back({"Contains", {K}});
+  checkDifferential(*C, Script, /*ExpectStaticHits=*/false);
+}
+
+TEST(StaticGraphDiffTest, RandomizedInterleavings) {
+  auto C = compile(gaugeProgram());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  for (unsigned Seed = 41; Seed <= 45; ++Seed) {
+    SCOPED_TRACE("seed=" + std::to_string(Seed));
+    std::mt19937 Rng(Seed);
+    std::vector<Step> Script = {{"SetScale", {1 + long(Rng() % 5)}}};
+    for (int I = 0; I < 60; ++I) {
+      switch (Rng() % 8) {
+      case 0:
+        Script.push_back({"SetA", {long(Rng() % 100)}});
+        break;
+      case 1:
+        Script.push_back({"SetB", {long(Rng() % 100)}});
+        break;
+      case 2:
+        // Occasionally zero: later Ratio calls fault, and both paths
+        // must agree on exactly when.
+        Script.push_back({"SetScale", {long(Rng() % 4)}});
+        break;
+      case 3:
+        Script.push_back({"Touch", {long(Rng() % 100)}});
+        break;
+      case 4:
+        Script.push_back({"Sum", {}});
+        break;
+      case 5:
+        Script.push_back({"Scaled", {}});
+        break;
+      default:
+        Script.push_back({"Ratio", {}});
+        break;
+      }
+    }
+    checkDifferential(*C, Script, /*ExpectStaticHits=*/true);
+  }
+}
+
+TEST(StaticGraphDiffTest, CheckpointRoundTripAcrossModes) {
+  // The shape table is derived state: a snapshot saved under static
+  // construction restores into a dynamic interpreter (and vice versa)
+  // with identical answers, and the restored static interpreter rebuilds
+  // its shape around the snapshot's nodes.
+  const std::string Path = std::string(std::getenv("TMPDIR")
+                                           ? std::getenv("TMPDIR")
+                                           : "/tmp") +
+                           "/static-graph-diff." + std::to_string(::getpid()) +
+                           ".ckpt";
+  auto C = compile(gaugeProgram());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+
+  DepGraph::Config Par;
+  Par.Workers = 4;
+  Interp A(C->M, C->Info, ExecMode::Alphonse, Par, /*EnableBytecode=*/true,
+           /*EnableStaticGraph=*/true);
+  A.call("SetA", {IV(7)});
+  A.call("SetB", {IV(5)});
+  A.call("SetScale", {IV(3)});
+  Value SumA = A.call("Sum");
+  Value ScaledA = A.call("Scaled");
+  ASSERT_FALSE(A.failed()) << A.errorMessage();
+  A.saveCheckpoint(Path);
+
+  for (bool Static : {true, false}) {
+    for (unsigned Workers : {0u, 4u}) {
+      SCOPED_TRACE(std::string(Static ? "restore-static" : "restore-dynamic") +
+                   " workers=" + std::to_string(Workers));
+      DepGraph::Config Cfg;
+      Cfg.Workers = Workers;
+      Interp B(C->M, C->Info, ExecMode::Alphonse, Cfg, /*EnableBytecode=*/true,
+               Static);
+      B.restoreCheckpoint(Path);
+      EXPECT_TRUE(SumA == B.call("Sum"));
+      EXPECT_TRUE(ScaledA == B.call("Scaled"));
+      ASSERT_FALSE(B.failed()) << B.errorMessage();
+      // Continue past the snapshot: incremental repair must agree too.
+      B.call("SetA", {IV(9)});
+      Value Sum2 = B.call("Sum");
+      ASSERT_FALSE(B.failed()) << B.errorMessage();
+      EXPECT_EQ(Sum2.Int, 14);
+      EXPECT_EQ(B.runtime().graph().numPending(), 0u);
+    }
+  }
+  std::remove(Path.c_str());
+  std::remove(deltaLogPath(Path).c_str());
+}
+
+TEST(StaticGraphDiffTest, NoStaticGraphEnvWins) {
+  auto C = compile(gaugeProgram());
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  const char *Prior = std::getenv("ALPHONSE_NO_STATIC_GRAPH");
+  ::setenv("ALPHONSE_NO_STATIC_GRAPH", "1", 1);
+  Interp I(C->M, C->Info, ExecMode::Alphonse, DepGraph::Config(),
+           /*EnableBytecode=*/true, /*EnableStaticGraph=*/true);
+  if (Prior)
+    ::setenv("ALPHONSE_NO_STATIC_GRAPH", Prior, 1);
+  else
+    ::unsetenv("ALPHONSE_NO_STATIC_GRAPH");
+  EXPECT_EQ(I.graphPlan(), nullptr);
+  I.call("SetA", {IV(2)});
+  I.call("SetB", {IV(3)});
+  Value V = I.call("Sum");
+  ASSERT_FALSE(I.failed()) << I.errorMessage();
+  EXPECT_EQ(V.Int, 5);
+  EXPECT_EQ(I.runtime().stats().StaticCalls.total(), 0u);
+}
+
+} // namespace
+} // namespace alphonse::interp

@@ -119,6 +119,136 @@ END M;
   EXPECT_EQ(R.info(C->M.findProc("M"))->Bound, 1); // Only 'a'.
 }
 
+TEST(StaticRefSetsTest, RecursionWidensWithReason) {
+  // The fixpoint must *widen* on recursion — explicitly degrade to
+  // Bounded = false with the cause recorded, never loop or under-report.
+  auto C = compile(R"(
+PROCEDURE Walk(n : INTEGER) : INTEGER =
+BEGIN
+  IF n <= 0 THEN RETURN 0; END;
+  RETURN Walk(n - 1) + 1;
+END Walk;
+)",
+                   false);
+  ASSERT_TRUE(C->ok());
+  StaticRefSetResult R = analyzeStaticRefSets(C->M, C->Info);
+  const RefSetInfo *Walk = R.info(C->M.findProc("Walk"));
+  ASSERT_NE(Walk, nullptr);
+  EXPECT_FALSE(Walk->IsStatic);
+  EXPECT_EQ(Walk->Widened, WidenReason::Recursion);
+  EXPECT_STREQ(widenReasonName(Walk->Widened), "recursion");
+}
+
+TEST(StaticRefSetsTest, MutualRecursionWidensBothDirections) {
+  // A <-> B: whichever side the fixpoint enters first, both must come out
+  // unbounded with the recursion cause — the memoized Unbounded result
+  // propagates its reason into every caller.
+  auto C = compile(R"(
+PROCEDURE Even(n : INTEGER) : BOOLEAN =
+BEGIN
+  IF n = 0 THEN RETURN TRUE; END;
+  RETURN Odd(n - 1);
+END Even;
+PROCEDURE Odd(n : INTEGER) : BOOLEAN =
+BEGIN
+  IF n = 0 THEN RETURN FALSE; END;
+  RETURN Even(n - 1);
+END Odd;
+)",
+                   false);
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  StaticRefSetResult R = analyzeStaticRefSets(C->M, C->Info);
+  for (const char *Name : {"Even", "Odd"}) {
+    SCOPED_TRACE(Name);
+    const RefSetInfo *RI = R.info(C->M.findProc(Name));
+    ASSERT_NE(RI, nullptr);
+    EXPECT_FALSE(RI->IsStatic);
+    EXPECT_EQ(RI->Widened, WidenReason::Recursion);
+  }
+}
+
+TEST(StaticRefSetsTest, LoopWidensWithReason) {
+  auto C = compile(R"(
+VAR g : INTEGER;
+PROCEDURE Spin(n : INTEGER) : INTEGER =
+VAR s : INTEGER;
+BEGIN
+  WHILE n > 0 DO
+    s := s + g;
+    n := n - 1;
+  END;
+  RETURN s;
+END Spin;
+)",
+                   false);
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  StaticRefSetResult R = analyzeStaticRefSets(C->M, C->Info);
+  const RefSetInfo *Spin = R.info(C->M.findProc("Spin"));
+  ASSERT_NE(Spin, nullptr);
+  EXPECT_FALSE(Spin->IsStatic);
+  EXPECT_EQ(Spin->Widened, WidenReason::Loop);
+}
+
+TEST(StaticRefSetsTest, OpenVtableOverrideWidensDispatch) {
+  // The vtable is open: a subtype may rebind a method to a conventional
+  // implementation whose refs are unbounded. Every dispatch site on that
+  // name must then degrade to the dynamic path, with the inlinee's cause
+  // propagated through the dispatch — never silently stay "static".
+  auto C = compile(R"(
+TYPE T = OBJECT
+  next : T; v : INTEGER;
+METHODS
+  (*MAINTAINED*) cost() : INTEGER := Cost;
+END;
+TYPE U = T OBJECT
+OVERRIDES
+  cost := CostAll;
+END;
+VAR head : T;
+PROCEDURE Cost(o : T) : INTEGER =
+BEGIN
+  RETURN o.v;
+END Cost;
+PROCEDURE CostAll(o : T) : INTEGER =
+VAR p : T; s : INTEGER;
+BEGIN
+  p := o;
+  WHILE p # NIL DO
+    s := s + p.v;
+    p := p.next;
+  END;
+  RETURN s;
+END CostAll;
+(*CACHED*) PROCEDURE HeadCost() : INTEGER =
+BEGIN
+  RETURN head.cost();
+END HeadCost;
+)",
+                   false);
+  ASSERT_TRUE(C->ok()) << C->Diags.str();
+  StaticRefSetResult R = analyzeStaticRefSets(C->M, C->Info);
+  // The unbounded conventional override itself.
+  const RefSetInfo *All = R.info(C->M.findProc("CostAll"));
+  ASSERT_NE(All, nullptr);
+  EXPECT_FALSE(All->IsStatic);
+  EXPECT_EQ(All->Widened, WidenReason::Loop);
+  // The dispatch site inherits the widening (and its cause) even though
+  // the base binding alone would have been a one-edge maintained call.
+  const RefSetInfo *Head = R.info(C->M.findProc("HeadCost"));
+  ASSERT_NE(Head, nullptr);
+  EXPECT_FALSE(Head->IsStatic);
+  EXPECT_EQ(Head->Widened, WidenReason::Loop);
+}
+
+TEST(StaticRefSetsTest, WidenReasonNamesAreStable) {
+  EXPECT_STREQ(widenReasonName(WidenReason::None), "none");
+  EXPECT_STREQ(widenReasonName(WidenReason::Recursion), "recursion");
+  EXPECT_STREQ(widenReasonName(WidenReason::Loop), "loop");
+  EXPECT_STREQ(widenReasonName(WidenReason::OpenDispatch), "open-dispatch");
+  EXPECT_STREQ(widenReasonName(WidenReason::UnresolvedCall),
+               "unresolved-call");
+}
+
 TEST(StaticRefSetsTest, AvlBalanceIsStatic) {
   // Balance touches a fixed set of fields and incremental methods per
   // node; the rotations write fields (each write counts its location).

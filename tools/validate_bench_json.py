@@ -85,6 +85,15 @@ def main():
         "monotone p50_us <= p99_us <= p999_us latency counters (repeatable); "
         "used for serving-shaped suites like bench_sessions",
     )
+    ap.add_argument(
+        "--flat-gauge",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless this suite has at least one benchmark whose "
+        "pool_high_water_start equals pool_high_water_end (repeatable); "
+        "asserts the zero-allocation steady state of bench_static (E16)",
+    )
     args = ap.parse_args()
 
     try:
@@ -144,6 +153,29 @@ def main():
             found > 0,
             f"latency suite '{wanted}' has no benchmark reporting "
             f"{'/'.join(quantile_keys)} counters",
+        )
+
+    gauge_keys = ("pool_high_water_start", "pool_high_water_end")
+    for wanted in args.flat_gauge:
+        require(wanted in by_name, f"flat-gauge suite '{wanted}' is missing")
+        found = 0
+        for bench in by_name[wanted]["benchmarks"]:
+            counters = bench.get("counters", {})
+            if not all(k in counters for k in gauge_keys):
+                continue
+            found += 1
+            where = f"flat-gauge suite '{wanted}', benchmark '{bench['name']}'"
+            start, end = (counters[k] for k in gauge_keys)
+            require(start > 0, f"{where}: pool_high_water_start is {start!r}")
+            require(
+                start == end,
+                f"{where}: pool high-water moved during steady state "
+                f"(start={start!r}, end={end!r}) — slab growth after warm-up",
+            )
+        require(
+            found > 0,
+            f"flat-gauge suite '{wanted}' has no benchmark reporting "
+            f"{'/'.join(gauge_keys)} counters",
         )
 
     space = doc.get("space")
